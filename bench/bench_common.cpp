@@ -1,0 +1,33 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace revft::benchutil {
+
+namespace {
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 0);
+  if (end == value) return fallback;
+  return static_cast<std::uint64_t>(parsed);
+}
+}  // namespace
+
+std::uint64_t trials_from_env(std::uint64_t fallback) {
+  return env_u64("REVFT_TRIALS", fallback);
+}
+
+std::uint64_t seed_from_env() { return env_u64("REVFT_SEED", 0xD5A2005ULL); }
+
+void print_header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s  (Boykin & Roychowdhury, DSN 2005)\n",
+              paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace revft::benchutil

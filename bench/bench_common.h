@@ -1,0 +1,27 @@
+// bench/bench_common.h
+//
+// Shared scaffolding for the paper-reproduction bench binaries. Each
+// binary first prints its reproduction table ([paper] vs [measured]
+// columns), then runs its google-benchmark kernel timings.
+//
+// Environment knobs:
+//   REVFT_TRIALS — Monte-Carlo trials per data point (default differs
+//                  per bench; raise it for tighter error bars).
+//   REVFT_SEED   — master seed (default 0xD5A2005).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace revft::benchutil {
+
+/// Monte-Carlo trial count: REVFT_TRIALS or `fallback`.
+std::uint64_t trials_from_env(std::uint64_t fallback);
+
+/// Master seed: REVFT_SEED or 0xD5A2005.
+std::uint64_t seed_from_env();
+
+/// Print a section header for one reproduced table/figure.
+void print_header(const std::string& title, const std::string& paper_ref);
+
+}  // namespace revft::benchutil

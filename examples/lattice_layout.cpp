@@ -1,0 +1,90 @@
+// examples/lattice_layout.cpp
+//
+// Tour of the locality-aware constructions (§3): builds the 2D and 1D
+// logical cycles, proves every gate nearest-neighbour with the
+// locality checker, prints the routed circuits, and summarizes the
+// routing overhead each topology pays relative to the non-local
+// scheme — the gate counts behind the paper's 1/108 vs 1/273 vs
+// 1/2340 thresholds.
+//
+// Run:  ./lattice_layout
+#include <cstdio>
+
+#include "analysis/threshold.h"
+#include "ft/concat.h"
+#include "local/lattice.h"
+#include "local/scheme1d.h"
+#include "local/scheme2d.h"
+#include "rev/render.h"
+#include "support/table.h"
+
+using namespace revft;
+
+namespace {
+
+void show_2d() {
+  std::printf("== 2D: one recovery stage on a 3x3 block (Fig 4) ==\n");
+  const Ec2d ec = make_ec_2d(Orientation2d::kRow, true);
+  RenderOptions opts;
+  opts.labels = {"r0c0", "r0c1", "r0c2", "r1c0", "r1c1",
+                 "r1c2", "r2c0", "r2c1", "r2c2"};
+  std::printf("%s", render_ascii(ec.circuit, opts).c_str());
+  LocalityOptions strict;
+  strict.allow_nonlocal_init = false;
+  std::printf("nearest-neighbour (strict, init included): %s\n",
+              check_locality_2d(ec.circuit, 3, 3, strict).ok ? "yes" : "NO");
+  std::printf("swaps used: 0 — encode along rows, decode along columns;\n"
+              "data rotates row->column each stage, so stages chain freely.\n\n");
+
+  const Cycle2d cycle = make_cycle_2d(GateKind::kToffoli, true);
+  std::printf("full 2D logical cycle (9x3 grid): %zu ops, locality: %s\n\n",
+              cycle.circuit.size(),
+              check_locality_2d(cycle.circuit, Cycle2d::kRows, Cycle2d::kCols,
+                                strict)
+                      .ok
+                  ? "ok"
+                  : "VIOLATED");
+}
+
+void show_1d() {
+  std::printf("== 1D: one recovery stage on a 9-cell line (Fig 7) ==\n");
+  const Ec1d ec = make_ec_1d(true);
+  RenderOptions opts;
+  opts.labels = {"q0", "q3", "q6", "q1", "q4", "q7", "q2", "q5", "q8"};
+  std::printf("%s", render_ascii(ec.circuit, opts).c_str());
+  std::printf("nearest-neighbour (init exempt): %s\n",
+              check_locality_1d(ec.circuit).ok ? "yes" : "NO");
+  const Cycle1d cycle = make_cycle_1d(GateKind::kToffoli, true);
+  std::printf("full 1D logical cycle (27-cell line): %zu ops "
+              "(45-swap interleave each way), locality: %s\n\n",
+              cycle.circuit.size(),
+              check_locality_1d(cycle.circuit).ok ? "ok" : "VIOLATED");
+}
+
+void show_overhead() {
+  std::printf("== per-encoded-bit cycle accounting and thresholds ==\n");
+  AsciiTable table(
+      {"topology", "routing ops", "gate ops", "recovery ops", "G", "threshold"});
+  table.add_row({"non-local (any-to-any)", "0", "3", "8", "11",
+                 AsciiTable::reciprocal(threshold_for_ops(11))});
+  table.add_row({"2D lattice (paper count)", "6 SWAP3 - 1", "3", "8", "16",
+                 AsciiTable::reciprocal(threshold_for_ops(16))});
+  table.add_row({"2D lattice (strict count)", "6 SWAP3", "3", "8", "17",
+                 AsciiTable::reciprocal(threshold_for_ops(17))});
+  table.add_row({"1D line", "24 SWAP3", "3", "13", "40",
+                 AsciiTable::reciprocal(threshold_for_ops(40))});
+  std::printf("%s", table.str().c_str());
+  std::printf(
+      "\nlesson (§3.3): dimension buys threshold. If the hardware offers only\n"
+      "a line, make it a 9- or 27-bit-wide strip and run 2D recovery inside\n"
+      "the strip: Table 2 shows 27 lines already recover 77%% of full 2D.\n");
+}
+
+}  // namespace
+
+int main() {
+  show_2d();
+  show_1d();
+  show_overhead();
+  return 0;
+}

@@ -1,0 +1,123 @@
+// examples/logical_machine.cpp
+//
+// A complete fault-tolerant 1D computer in action (§3.2 at system
+// scale): five encoded bits on a 45-cell nearest-neighbour line,
+// executing a logical program whose operands are scattered across the
+// machine. The compiler routes whole 9-cell blocks together (81
+// adjacent swaps per block transposition), runs each gate through the
+// interleave/gate/uninterleave/recovery cycle, and leaves the blocks
+// where the last gate needed them.
+//
+// Run:  ./logical_machine [trials]
+#include <cstdio>
+#include <cstdlib>
+
+#include "code/repetition.h"
+#include "local/lattice.h"
+#include "local/machine1d.h"
+#include "noise/monte_carlo.h"
+#include "rev/simulator.h"
+#include "support/table.h"
+
+using namespace revft;
+
+int main(int argc, char** argv) {
+  const std::uint64_t trials =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 0) : 100000;
+
+  // The logical program: operands deliberately far apart.
+  Circuit logical(5);
+  logical.maj(4, 2, 0).toffoli(0, 3, 4).majinv(2, 1, 4).swap3(0, 2, 4);
+
+  const Machine1d machine(5);
+  const auto program = machine.compile(logical);
+
+  std::printf("logical program: %zu gates on %u encoded bits\n",
+              logical.size(), logical.width());
+  std::printf("compiled 1D program: %zu physical ops on %u cells\n",
+              program.physical.size(), program.physical.width());
+  std::printf("  block transpositions: %llu (%llu routing cell-swaps)\n",
+              static_cast<unsigned long long>(program.block_transpositions),
+              static_cast<unsigned long long>(program.routing_cell_swaps));
+  std::printf("  gate cycles: %llu, recovery stages: %llu\n",
+              static_cast<unsigned long long>(program.gate_cycles),
+              static_cast<unsigned long long>(program.recovery_stages));
+  std::printf("  nearest-neighbour check: %s\n\n",
+              check_locality_1d(program.physical).ok ? "pass" : "FAIL");
+
+  // Noise sweep: does the encoded machine beat one unprotected line?
+  std::printf("P[all 5 logical outputs correct], %llu trials per point:\n",
+              static_cast<unsigned long long>(trials));
+  AsciiTable table({"g", "encoded machine", "unprotected circuit"});
+  for (double g : {1e-4, 1e-3, 3e-3, 1e-2}) {
+    // Encoded machine.
+    std::uint64_t lane_inputs[5];
+    McOptions opts;
+    opts.trials = trials;
+    auto prepare = [&](PackedState& state, Xoshiro256& rng, std::uint64_t) {
+      for (std::uint32_t i = 0; i < 5; ++i) {
+        lane_inputs[i] = rng.next();
+        for (std::uint32_t offset : {0u, 3u, 6u})
+          state.word(9 * i + offset) = lane_inputs[i];
+      }
+    };
+    auto classify = [&](const PackedState& state, int lane, std::uint64_t) {
+      unsigned input = 0;
+      for (std::uint32_t i = 0; i < 5; ++i)
+        input |= static_cast<unsigned>((lane_inputs[i] >> lane) & 1u) << i;
+      const auto expected = static_cast<unsigned>(simulate(logical, input));
+      for (std::uint32_t i = 0; i < 5; ++i) {
+        const std::uint32_t base = 9 * program.slot_of_logical[i];
+        const int v = majority3(state.bit_lane(base, lane),
+                                state.bit_lane(base + 3, lane),
+                                state.bit_lane(base + 6, lane));
+        if (v != static_cast<int>((expected >> i) & 1u)) return true;
+      }
+      return false;
+    };
+    const double p_machine =
+        run_packed_mc(program.physical, NoiseModel::uniform(g), opts, prepare,
+                      classify)
+            .rate();
+
+    // Unprotected reference: the bare logical circuit under the same
+    // noise model.
+    std::uint64_t bare_inputs[5];
+    auto bare_prepare = [&](PackedState& state, Xoshiro256& rng, std::uint64_t) {
+      for (std::uint32_t i = 0; i < 5; ++i) {
+        bare_inputs[i] = rng.next();
+        state.word(i) = bare_inputs[i];
+      }
+    };
+    auto bare_classify = [&](const PackedState& state, int lane, std::uint64_t) {
+      unsigned input = 0;
+      for (std::uint32_t i = 0; i < 5; ++i)
+        input |= static_cast<unsigned>((bare_inputs[i] >> lane) & 1u) << i;
+      const auto expected = static_cast<unsigned>(simulate(logical, input));
+      for (std::uint32_t i = 0; i < 5; ++i)
+        if (state.bit_lane(i, lane) != ((expected >> i) & 1u)) return true;
+      return false;
+    };
+    const double p_bare =
+        run_packed_mc(logical, NoiseModel::uniform(g), opts, bare_prepare,
+                      bare_classify)
+            .rate();
+
+    table.add_row({AsciiTable::sci(g, 0), AsciiTable::fixed(1.0 - p_machine, 5),
+                   AsciiTable::fixed(1.0 - p_bare, 5)});
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf(
+      "\nreading: at this scale the encoded machine LOSES — the bare program\n"
+      "has only %zu fault locations while the compiled one has %zu (~%.0fx\n"
+      "per logical gate), and §3.2's per-cycle protection is weakened by\n"
+      "cross-codeword routing faults (bench_fig7_local1d). Encoding pays off\n"
+      "only when the workload is long enough that the bare version almost\n"
+      "surely fails (T*g >~ 1, §2.3) — and in 1D the overhead is so large\n"
+      "that the paper's own recommendation applies: use 2D, or a few 2D\n"
+      "levels under 1D (Table 2), not bare 1D multiplexing.\n",
+      logical.size(), program.physical.size(),
+      static_cast<double>(program.physical.size()) /
+          static_cast<double>(logical.size()));
+  return 0;
+}

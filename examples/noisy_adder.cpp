@@ -1,0 +1,131 @@
+// examples/noisy_adder.cpp
+//
+// A realistic workload through the fault-tolerance pipeline: the
+// Cuccaro ripple-carry adder (built from the paper's MAJ gate — its
+// footnote 2 citation [4]) computing 4-bit sums on noisy hardware.
+//
+// We run the same adder three ways at each physical error rate g:
+//   bare      — the 30-gate adder, unprotected;
+//   level 1   — compiled against one level of MAJ multiplexing;
+//   level 2   — two levels of concatenation.
+// and report the probability that the full (sum, carry) output is
+// exactly right. Below threshold the encoded adders win; far above it
+// the overhead backfires — both regimes of §2.2 on a real circuit.
+//
+// Run:  ./noisy_adder [trials]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "ft/concat.h"
+#include "noise/monte_carlo.h"
+#include "rev/synthesis.h"
+#include "support/table.h"
+
+using namespace revft;
+
+namespace {
+
+constexpr std::uint32_t kBits = 4;
+
+/// One compiled variant of the adder plus everything needed to run and
+/// score it.
+struct Variant {
+  std::string name;
+  CompiledModule module;
+  std::vector<std::vector<std::uint32_t>> input_leaves;  // per logical bit
+};
+
+Variant make_variant(const RippleAdder& adder, int level, std::string name) {
+  Variant v;
+  v.name = std::move(name);
+  v.module = concat_compile(adder.circuit, level);
+  for (std::uint32_t i = 0; i < adder.circuit.width(); ++i) {
+    const auto tree = BlockTree::canonical(
+        level, i * static_cast<std::uint32_t>(v.module.blocks[i].span()));
+    v.input_leaves.push_back(collect_data_leaves(tree));
+  }
+  return v;
+}
+
+/// P[adder output exactly correct] at error rate g.
+double success_rate(const Variant& v, const RippleAdder& adder, double g,
+                    std::uint64_t trials, std::uint64_t seed) {
+  McOptions opts;
+  opts.trials = trials;
+  opts.seed = seed;
+
+  std::uint64_t lane_a[kBits], lane_b[kBits];
+  auto prepare = [&](PackedState& state, Xoshiro256& rng, std::uint64_t) {
+    for (std::uint32_t i = 0; i < kBits; ++i) {
+      lane_a[i] = rng.next();
+      lane_b[i] = rng.next();
+      for (auto bit : v.input_leaves[adder.a_bits[i]]) state.word(bit) = lane_a[i];
+      for (auto bit : v.input_leaves[adder.b_bits[i]]) state.word(bit) = lane_b[i];
+    }
+  };
+  auto classify = [&](const PackedState& state, int lane, std::uint64_t) {
+    std::uint64_t a = 0, b = 0;
+    for (std::uint32_t i = 0; i < kBits; ++i) {
+      a |= ((lane_a[i] >> lane) & 1u) << i;
+      b |= ((lane_b[i] >> lane) & 1u) << i;
+    }
+    const std::uint64_t want = a + b;
+    auto reader = [&](std::uint32_t bit) {
+      return static_cast<int>(state.bit_lane(bit, lane));
+    };
+    std::uint64_t sum = 0;
+    for (std::uint32_t i = 0; i < kBits; ++i)
+      sum |= static_cast<std::uint64_t>(
+                 decode_block(v.module.blocks[adder.b_bits[i]], reader))
+             << i;
+    sum |= static_cast<std::uint64_t>(
+               decode_block(v.module.blocks[adder.carry_out], reader))
+           << kBits;
+    return sum != want;  // classify counts errors
+  };
+  const auto errors =
+      run_packed_mc(v.module.physical, NoiseModel::uniform(g), opts, prepare,
+                    classify);
+  return 1.0 - errors.rate();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t trials =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 0) : 200000;
+
+  const RippleAdder adder = cuccaro_adder(kBits);
+  std::printf("Cuccaro %u-bit adder: %zu gates on %u bits (one MAJ per bit "
+              "position)\n",
+              kBits, adder.circuit.size(), adder.circuit.width());
+
+  const Variant bare = make_variant(adder, 0, "bare");
+  const Variant level1 = make_variant(adder, 1, "level 1");
+  const Variant level2 = make_variant(adder, 2, "level 2");
+  for (const Variant* v : {&bare, &level1, &level2})
+    std::printf("  %-7s : %8zu physical gates, %5u physical bits\n",
+                v->name.c_str(), v->module.physical.size(),
+                v->module.physical.width());
+
+  std::printf("\nP[entire %u-bit sum+carry correct], %llu trials per cell:\n",
+              kBits, static_cast<unsigned long long>(trials));
+  AsciiTable table({"g", "bare", "level 1", "level 2", "winner"});
+  for (double g : {1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1}) {
+    const double p0 = success_rate(bare, adder, g, trials, 0xadd0);
+    const double p1 = success_rate(level1, adder, g, trials, 0xadd1);
+    const double p2 = success_rate(level2, adder, g, trials, 0xadd2);
+    const char* winner = p0 >= p1 && p0 >= p2 ? "bare"
+                         : p1 >= p2           ? "level 1"
+                                              : "level 2";
+    table.add_row({AsciiTable::sci(g, 0), AsciiTable::fixed(p0, 4),
+                   AsciiTable::fixed(p1, 4), AsciiTable::fixed(p2, 4), winner});
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf(
+      "\nreading: below the threshold the encoded adders dominate and each\n"
+      "level multiplies the protection; far above it the ~27x gate overhead\n"
+      "per level just adds more places to fail (§2.2's two regimes).\n");
+  return 0;
+}

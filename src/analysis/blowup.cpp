@@ -1,0 +1,43 @@
+#include "analysis/blowup.h"
+
+#include <cmath>
+
+#include "support/error.h"
+#include "support/mathutil.h"
+
+namespace revft {
+
+std::uint64_t gate_blowup(int G, int level) {
+  REVFT_CHECK_MSG(G >= 3, "gate_blowup: G=" << G);
+  REVFT_CHECK_MSG(level >= 0, "gate_blowup: level=" << level);
+  return checked_pow(3ULL * static_cast<std::uint64_t>(G - 2),
+                     static_cast<std::uint64_t>(level));
+}
+
+std::uint64_t bit_blowup(int level) {
+  REVFT_CHECK_MSG(level >= 0, "bit_blowup: level=" << level);
+  return checked_pow(9, static_cast<std::uint64_t>(level));
+}
+
+int required_level(double g, double rho, double T) {
+  REVFT_CHECK_MSG(T >= 1.0, "required_level: T=" << T);
+  REVFT_CHECK_MSG(g > 0.0 && rho > 0.0, "required_level: g,rho must be > 0");
+  REVFT_CHECK_MSG(g < rho, "required_level: g >= rho — below threshold only");
+  // Want smallest integer L with rho (g/rho)^{2^L} <= 1/T, i.e.
+  // 2^L >= log(T rho) / log(rho/g).
+  const double numer = std::log2(T * rho);
+  const double denom = std::log2(rho / g);
+  if (numer <= 0.0) return 0;  // even unencoded gates suffice
+  const double raw = std::log2(numer / denom);
+  const int level = raw <= 0.0 ? 0 : static_cast<int>(std::ceil(raw));
+  return level;
+}
+
+double gate_blowup_exponent(int G) {
+  REVFT_CHECK_MSG(G >= 3, "gate_blowup_exponent: G=" << G);
+  return std::log2(3.0 * static_cast<double>(G - 2));
+}
+
+double bit_blowup_exponent() { return std::log2(9.0); }
+
+}  // namespace revft

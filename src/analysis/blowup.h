@@ -1,0 +1,34 @@
+// revft/analysis/blowup.h
+//
+// Resource blow-up of concatenation (§2.3):
+//
+//   Γ_L = (3(G-2))^L         gates per logical gate (paper accounting)
+//   S_L = 9^L                physical bits per logical bit
+//   L*  = ceil(log2( log(Tρ) / log(ρ/g) ))   (Eq. 3, minimum level so
+//         a T-gate module has at most ~1 expected error)
+//
+// Asymptotics: Γ_{L*} = O((log T)^{log2 3(G-2)}) — exponent ~4.75 for
+// G = 11 — and S_{L*} = O((log T)^{log2 9}) ≈ (log T)^3.17.
+#pragma once
+
+#include <cstdint>
+
+namespace revft {
+
+/// Γ_L (paper accounting). Throws revft::Error if it overflows uint64.
+std::uint64_t gate_blowup(int G, int level);
+
+/// S_L = 9^L. Throws on overflow.
+std::uint64_t bit_blowup(int level);
+
+/// Eq. 3: the smallest L with ρ (g/ρ)^{2^L} <= 1/T. Requires g < ρ
+/// and T >= 1; throws revft::Error when g >= ρ (no level suffices).
+int required_level(double g, double rho, double T);
+
+/// log2(3(G-2)) — the gate-blow-up exponent (4.75 for G = 11).
+double gate_blowup_exponent(int G);
+
+/// log2(9) — the bit-blow-up exponent (~3.17).
+double bit_blowup_exponent();
+
+}  // namespace revft

@@ -1,0 +1,34 @@
+#include "analysis/mixing.h"
+
+#include <cmath>
+
+#include "support/error.h"
+#include "support/mathutil.h"
+
+namespace revft {
+
+double mixed_threshold(double rho_inner, double rho_outer, int k) {
+  REVFT_CHECK_MSG(rho_inner > 0.0 && rho_outer > 0.0,
+                  "mixed_threshold: thresholds must be positive");
+  REVFT_CHECK_MSG(k >= 0, "mixed_threshold: k=" << k);
+  const double exponent = 1.0 / std::pow(2.0, k);
+  return rho_inner * std::pow(rho_outer / rho_inner, exponent);
+}
+
+std::vector<MixingRow> table2_rows(double rho_inner, double rho_outer,
+                                   int max_k) {
+  REVFT_CHECK_MSG(max_k >= 0, "table2_rows: max_k=" << max_k);
+  std::vector<MixingRow> rows;
+  rows.reserve(static_cast<std::size_t>(max_k) + 1);
+  for (int k = 0; k <= max_k; ++k) {
+    MixingRow row;
+    row.k = k;
+    row.width = checked_pow(3, static_cast<std::uint64_t>(k));
+    row.threshold = mixed_threshold(rho_inner, rho_outer, k);
+    row.ratio_to_inner = row.threshold / rho_inner;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace revft

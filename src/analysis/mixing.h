@@ -1,0 +1,38 @@
+// revft/analysis/mixing.h
+//
+// Concatenating different thresholds (§3.3): running k levels of a
+// scheme with threshold ρ₂ (e.g. 2D) below L-k levels of a scheme with
+// threshold ρ₁ (e.g. 1D) yields an effective threshold
+//
+//     ρ(k) = ρ₂ (ρ₁/ρ₂)^{1/2^k}
+//
+// approaching ρ₂ doubly exponentially — "most of the benefits of a 2D
+// structure accrue in the first few levels" (Table 2). A k-level 2D
+// base makes the 1D array effectively 3^k lines wide.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace revft {
+
+/// ρ(k) for k levels of the ρ₂ scheme under the ρ₁ scheme.
+double mixed_threshold(double rho_inner, double rho_outer, int k);
+
+/// One row of the paper's Table 2.
+struct MixingRow {
+  int k = 0;
+  std::uint64_t width = 1;  ///< 3^k lines
+  double threshold = 0.0;   ///< ρ(k)
+  double ratio_to_inner = 0.0;  ///< ρ(k)/ρ₂
+};
+
+/// Regenerate Table 2 for k = 0..max_k. The published ratios (0.13,
+/// 0.36, 0.60, 0.77, 0.88, 0.94) correspond to the PERFECT-INIT
+/// presets ρ₂ = 1/273, ρ₁ = 1/2109 (273/2109 = 0.129 ≈ the table's
+/// k=0 entry); the with-init presets ρ₂ = 1/360, ρ₁ = 1/2340 give a
+/// slightly different first column (0.154).
+std::vector<MixingRow> table2_rows(double rho_inner, double rho_outer,
+                                   int max_k);
+
+}  // namespace revft

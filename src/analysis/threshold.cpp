@@ -1,0 +1,113 @@
+#include "analysis/threshold.h"
+
+#include <cmath>
+
+#include "support/error.h"
+#include "support/mathutil.h"
+
+namespace revft {
+
+double threshold_for_ops(int G) {
+  REVFT_CHECK_MSG(G >= 2, "threshold_for_ops: G=" << G);
+  return 1.0 / (3.0 * static_cast<double>(
+                          binomial(static_cast<std::uint64_t>(G), 2)));
+}
+
+double logical_error_one_level(double g, int G) {
+  REVFT_CHECK_MSG(g >= 0.0 && g <= 1.0, "logical_error_one_level: g=" << g);
+  const double raw =
+      3.0 * static_cast<double>(binomial(static_cast<std::uint64_t>(G), 2)) * g *
+      g;
+  return raw < 1.0 ? raw : 1.0;
+}
+
+double level_error_bound(double g, double rho, int level) {
+  REVFT_CHECK_MSG(rho > 0.0, "level_error_bound: rho=" << rho);
+  REVFT_CHECK_MSG(level >= 0, "level_error_bound: level=" << level);
+  if (level == 0) return g;
+  const double exponent = std::pow(2.0, level);
+  return rho * std::pow(g / rho, exponent);
+}
+
+double level_error_recursion(double g, int G, int level) {
+  double gk = g;
+  for (int k = 0; k < level; ++k) gk = logical_error_one_level(gk, G);
+  return gk;
+}
+
+double exact_bit_error(double g, int G) {
+  REVFT_CHECK_MSG(g >= 0.0 && g <= 1.0, "exact_bit_error: g=" << g);
+  REVFT_CHECK_MSG(G >= 2, "exact_bit_error: G=" << G);
+  // Complement of the 0- and 1-failure terms (numerically stable for
+  // the g values of interest).
+  const double none = std::pow(1.0 - g, G);
+  const double one = static_cast<double>(G) * g * std::pow(1.0 - g, G - 1);
+  double tail = 1.0 - none - one;
+  if (tail < 0.0) tail = 0.0;
+  return tail;
+}
+
+double exact_logical_error_one_level(double g, int G) {
+  const double p_bit = exact_bit_error(g, G);
+  return 1.0 - std::pow(1.0 - p_bit, 3);
+}
+
+double exact_threshold_for_ops(int G) {
+  // f(g) = exact map; below threshold f(g) < g, above f(g) > g.
+  auto improves = [G](double g) {
+    return exact_logical_error_one_level(g, G) < g;
+  };
+  double lo = 1e-9, hi = 0.5;
+  REVFT_CHECK_MSG(improves(lo), "exact_threshold: no improvement at tiny g");
+  REVFT_CHECK_MSG(!improves(hi), "exact_threshold: improving at g=0.5?");
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (improves(mid))
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double pseudo_threshold_from_sweep(const std::vector<SweepSample>& samples) {
+  // Find adjacent samples bracketing logical_error == g and
+  // interpolate log(p/g) linearly in log g.
+  for (std::size_t i = 0; i + 1 < samples.size(); ++i) {
+    const auto& lo = samples[i];
+    const auto& hi = samples[i + 1];
+    if (lo.g <= 0 || hi.g <= 0 || lo.logical_error <= 0 ||
+        hi.logical_error <= 0)
+      continue;
+    const double flo = std::log(lo.logical_error / lo.g);
+    const double fhi = std::log(hi.logical_error / hi.g);
+    if (flo < 0.0 && fhi >= 0.0) {
+      const double x0 = std::log(lo.g);
+      const double x1 = std::log(hi.g);
+      const double t = flo / (flo - fhi);
+      return std::exp(x0 + t * (x1 - x0));
+    }
+  }
+  return 0.0;
+}
+
+QuadraticFit fit_error_scaling(const std::vector<SweepSample>& samples) {
+  std::vector<double> xs, ys;
+  for (const auto& s : samples) {
+    if (s.g > 0 && s.logical_error > 0) {
+      xs.push_back(std::log(s.g));
+      ys.push_back(std::log(s.logical_error));
+    }
+  }
+  QuadraticFit fit;
+  if (xs.size() < 2) return fit;
+  const LineFit line = fit_line(xs, ys);
+  fit.slope = line.slope;
+  fit.coefficient = std::exp(line.intercept);
+  fit.r_squared = line.r_squared;
+  // c g^2 = g  =>  g* = 1/c (meaningful when slope is near 2).
+  fit.implied_threshold = fit.coefficient > 0 ? 1.0 / fit.coefficient : 0.0;
+  return fit;
+}
+
+}  // namespace revft

@@ -1,0 +1,170 @@
+#include "baseline/nand_multiplexing.h"
+
+#include <cmath>
+
+#include "noise/packed_sim.h"
+#include "support/error.h"
+
+namespace revft {
+
+double nand_stage_map(double x, double y, double epsilon) {
+  REVFT_CHECK_MSG(x >= 0 && x <= 1 && y >= 0 && y <= 1,
+                  "nand_stage_map: fractions out of range");
+  REVFT_CHECK_MSG(epsilon >= 0 && epsilon <= 1, "nand_stage_map: epsilon");
+  const double and_frac = x * y;
+  return (1.0 - epsilon) * (1.0 - and_frac) + epsilon * and_frac;
+}
+
+double restorative_map(double z, double epsilon) {
+  const double once = nand_stage_map(z, z, epsilon);
+  return nand_stage_map(once, once, epsilon);
+}
+
+namespace {
+
+/// Count the fixed points of restorative_map(., eps) on a fine grid by
+/// sign changes of f(z) - z.
+int fixed_point_count(double epsilon) {
+  const int kSamples = 200000;
+  int count = 0;
+  double prev = restorative_map(0.0, epsilon) - 0.0;
+  for (int i = 1; i <= kSamples; ++i) {
+    const double z = static_cast<double>(i) / kSamples;
+    const double cur = restorative_map(z, epsilon) - z;
+    if ((prev < 0.0 && cur >= 0.0) || (prev > 0.0 && cur <= 0.0)) ++count;
+    prev = cur;
+  }
+  return count;
+}
+
+}  // namespace
+
+double critical_epsilon() {
+  // Below ε*: three fixed points (restoration works). Above: one.
+  double lo = 0.0, hi = 0.25;
+  REVFT_CHECK(fixed_point_count(lo + 1e-6) >= 3);
+  REVFT_CHECK(fixed_point_count(hi) == 1);
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (fixed_point_count(mid) >= 3)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+NandMultiplexer::NandMultiplexer(const NandMultiplexConfig& config)
+    : config_(config) {
+  REVFT_CHECK_MSG(config.bundle_size >= 1, "NandMultiplexer: empty bundle");
+  REVFT_CHECK_MSG(config.delta > 0 && config.delta < 0.5,
+                  "NandMultiplexer: delta must be in (0, 0.5)");
+  // Fixed wirings, one per stage, drawn once (Fisher-Yates).
+  Xoshiro256 rng(config.seed);
+  wirings_.resize(3);
+  for (auto& wiring : wirings_) {
+    wiring.resize(config.bundle_size);
+    for (std::uint32_t i = 0; i < config.bundle_size; ++i) wiring[i] = i;
+    for (std::uint32_t i = config.bundle_size; i > 1; --i) {
+      const auto j = static_cast<std::uint32_t>(rng.next_below(i));
+      std::swap(wiring[i - 1], wiring[j]);
+    }
+  }
+}
+
+PackedBundle NandMultiplexer::constant_bundle(bool value) const {
+  return PackedBundle(config_.bundle_size, value ? ~0ULL : 0ULL);
+}
+
+PackedBundle NandMultiplexer::stage(const PackedBundle& a,
+                                    const PackedBundle& b,
+                                    const std::vector<std::uint32_t>& wiring,
+                                    double epsilon, Xoshiro256& rng) const {
+  PackedBundle out(config_.bundle_size);
+  BernoulliMaskStream noise(epsilon, &rng);
+  const std::vector<std::uint32_t>* use = &wiring;
+  std::vector<std::uint32_t> fresh;
+  if (config_.fresh_wirings) {
+    // Independent permutation per organ application, as von Neumann's
+    // analysis assumes.
+    fresh.resize(config_.bundle_size);
+    for (std::uint32_t i = 0; i < config_.bundle_size; ++i) fresh[i] = i;
+    for (std::uint32_t i = config_.bundle_size; i > 1; --i) {
+      const auto j = static_cast<std::uint32_t>(rng.next_below(i));
+      std::swap(fresh[i - 1], fresh[j]);
+    }
+    use = &fresh;
+  }
+  for (std::uint32_t i = 0; i < config_.bundle_size; ++i) {
+    // Noisy NAND: output flips in lanes selected by the noise mask.
+    out[i] = ~(a[i] & b[(*use)[i]]) ^ noise.next_mask();
+  }
+  return out;
+}
+
+PackedBundle NandMultiplexer::nand(const PackedBundle& x,
+                                   const PackedBundle& y, double epsilon,
+                                   Xoshiro256& rng) const {
+  REVFT_CHECK_MSG(x.size() == config_.bundle_size &&
+                      y.size() == config_.bundle_size,
+                  "NandMultiplexer::nand: bundle size mismatch");
+  // Executive organ.
+  const PackedBundle z = stage(x, y, wirings_[0], epsilon, rng);
+  // Restorative organ: two polarity-restoring NAND stages, each pairing
+  // the bundle with a permuted copy of itself.
+  const PackedBundle u = stage(z, z, wirings_[1], epsilon, rng);
+  return stage(u, u, wirings_[2], epsilon, rng);
+}
+
+double NandMultiplexer::fraction_lane(const PackedBundle& bundle,
+                                      int lane) const {
+  REVFT_CHECK_MSG(bundle.size() == config_.bundle_size,
+                  "fraction_lane: bundle size mismatch");
+  std::uint32_t stimulated = 0;
+  for (std::uint32_t i = 0; i < config_.bundle_size; ++i)
+    stimulated += static_cast<std::uint32_t>((bundle[i] >> lane) & 1u);
+  return static_cast<double>(stimulated) /
+         static_cast<double>(config_.bundle_size);
+}
+
+int NandMultiplexer::decode_lane(const PackedBundle& bundle, int lane) const {
+  const double fraction = fraction_lane(bundle, lane);
+  if (fraction >= 1.0 - config_.delta) return 1;
+  if (fraction <= config_.delta) return 0;
+  return -1;
+}
+
+NandChainResult run_nand_chain(const NandMultiplexConfig& config, int units,
+                               double epsilon, std::uint64_t trials,
+                               std::uint64_t seed) {
+  REVFT_CHECK_MSG(units >= 1, "run_nand_chain: units >= 1");
+  const NandMultiplexer mux(config);
+  Xoshiro256 rng(seed);
+
+  NandChainResult result;
+  RunningStat fractions;
+  const std::uint64_t batches = (trials + 63) / 64;
+  for (std::uint64_t batch = 0; batch < batches; ++batch) {
+    const int lanes =
+        (batch + 1 == batches && trials % 64 != 0) ? static_cast<int>(trials % 64)
+                                                   : 64;
+    // Start at logical 1; each unit NANDs with constant 1 => inverts.
+    PackedBundle running = mux.constant_bundle(true);
+    const PackedBundle ones = mux.constant_bundle(true);
+    int expected = 1;
+    for (int u = 0; u < units; ++u) {
+      running = mux.nand(running, ones, epsilon, rng);
+      expected ^= 1;
+    }
+    for (int lane = 0; lane < lanes; ++lane) {
+      ++result.logical_error.trials;
+      if (mux.decode_lane(running, lane) != expected)
+        ++result.logical_error.successes;
+      fractions.add(mux.fraction_lane(running, lane));
+    }
+  }
+  result.mean_final_fraction = fractions.mean();
+  return result;
+}
+
+}  // namespace revft

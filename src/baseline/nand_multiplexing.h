@@ -1,0 +1,122 @@
+// revft/baseline/nand_multiplexing.h
+//
+// The irreversible baseline the paper builds on (§2): von Neumann's
+// NAND multiplexing [von Neumann 1956, ref 18]. "Rather than
+// explicitly deal with error correction codes, the best gate-level,
+// fault-tolerant schemes for classical computing are those based on
+// Von-Neumann multiplexing... Schemes such as this can result in
+// fault-tolerant computation as long as the gate error rate is less
+// than about 11%." This module implements that scheme so the repo can
+// put the reversible MAJ construction side by side with its
+// irreversible ancestor.
+//
+// Model (von Neumann's): a logical signal is a BUNDLE of N wires;
+// logical 1 means at least (1-Δ)N wires stimulated, logical 0 at most
+// ΔN; anything between is a malfunction. One multiplexing unit is
+//   executive organ:    Z_i = NAND(X_i, Y_{π(i)})      (1 stage)
+//   restorative organ:  two more permuted NAND stages  (2 stages)
+// with every NAND output flipped independently with probability ε
+// (von Neumann's flip model — unlike the reversible paper's
+// randomize-all model, an irreversible gate has one output to flip).
+// Permutations are fixed wiring choices drawn once per unit.
+//
+// Analytics: with independent wires, a noisy NAND stage maps
+// stimulated fractions (x, y) -> (1-ε)(1-xy) + ε xy. The
+// polarity-preserving double-NAND restorative map loses its restoring
+// fixed-point structure at ε* = (3-√7)/4 ≈ 0.0886 — the classical
+// threshold this scheme approaches for large bundles (the paper's
+// "about 11%"; von Neumann's own finite-bundle analysis was more
+// conservative). critical_epsilon() computes ε* numerically from the
+// bifurcation, and tests pin it against the closed form.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.h"
+#include "support/stats.h"
+
+namespace revft {
+
+/// Stimulated-fraction transfer of one noisy NAND stage with
+/// independent input bundles at fractions x and y.
+double nand_stage_map(double x, double y, double epsilon);
+
+/// The polarity-preserving restorative map: two NAND stages, each
+/// pairing two independent copies of the bundle with itself.
+double restorative_map(double z, double epsilon);
+
+/// Largest ε for which the restorative map still has three fixed
+/// points (two stable levels + one unstable separator) — beyond it
+/// restoration collapses. Equals (3-√7)/4 ≈ 0.08856; computed by
+/// bisection on the fixed-point count so the closed form is verified
+/// rather than assumed.
+double critical_epsilon();
+
+/// Configuration of a multiplexed NAND network.
+struct NandMultiplexConfig {
+  std::uint32_t bundle_size = 99;  ///< N wires per logical signal
+  /// Decision band: fraction >= 1-Δ decodes 1, <= Δ decodes 0,
+  /// in between is a malfunction. Wide by default so the band sits
+  /// between the map's stable fixed points across the ε range of
+  /// interest (von Neumann tabulates narrow bands only for tiny ε).
+  double delta = 0.4;
+  /// Von Neumann's analysis assumes every organ's permutation is drawn
+  /// fresh and independently; with `false` the three wirings are fixed
+  /// at construction (a manufactured device), which builds up
+  /// wire-level correlations across units and measurably degrades
+  /// restoration — an ablation the tests pin down.
+  bool fresh_wirings = true;
+  std::uint64_t seed = 0xbadc0deULL;
+};
+
+/// A bundle carrying 64 Monte-Carlo trials: word i holds wire i across
+/// all lanes.
+using PackedBundle = std::vector<std::uint64_t>;
+
+/// One multiplexed NAND evaluator with fixed (randomly drawn) stage
+/// wirings, as in a manufactured device.
+class NandMultiplexer {
+ public:
+  explicit NandMultiplexer(const NandMultiplexConfig& config);
+
+  const NandMultiplexConfig& config() const noexcept { return config_; }
+
+  /// All wires of every lane set to `value`.
+  PackedBundle constant_bundle(bool value) const;
+
+  /// Executive + restorative organs: the multiplexed NAND of two
+  /// bundles at gate flip rate epsilon. Draws fresh noise from `rng`;
+  /// the wirings are the fixed ones chosen at construction.
+  PackedBundle nand(const PackedBundle& x, const PackedBundle& y,
+                    double epsilon, Xoshiro256& rng) const;
+
+  /// Decode one lane of a bundle: +1 (logical 1), 0 (logical 0), or
+  /// -1 (malfunction: fraction inside the dead band).
+  int decode_lane(const PackedBundle& bundle, int lane) const;
+
+  /// Stimulated fraction of one lane.
+  double fraction_lane(const PackedBundle& bundle, int lane) const;
+
+ private:
+  NandMultiplexConfig config_;
+  // Fixed permutations: one per NAND stage (executive + 2 restorative).
+  std::vector<std::vector<std::uint32_t>> wirings_;
+
+  PackedBundle stage(const PackedBundle& a, const PackedBundle& b,
+                     const std::vector<std::uint32_t>& wiring, double epsilon,
+                     Xoshiro256& rng) const;
+};
+
+/// Chain workload: alternately NAND the running bundle with a constant
+/// 1-bundle (each unit logically inverts), for `units` units. Returns
+/// the probability the final logical value is wrong or undecidable.
+struct NandChainResult {
+  BernoulliEstimate logical_error;
+  double mean_final_fraction = 0.0;  ///< diagnostic
+};
+NandChainResult run_nand_chain(const NandMultiplexConfig& config,
+                               int units, double epsilon,
+                               std::uint64_t trials, std::uint64_t seed);
+
+}  // namespace revft

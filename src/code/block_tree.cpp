@@ -1,0 +1,81 @@
+#include "code/block_tree.h"
+
+#include "support/error.h"
+#include "support/mathutil.h"
+
+namespace revft {
+
+std::uint64_t BlockTree::span() const noexcept {
+  std::uint64_t s = 1;
+  for (int i = 0; i < level; ++i) s *= 9;
+  return s;
+}
+
+BlockTree BlockTree::canonical(int level, std::uint32_t base) {
+  REVFT_CHECK_MSG(level >= 0, "BlockTree: negative level");
+  BlockTree node;
+  node.base = base;
+  node.level = level;
+  node.data = {0, 1, 2};
+  if (level >= 1) {
+    const std::uint64_t child_span = node.span() / 9;
+    node.children.reserve(9);
+    for (int i = 0; i < 9; ++i)
+      node.children.push_back(canonical(
+          level - 1,
+          base + static_cast<std::uint32_t>(child_span) *
+                     static_cast<std::uint32_t>(i)));
+  }
+  return node;
+}
+
+void BlockTree::reset_to_canonical() noexcept {
+  data = {0, 1, 2};
+  for (auto& child : children) child.reset_to_canonical();
+}
+
+std::array<int, 6> BlockTree::ancilla_indices() const {
+  std::array<int, 6> out{};
+  std::size_t n = 0;
+  for (int i = 0; i < 9; ++i) {
+    if (i == data[0] || i == data[1] || i == data[2]) continue;
+    REVFT_CHECK_MSG(n < 6, "BlockTree: data indices not distinct");
+    out[n++] = i;
+  }
+  REVFT_CHECK_MSG(n == 6, "BlockTree: data indices not distinct");
+  return out;
+}
+
+int decode_block(const BlockTree& block, const BitReader& read) {
+  if (block.level == 0) return read(block.base);
+  const int a = decode_block(block.data_child(0), read);
+  const int b = decode_block(block.data_child(1), read);
+  const int c = decode_block(block.data_child(2), read);
+  return majority3(a, b, c);
+}
+
+namespace {
+void zero_span(const BlockTree& block, const BitWriter& write) {
+  const std::uint64_t span = block.span();
+  for (std::uint64_t i = 0; i < span; ++i)
+    write(block.base + static_cast<std::uint32_t>(i), 0);
+}
+}  // namespace
+
+void encode_block(const BlockTree& block, int logical, const BitWriter& write) {
+  REVFT_CHECK_MSG(logical == 0 || logical == 1, "encode_block: logical value");
+  if (block.level == 0) {
+    write(block.base, logical);
+    return;
+  }
+  for (int i = 0; i < 9; ++i) {
+    const bool is_data = i == block.data[0] || i == block.data[1] ||
+                         i == block.data[2];
+    if (is_data)
+      encode_block(block.children[static_cast<std::size_t>(i)], logical, write);
+    else
+      zero_span(block.children[static_cast<std::size_t>(i)], write);
+  }
+}
+
+}  // namespace revft

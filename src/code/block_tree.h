@@ -1,0 +1,68 @@
+// revft/code/block_tree.h
+//
+// The hierarchical layout of one concatenated logical bit (§2.1):
+// a level-L bit occupies a contiguous range of 9^L physical bits,
+// organized as 9 level-(L-1) sub-blocks — 3 holding data, 6 serving as
+// error-recovery ancillas. Which 3 children hold data CHANGES over
+// time: Fig 2's recovery rotates the data into (old-data[0],
+// ancilla[0], ancilla[3]) — footnote 3 of the paper. BlockTree tracks
+// those positions so encoding, ideal decoding and the concatenation
+// compiler all agree on where the data currently lives.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "code/repetition.h"
+
+namespace revft {
+
+/// One level-`level` logical bit rooted at physical bit `base`.
+/// level 0 is a bare physical bit (no children).
+struct BlockTree {
+  std::uint32_t base = 0;
+  int level = 0;
+  /// Indices (into `children`) of the 3 sub-blocks currently holding
+  /// data. Meaningful only when level >= 1.
+  std::array<int, 3> data{{0, 1, 2}};
+  /// The 9 sub-blocks (empty when level == 0).
+  std::vector<BlockTree> children;
+
+  /// Number of physical bits spanned: 9^level.
+  std::uint64_t span() const noexcept;
+
+  /// The canonical fresh block: data in children 0,1,2 recursively.
+  static BlockTree canonical(int level, std::uint32_t base);
+
+  /// Reset data positions to canonical everywhere in the subtree
+  /// (what a logical initialization leaves behind).
+  void reset_to_canonical() noexcept;
+
+  /// The child blocks currently holding data (level >= 1).
+  const BlockTree& data_child(int i) const { return children.at(
+      static_cast<std::size_t>(data.at(static_cast<std::size_t>(i)))); }
+  BlockTree& data_child(int i) { return children.at(
+      static_cast<std::size_t>(data.at(static_cast<std::size_t>(i)))); }
+
+  /// The 6 children NOT currently holding data, in index order.
+  std::array<int, 6> ancilla_indices() const;
+};
+
+/// Read one bit of some state; used to decouple decoding from the
+/// concrete state representation (StateVector, PackedState lane, ...).
+using BitReader = std::function<int(std::uint32_t)>;
+using BitWriter = std::function<void(std::uint32_t, int)>;
+
+/// Recursive majority decode of the block's logical value: a level-L
+/// value is the majority of its 3 data children's level-(L-1) values.
+/// Note this is NOT the flat majority of all leaf bits.
+int decode_block(const BlockTree& block, const BitReader& read);
+
+/// Write a noise-free encoding of `logical` into the block: data
+/// children encode the value recursively; every other physical bit in
+/// the block's span is set to 0.
+void encode_block(const BlockTree& block, int logical, const BitWriter& write);
+
+}  // namespace revft

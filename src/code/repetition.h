@@ -1,0 +1,43 @@
+// revft/code/repetition.h
+//
+// The 3-bit repetition code (codewords 000 = 0_L, 111 = 1_L) and its
+// small combinatorial helpers. Because the codewords are permutation-
+// symmetric repetition words, "any universal, reversible set of gates
+// [applies] directly on the repetition codewords" (§2) — i.e. logical
+// gates are transversal.
+#pragma once
+
+#include <cstdint>
+
+namespace revft {
+
+/// Majority of three bits (each 0 or 1).
+inline int majority3(int a, int b, int c) noexcept {
+  return (a + b + c) >= 2 ? 1 : 0;
+}
+
+/// Hamming weight of the low 3 bits.
+inline int weight3(unsigned v) noexcept {
+  return static_cast<int>((v & 1u) + ((v >> 1) & 1u) + ((v >> 2) & 1u));
+}
+
+/// True iff the low 3 bits form a codeword (000 or 111).
+inline bool is_codeword3(unsigned v) noexcept {
+  return (v & 7u) == 0u || (v & 7u) == 7u;
+}
+
+/// Majority-decode the low 3 bits to the logical value.
+inline int decode3(unsigned v) noexcept {
+  return weight3(v) >= 2 ? 1 : 0;
+}
+
+/// Encode a logical bit as a 3-bit codeword (0 -> 000, 1 -> 111).
+inline unsigned encode3(int logical) noexcept { return logical ? 7u : 0u; }
+
+/// Distance of the low 3 bits from the nearest codeword (0 or 1).
+inline int distance_to_code3(unsigned v) noexcept {
+  const int w = weight3(v);
+  return w <= 1 ? w : 3 - w;
+}
+
+}  // namespace revft

@@ -1,0 +1,60 @@
+#include "entropy/dissipation.h"
+
+#include <cmath>
+
+#include "support/entropy_math.h"
+#include "support/error.h"
+
+namespace revft {
+
+namespace {
+constexpr double kBoltzmann = 1.380649e-23;  // J/K (exact, SI 2019)
+}  // namespace
+
+double dissipation_kappa() {
+  return 2.0 * std::sqrt(7.0 / 8.0) + (7.0 / 8.0) * std::log2(7.0);
+}
+
+double gate_entropy_exact(double g) {
+  REVFT_CHECK_MSG(g >= 0.0 && g <= 1.0, "gate_entropy_exact: g=" << g);
+  const double p = 7.0 * g / 8.0;
+  return binary_entropy(p) + p * std::log2(7.0);
+}
+
+double gate_entropy_sqrt_bound(double g) {
+  REVFT_CHECK_MSG(g >= 0.0, "gate_entropy_sqrt_bound: g=" << g);
+  return dissipation_kappa() * std::sqrt(g);
+}
+
+double h1_upper(double g, int g_tilde, bool use_sqrt) {
+  REVFT_CHECK_MSG(g_tilde >= 1, "h1_upper: G~=" << g_tilde);
+  const double per_gate = use_sqrt ? gate_entropy_sqrt_bound(g)
+                                   : gate_entropy_exact(g);
+  return static_cast<double>(g_tilde) * per_gate;
+}
+
+double hl_upper(double g, int g_tilde, int level) {
+  REVFT_CHECK_MSG(g_tilde >= 1 && level >= 1, "hl_upper: bad arguments");
+  return std::pow(static_cast<double>(g_tilde), level) *
+         gate_entropy_sqrt_bound(g);
+}
+
+double hl_lower(double g, int ec_gates, int level) {
+  REVFT_CHECK_MSG(ec_gates >= 1 && level >= 1, "hl_lower: bad arguments");
+  return std::pow(3.0 * static_cast<double>(ec_gates), level - 1) * g;
+}
+
+double max_level_for_constant_entropy(double g, int ec_gates) {
+  REVFT_CHECK_MSG(g > 0.0 && g < 1.0, "max_level: g=" << g);
+  REVFT_CHECK_MSG(ec_gates >= 1, "max_level: E=" << ec_gates);
+  return std::log(1.0 / g) / std::log(3.0 * static_cast<double>(ec_gates)) +
+         1.0;
+}
+
+double landauer_energy_joules(double bits, double temperature_kelvin) {
+  REVFT_CHECK_MSG(bits >= 0.0 && temperature_kelvin >= 0.0,
+                  "landauer_energy_joules: negative input");
+  return kBoltzmann * temperature_kelvin * std::log(2.0) * bits;
+}
+
+}  // namespace revft

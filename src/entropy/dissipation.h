@@ -1,0 +1,49 @@
+// revft/entropy/dissipation.h
+//
+// Entropy dissipated by fault-tolerant operation of noisy reversible
+// logic (paper §4). A failed gate outputs one of 8 equally likely
+// values, so one noisy gate generates at most
+//
+//     H(7g/8) + (7g/8) log2 7   <=   κ sqrt(g),
+//     κ = 2 sqrt(7/8) + (7/8) log2 7 ≈ 4.327 ,
+//
+// of entropy, and a level-L gate (G̃ level-(L-1) gates each) obeys
+//
+//     (3E)^{L-1} g  <=  H_L  <=  G̃^L κ sqrt(g).
+//
+// Keeping O(1) bits of entropy per gate therefore caps the usable
+// concatenation depth at L <= log(1/g)/log(3E) + 1 (≈ 2.3 for
+// g = 10⁻², E = 11) — the entropy-saving advantage of reversible
+// computing survives noise only for O(log 1/g) levels.
+#pragma once
+
+namespace revft {
+
+/// κ = 2 sqrt(7/8) + (7/8) log2 7.
+double dissipation_kappa();
+
+/// Exact per-gate entropy bound: H(7g/8) + (7g/8) log2 7 (bits).
+double gate_entropy_exact(double g);
+
+/// The paper's looser sqrt form: κ sqrt(g).
+double gate_entropy_sqrt_bound(double g);
+
+/// Upper bound on H_1, entropy per level-1 gate built from G̃ noisy
+/// gates: G̃ * gate_entropy (exact form when use_sqrt is false).
+double h1_upper(double g, int g_tilde, bool use_sqrt = false);
+
+/// Upper bound on H_L: G̃^L κ sqrt(g). Requires L >= 1.
+double hl_upper(double g, int g_tilde, int level);
+
+/// Lower bound on H_L: (3E)^{L-1} g. Requires L >= 1.
+double hl_lower(double g, int ec_gates, int level);
+
+/// Largest (real-valued) L compatible with O(1) bits of entropy per
+/// gate: log(1/g)/log(3E) + 1.
+double max_level_for_constant_entropy(double g, int ec_gates);
+
+/// Landauer bound: minimum heat (joules) to dissipate `bits` of
+/// entropy at temperature T kelvin — k_B T ln2 per bit.
+double landauer_energy_joules(double bits, double temperature_kelvin);
+
+}  // namespace revft

@@ -1,0 +1,91 @@
+#include "entropy/nand_cost.h"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <numeric>
+
+#include "rev/simulator.h"
+#include "support/entropy_math.h"
+#include "support/error.h"
+
+namespace revft {
+
+NandDissipation nand_dissipation(const NandEmbedding& embedding) {
+  REVFT_CHECK_MSG(embedding.circuit.width() == 3,
+                  "nand_dissipation: embedding must be 3 bits wide");
+  // Joint outcome histogram over (garbage0, garbage1, out) for the 4
+  // equally likely inputs.
+  std::map<unsigned, std::uint64_t> joint;       // (g0, g1, out)
+  std::map<unsigned, std::uint64_t> garbage;     // (g0, g1)
+  std::map<unsigned, std::uint64_t> output_only; // out
+  for (unsigned a = 0; a < 2; ++a) {
+    for (unsigned b = 0; b < 2; ++b) {
+      StateVector sv(3);
+      sv.set_bit(0, static_cast<std::uint8_t>(a));
+      sv.set_bit(1, static_cast<std::uint8_t>(b));
+      sv.set_bit(embedding.ancilla_bit, embedding.ancilla_value);
+      sv.apply(embedding.circuit);
+      const unsigned out = sv.bit(embedding.out_bit);
+      REVFT_CHECK_MSG(out == (1u ^ (a & b)),
+                      "nand_dissipation: embedding does not compute NAND");
+      const unsigned g0 = sv.bit(embedding.garbage[0]);
+      const unsigned g1 = sv.bit(embedding.garbage[1]);
+      ++joint[g0 | (g1 << 1) | (out << 2)];
+      ++garbage[g0 | (g1 << 1)];
+      ++output_only[out];
+    }
+  }
+  auto entropy_of = [](const std::map<unsigned, std::uint64_t>& hist) {
+    std::vector<std::uint64_t> counts;
+    counts.reserve(hist.size());
+    for (const auto& [value, count] : hist) counts.push_back(count);
+    return entropy_plugin(counts);
+  };
+  NandDissipation result;
+  result.garbage_entropy = entropy_of(garbage);
+  // H(garbage | out) = H(garbage, out) - H(out).
+  result.garbage_entropy_given_output =
+      entropy_of(joint) - entropy_of(output_only);
+  return result;
+}
+
+double optimal_nand_garbage_entropy() {
+  std::array<unsigned, 8> perm{};
+  std::iota(perm.begin(), perm.end(), 0u);
+  double best = 2.0;  // the Toffoli figure; anything <= exists below
+  do {
+    for (unsigned ancilla = 0; ancilla < 2; ++ancilla) {
+      for (unsigned out_bit = 0; out_bit < 3; ++out_bit) {
+        // Outputs for inputs (a,b) with the ancilla preset on bit 2.
+        std::array<unsigned, 4> outs{};
+        bool is_nand = true;
+        for (unsigned in = 0; in < 4 && is_nand; ++in) {
+          const unsigned a = in & 1u, b = (in >> 1) & 1u;
+          const unsigned state = a | (b << 1) | (ancilla << 2);
+          outs[in] = perm[state];
+          const unsigned produced = (outs[in] >> out_bit) & 1u;
+          is_nand = produced == (1u ^ (a & b));
+        }
+        if (!is_nand) continue;
+        // Unconditional garbage distribution over the 4 inputs.
+        std::array<std::uint64_t, 4> counts{};  // by 2-bit garbage value
+        for (unsigned in = 0; in < 4; ++in) {
+          unsigned g = 0;
+          unsigned next = 0;
+          for (unsigned bit = 0; bit < 3; ++bit) {
+            if (bit == out_bit) continue;
+            g |= ((outs[in] >> bit) & 1u) << next++;
+          }
+          ++counts[g];
+        }
+        const double h = entropy_plugin(
+            std::vector<std::uint64_t>(counts.begin(), counts.end()));
+        best = std::min(best, h);
+      }
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+}  // namespace revft

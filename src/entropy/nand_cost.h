@@ -1,0 +1,42 @@
+// revft/entropy/nand_cost.h
+//
+// §4's irreversible-simulation accounting: simulating a NAND with
+// reversible gates consumes a preset ancilla and leaves garbage bits
+// that must eventually be reset. With uniform inputs, resetting the
+// garbage (without using the kept output as side information) costs
+// its unconditional entropy:
+//
+//   Toffoli embedding:  garbage = (a, b)            -> 2 bits
+//   MAJ⁻¹ embedding:    garbage = (a^out, b^out)    -> 3/2 bits
+//
+// and 3/2 is optimal over ALL reversible 3-bit embeddings (footnote
+// 4) — verified here by brute force over the 8! permutations of the
+// 3-bit state space.
+#pragma once
+
+#include "rev/synthesis.h"
+
+namespace revft {
+
+/// Exact dissipation figures of one NAND embedding under uniform
+/// inputs.
+struct NandDissipation {
+  /// H(garbage) — bits reset without side information. The paper's
+  /// "entropy per cycle".
+  double garbage_entropy = 0.0;
+  /// H(garbage | kept output) — the floor if the eraser may use the
+  /// output (≈1.189 for both embeddings here).
+  double garbage_entropy_given_output = 0.0;
+};
+
+/// Compute the figures for a concrete embedding by enumerating its 4
+/// inputs. Validates that the embedding really computes NAND (throws
+/// revft::Error otherwise).
+NandDissipation nand_dissipation(const NandEmbedding& embedding);
+
+/// Minimum unconditional garbage entropy over every 3-bit reversible
+/// circuit computing NAND with one preset ancilla (searches all 8!
+/// permutations x ancilla values x output-bit choices). Equals 1.5.
+double optimal_nand_garbage_entropy();
+
+}  // namespace revft

@@ -1,0 +1,152 @@
+#include "ft/concat.h"
+
+#include "support/error.h"
+#include "support/mathutil.h"
+
+namespace revft {
+
+namespace {
+
+/// Recursive emitter. Works on BlockTree nodes in place: recovery
+/// stages update each node's data indices as they rotate the code.
+class Emitter {
+ public:
+  Emitter(Circuit& out, const ConcatOptions& options)
+      : out_(out), options_(options) {}
+
+  /// A logical gate at `level` acting on arity(kind) blocks, all of
+  /// which must be level-`level` nodes.
+  void logical_gate(int level, GateKind kind, BlockTree** nodes) {
+    const int arity = gate_arity(kind);
+    if (level == 0) {
+      Gate g{kind, {0, 0, 0}};
+      for (int i = 0; i < arity; ++i)
+        g.bits[static_cast<std::size_t>(i)] = nodes[i]->base;
+      out_.push(g);
+      return;
+    }
+    if (kind == GateKind::kInit3) {
+      for (int i = 0; i < arity; ++i) reset_block(*nodes[i]);
+      return;
+    }
+    // Transversal application: sub-gate i acts on the i-th data child
+    // of every operand...
+    for (int i = 0; i < 3; ++i) {
+      BlockTree* subs[3] = {nullptr, nullptr, nullptr};
+      for (int k = 0; k < arity; ++k) subs[k] = &nodes[k]->data_child(i);
+      logical_gate(level - 1, kind, subs);
+    }
+    // ...followed by error recovery on every logical bit touched
+    // (Fig 3).
+    for (int k = 0; k < arity; ++k) recovery(level, *nodes[k]);
+  }
+
+  /// Error recovery at `level` on one level-`level` block, using
+  /// logical gates at level-1 (Fig 2 lifted one level).
+  void recovery(int level, BlockTree& node) {
+    REVFT_CHECK_MSG(level >= 1, "recovery below level 1");
+    const auto d = node.data;
+    const auto a = node.ancilla_indices();
+    auto* ch = node.children.data();
+
+    if (options_.with_init) {
+      BlockTree* t0[3] = {ch + a[0], ch + a[1], ch + a[2]};
+      logical_gate(level - 1, GateKind::kInit3, t0);
+      BlockTree* t1[3] = {ch + a[3], ch + a[4], ch + a[5]};
+      logical_gate(level - 1, GateKind::kInit3, t1);
+    }
+    for (int i = 0; i < 3; ++i) {
+      BlockTree* enc[3] = {ch + d[static_cast<std::size_t>(i)],
+                           ch + a[static_cast<std::size_t>(i)],
+                           ch + a[static_cast<std::size_t>(i) + 3]};
+      logical_gate(level - 1, GateKind::kMajInv, enc);
+    }
+    {
+      BlockTree* dec[3] = {ch + d[0], ch + d[1], ch + d[2]};
+      logical_gate(level - 1, GateKind::kMaj, dec);
+    }
+    {
+      BlockTree* dec[3] = {ch + a[0], ch + a[1], ch + a[2]};
+      logical_gate(level - 1, GateKind::kMaj, dec);
+    }
+    {
+      BlockTree* dec[3] = {ch + a[3], ch + a[4], ch + a[5]};
+      logical_gate(level - 1, GateKind::kMaj, dec);
+    }
+    node.data = {d[0], a[0], a[3]};
+  }
+
+ private:
+  /// Logical initialization: physically reset the whole span. All-zero
+  /// is a valid encoded 0 at every level, so the block also returns to
+  /// canonical data positions.
+  void reset_block(BlockTree& node) {
+    const std::uint64_t span = node.span();
+    REVFT_CHECK_MSG(span % 3 == 0 || span == 1, "reset_block span");
+    if (span == 1) {
+      // A single physical bit cannot be reset alone in this gate set;
+      // level-0 init3 triples are emitted by the caller.
+      REVFT_CHECK_MSG(false, "reset_block called on a level-0 node");
+    }
+    for (std::uint64_t i = 0; i < span; i += 3)
+      out_.init3(node.base + static_cast<std::uint32_t>(i),
+                 node.base + static_cast<std::uint32_t>(i) + 1,
+                 node.base + static_cast<std::uint32_t>(i) + 2);
+    node.reset_to_canonical();
+  }
+
+  Circuit& out_;
+  ConcatOptions options_;
+};
+
+}  // namespace
+
+CompiledModule concat_compile(const Circuit& logical, int level,
+                              const ConcatOptions& options) {
+  REVFT_CHECK_MSG(level >= 0, "concat_compile: negative level");
+  REVFT_CHECK_MSG(pow_fits_u64(9, static_cast<std::uint64_t>(level)) &&
+                      checked_pow(9, static_cast<std::uint64_t>(level)) *
+                              logical.width() <
+                          (1ULL << 31),
+                  "concat_compile: physical width overflow");
+
+  CompiledModule module;
+  module.level = level;
+  module.options = options;
+  const auto block_span =
+      static_cast<std::uint32_t>(checked_pow(9, static_cast<std::uint64_t>(level)));
+  const std::uint32_t phys_width = logical.width() * block_span;
+  module.physical = Circuit(phys_width);
+  module.blocks.reserve(logical.width());
+  for (std::uint32_t i = 0; i < logical.width(); ++i)
+    module.blocks.push_back(BlockTree::canonical(level, i * block_span));
+
+  Emitter emitter(module.physical, options);
+  for (const Gate& g : logical.ops()) {
+    const int arity = g.arity();
+    BlockTree* nodes[3] = {nullptr, nullptr, nullptr};
+    for (int k = 0; k < arity; ++k)
+      nodes[k] = &module.blocks[g.bits[static_cast<std::size_t>(k)]];
+    // Level-0 init3 on three whole blocks needs triple-grouped resets;
+    // Emitter::logical_gate handles level >= 1, and at level == 0 a
+    // logical init3 is just the physical gate.
+    emitter.logical_gate(level, g.kind, nodes);
+  }
+  return module;
+}
+
+std::vector<std::uint32_t> collect_data_leaves(const BlockTree& block) {
+  std::vector<std::uint32_t> out;
+  out.reserve(static_cast<std::size_t>(block.span()));
+  if (block.level == 0) {
+    out.push_back(block.base);
+    return out;
+  }
+  for (int i = 0; i < 3; ++i) {
+    const auto sub = collect_data_leaves(block.data_child(i));
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+}  // namespace revft

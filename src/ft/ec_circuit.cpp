@@ -1,0 +1,42 @@
+#include "ft/ec_circuit.h"
+
+#include "support/error.h"
+
+namespace revft {
+
+EcStage make_ec_stage(std::uint32_t width, const EcLayout& layout,
+                      bool with_init) {
+  EcStage stage;
+  stage.before = layout;
+  stage.circuit = Circuit(width);
+  const auto& d = layout.data;
+  const auto& a = layout.ancilla;
+
+  if (with_init) {
+    stage.circuit.init3(a[0], a[1], a[2]);
+    stage.circuit.init3(a[3], a[4], a[5]);
+  }
+  // Encoding: copy codeword bit i into ancillas a[i] and a[i+3], one
+  // copy per future decode block (MAJ⁻¹ maps (x,0,0) to (x,x,x)).
+  for (int i = 0; i < 3; ++i)
+    stage.circuit.majinv(d[static_cast<std::size_t>(i)],
+                         a[static_cast<std::size_t>(i)],
+                         a[static_cast<std::size_t>(i) + 3]);
+  // Decoding: majority of each block lands in the block's first bit.
+  stage.circuit.maj(d[0], d[1], d[2]);
+  stage.circuit.maj(a[0], a[1], a[2]);
+  stage.circuit.maj(a[3], a[4], a[5]);
+
+  stage.after.data = {d[0], a[0], a[3]};
+  stage.after.ancilla = {d[1], d[2], a[1], a[2], a[4], a[5]};
+  return stage;
+}
+
+EcStage make_fig2_ec(bool with_init) {
+  EcLayout layout;
+  layout.data = {0, 1, 2};
+  layout.ancilla = {3, 4, 5, 6, 7, 8};
+  return make_ec_stage(9, layout, with_init);
+}
+
+}  // namespace revft

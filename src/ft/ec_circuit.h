@@ -1,0 +1,50 @@
+// revft/ft/ec_circuit.h
+//
+// The paper's error-recovery circuit (Fig 2): a 9-bit reversible
+// multiplexing stage built from MAJ and MAJ⁻¹.
+//
+//   encode:  MAJ⁻¹(d0,a0,a3)  MAJ⁻¹(d1,a1,a4)  MAJ⁻¹(d2,a2,a5)
+//            — spreads each codeword bit into one copy per decode block
+//   decode:  MAJ(d0,d1,d2)    MAJ(a0,a1,a2)    MAJ(a3,a4,a5)
+//            — each block's majority lands in its first bit
+//
+// The recovered codeword therefore lives in (d0, a0, a3) afterwards —
+// the "rotation of the logical bit line" of the paper's footnote 3.
+// With the two 3-bit ancilla initializations this is E = 8 operations,
+// without them E = 6 (§2.2).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "rev/circuit.h"
+
+namespace revft {
+
+/// Positions of a codeword and its recovery ancillas inside a wider
+/// circuit.
+struct EcLayout {
+  std::array<std::uint32_t, 3> data;
+  std::array<std::uint32_t, 6> ancilla;
+};
+
+/// An error-recovery stage plus the bookkeeping of where the data
+/// moved.
+struct EcStage {
+  Circuit circuit;
+  EcLayout before;
+  EcLayout after;
+};
+
+/// Build Fig 2's recovery on the given layout, as a circuit of width
+/// `width`. If `with_init` the ancillas are first reset with two
+/// 3-bit initialization ops (E = 8), otherwise the caller promises
+/// they are already zero (E = 6).
+EcStage make_ec_stage(std::uint32_t width, const EcLayout& layout,
+                      bool with_init);
+
+/// The canonical 9-bit instance exactly as drawn in Fig 2:
+/// data (q0,q1,q2), ancillas (q3..q8), output codeword (q0,q3,q6).
+EcStage make_fig2_ec(bool with_init);
+
+}  // namespace revft

@@ -1,0 +1,172 @@
+#include "ft/experiments.h"
+
+#include "ft/ec_circuit.h"
+#include "support/error.h"
+
+namespace revft {
+
+LogicalGateExperiment::LogicalGateExperiment(
+    const LogicalGateExperimentConfig& config)
+    : config_(config) {
+  const int arity = gate_arity(config.gate);
+  REVFT_CHECK_MSG(gate_is_reversible(config.gate),
+                  "LogicalGateExperiment: gate must be reversible");
+  Circuit logical(static_cast<std::uint32_t>(arity));
+  Gate g{config.gate, {0, 0, 0}};
+  for (int i = 0; i < arity; ++i)
+    g.bits[static_cast<std::size_t>(i)] = static_cast<std::uint32_t>(i);
+  logical.push(g);
+  module_ = concat_compile(logical, config.level, ConcatOptions{true});
+  // Input leaves come from the canonical (pre-rotation) layout.
+  for (std::uint32_t i = 0; i < logical.width(); ++i) {
+    const auto block =
+        BlockTree::canonical(config.level, i * static_cast<std::uint32_t>(
+                                                   module_.blocks[i].span()));
+    input_leaves_.push_back(collect_data_leaves(block));
+  }
+}
+
+BernoulliEstimate LogicalGateExperiment::run(double g) const {
+  NoiseModel model = NoiseModel::uniform(g);
+  if (!config_.noisy_init) model.with_perfect_init();
+
+  const int arity = gate_arity(config_.gate);
+  McOptions opts;
+  opts.trials = config_.trials;
+  opts.seed = config_.seed;
+
+  // Per-batch lane inputs: word k holds logical input bit k of all 64
+  // lanes.
+  std::vector<std::uint64_t> lane_inputs(static_cast<std::size_t>(arity), 0);
+
+  auto prepare = [&](PackedState& state, Xoshiro256& rng, std::uint64_t) {
+    for (int k = 0; k < arity; ++k) {
+      lane_inputs[static_cast<std::size_t>(k)] = rng.next();
+      // Broadcast: every data leaf of logical bit k carries that
+      // lane-pattern; all other bits stay zero (state was cleared).
+      for (const auto bit : input_leaves_[static_cast<std::size_t>(k)])
+        state.word(bit) = lane_inputs[static_cast<std::size_t>(k)];
+    }
+  };
+
+  auto classify = [&](const PackedState& state, int lane, std::uint64_t) {
+    unsigned input = 0;
+    for (int k = 0; k < arity; ++k)
+      input |= static_cast<unsigned>(
+                   (lane_inputs[static_cast<std::size_t>(k)] >> lane) & 1u)
+               << k;
+    const unsigned expected = gate_apply_local(config_.gate, input);
+    auto reader = [&](std::uint32_t bit) {
+      return static_cast<int>(state.bit_lane(bit, lane));
+    };
+    for (int k = 0; k < arity; ++k) {
+      const int decoded =
+          decode_block(module_.blocks[static_cast<std::size_t>(k)], reader);
+      if (decoded != static_cast<int>((expected >> k) & 1u)) return true;
+    }
+    return false;
+  };
+
+  return run_packed_mc(module_.physical, model, opts, prepare, classify);
+}
+
+std::vector<ThresholdPoint> sweep_gate_error(const LogicalGateExperiment& exp,
+                                             const std::vector<double>& gs) {
+  std::vector<ThresholdPoint> points;
+  points.reserve(gs.size());
+  for (double g : gs) points.push_back({g, exp.run(g)});
+  return points;
+}
+
+MemoryExperiment::MemoryExperiment(const Config& config) : config_(config) {
+  REVFT_CHECK_MSG(config.rounds >= 1, "MemoryExperiment: rounds >= 1");
+  // Chain R recovery stages, each picking up the previous rotation.
+  circuit_ = Circuit(9);
+  EcLayout layout;
+  layout.data = {0, 1, 2};
+  layout.ancilla = {3, 4, 5, 6, 7, 8};
+  input_ = layout.data;
+  for (int round = 0; round < config.rounds; ++round) {
+    const EcStage stage = make_ec_stage(9, layout, /*with_init=*/true);
+    circuit_.append(stage.circuit);
+    layout.data = stage.after.data;
+    layout.ancilla = stage.after.ancilla;
+  }
+  output_ = layout.data;
+}
+
+BernoulliEstimate MemoryExperiment::run(double g) const {
+  NoiseModel model = NoiseModel::uniform(g);
+  if (!config_.noisy_init) model.with_perfect_init();
+
+  McOptions opts;
+  opts.trials = config_.trials;
+  opts.seed = config_.seed;
+
+  std::uint64_t lane_values = 0;
+  auto prepare = [&](PackedState& state, Xoshiro256& rng, std::uint64_t) {
+    lane_values = rng.next();
+    for (auto bit : input_) state.word(bit) = lane_values;
+  };
+  auto classify = [&](const PackedState& state, int lane, std::uint64_t) {
+    const int expected = static_cast<int>((lane_values >> lane) & 1u);
+    const int decoded = (static_cast<int>(state.bit_lane(output_[0], lane)) +
+                         static_cast<int>(state.bit_lane(output_[1], lane)) +
+                         static_cast<int>(state.bit_lane(output_[2], lane))) >= 2
+                            ? 1
+                            : 0;
+    return decoded != expected;
+  };
+  return run_packed_mc(circuit_, model, opts, prepare, classify);
+}
+
+CodewordCycleExperiment::CodewordCycleExperiment(
+    Circuit circuit, std::array<std::array<std::uint32_t, 3>, 3> data_before,
+    std::array<std::array<std::uint32_t, 3>, 3> data_after, const Config& config)
+    : circuit_(std::move(circuit)),
+      before_(data_before),
+      after_(data_after),
+      config_(config) {
+  REVFT_CHECK_MSG(gate_arity(config.gate) == 3,
+                  "CodewordCycleExperiment: need a 3-bit gate");
+}
+
+BernoulliEstimate CodewordCycleExperiment::run(double g) const {
+  NoiseModel model = NoiseModel::uniform(g);
+  if (!config_.noisy_init) model.with_perfect_init();
+
+  McOptions opts;
+  opts.trials = config_.trials;
+  opts.seed = config_.seed;
+
+  std::array<std::uint64_t, 3> lane_inputs{};
+  auto prepare = [&](PackedState& state, Xoshiro256& rng, std::uint64_t) {
+    for (int k = 0; k < 3; ++k) {
+      lane_inputs[static_cast<std::size_t>(k)] = rng.next();
+      for (auto bit : before_[static_cast<std::size_t>(k)])
+        state.word(bit) = lane_inputs[static_cast<std::size_t>(k)];
+    }
+  };
+  auto classify = [&](const PackedState& state, int lane, std::uint64_t) {
+    unsigned input = 0;
+    for (int k = 0; k < 3; ++k)
+      input |= static_cast<unsigned>(
+                   (lane_inputs[static_cast<std::size_t>(k)] >> lane) & 1u)
+               << k;
+    const unsigned expected = gate_apply_local(config_.gate, input);
+    for (int k = 0; k < 3; ++k) {
+      const auto& cw = after_[static_cast<std::size_t>(k)];
+      const int decoded =
+          (static_cast<int>(state.bit_lane(cw[0], lane)) +
+           static_cast<int>(state.bit_lane(cw[1], lane)) +
+           static_cast<int>(state.bit_lane(cw[2], lane))) >= 2
+              ? 1
+              : 0;
+      if (decoded != static_cast<int>((expected >> k) & 1u)) return true;
+    }
+    return false;
+  };
+  return run_packed_mc(circuit_, model, opts, prepare, classify);
+}
+
+}  // namespace revft

@@ -1,0 +1,129 @@
+// revft/ft/experiments.h
+//
+// Monte-Carlo experiment drivers for the paper's threshold claims
+// (§2.2, Fig 3 / Eq. 2). Each experiment compiles one logical gate to
+// a chosen concatenation level and measures the probability that the
+// compiled module produces the wrong logical output on uniformly
+// random logical inputs at physical gate error rate g.
+//
+// Relation to the paper's accounting: with noisy initialization the
+// level-1 cycle charges G = 3 + 8 = 11 fallible operations per encoded
+// bit (threshold 1/165); with perfect initialization G = 3 + 6 = 9
+// (threshold 1/108). The analytic ρ are *lower bounds* — measured
+// pseudo-thresholds land above them.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "ft/concat.h"
+#include "noise/monte_carlo.h"
+#include "support/stats.h"
+
+namespace revft {
+
+struct LogicalGateExperimentConfig {
+  /// Concatenation level (0 = the bare physical gate, as an anchor).
+  int level = 1;
+  /// The logical gate under test (any 3-bit reversible kind).
+  GateKind gate = GateKind::kToffoli;
+  /// Charge gate error to the recovery initializations (G = 11
+  /// regime); false models the paper's "initialization far more
+  /// accurate than our gates" (G = 9 regime).
+  bool noisy_init = true;
+  std::uint64_t trials = 100000;
+  std::uint64_t seed = 0x1ea7beefULL;
+};
+
+/// Compile once, then sweep g with run().
+class LogicalGateExperiment {
+ public:
+  explicit LogicalGateExperiment(const LogicalGateExperimentConfig& config);
+
+  /// P[compiled gate outputs a wrong logical value] at error rate g.
+  BernoulliEstimate run(double g) const;
+
+  const CompiledModule& module() const noexcept { return module_; }
+  const LogicalGateExperimentConfig& config() const noexcept { return config_; }
+
+ private:
+  LogicalGateExperimentConfig config_;
+  CompiledModule module_;
+  /// Physical leaf positions of each logical input bit under the
+  /// *initial* canonical layout (used for state preparation).
+  std::vector<std::vector<std::uint32_t>> input_leaves_;
+};
+
+/// A point of the logical-error-vs-g curve.
+struct ThresholdPoint {
+  double g = 0.0;
+  BernoulliEstimate logical_error;
+};
+
+/// Sweep the experiment over the given g values.
+std::vector<ThresholdPoint> sweep_gate_error(const LogicalGateExperiment& exp,
+                                             const std::vector<double>& gs);
+
+/// Logical memory under repeated recovery: one codeword held for R
+/// rounds of the Fig 2 stage (no computation), measuring how storage
+/// errors accumulate. Below threshold the per-round logical error is
+/// ~constant, so P[failure after R rounds] grows linearly in R — the
+/// property that makes "modules of bounded noise" composable (§2.3).
+class MemoryExperiment {
+ public:
+  struct Config {
+    int rounds = 10;
+    bool noisy_init = true;
+    std::uint64_t trials = 100000;
+    std::uint64_t seed = 0x3e3042ULL;
+  };
+
+  explicit MemoryExperiment(const Config& config);
+
+  /// P[stored logical value decodes wrong after all rounds] at g.
+  BernoulliEstimate run(double g) const;
+
+  /// The chained circuit (rounds * 8 ops with init).
+  const Circuit& circuit() const noexcept { return circuit_; }
+
+ private:
+  Config config_;
+  Circuit circuit_;                       // all rounds chained
+  std::array<std::uint32_t, 3> input_{};  // codeword cells at entry
+  std::array<std::uint32_t, 3> output_{}; // codeword cells at exit
+};
+
+/// Monte-Carlo driver for the level-1 *local* cycles (scheme1d /
+/// scheme2d): one transversal 3-bit logical gate on three flat
+/// codewords, with the cycle's own routing and recovery. The caller
+/// provides the concrete cycle circuit and where each codeword's three
+/// bits sit before and after.
+class CodewordCycleExperiment {
+ public:
+  struct Config {
+    GateKind gate = GateKind::kToffoli;  ///< must match the cycle's gate
+    bool noisy_init = true;
+    std::uint64_t trials = 100000;
+    std::uint64_t seed = 0x10ca1ULL;
+  };
+
+  CodewordCycleExperiment(Circuit circuit,
+                          std::array<std::array<std::uint32_t, 3>, 3> data_before,
+                          std::array<std::array<std::uint32_t, 3>, 3> data_after,
+                          const Config& config);
+
+  /// P[any of the three codewords majority-decodes to the wrong
+  /// logical value] at gate error rate g, over random logical inputs.
+  BernoulliEstimate run(double g) const;
+
+  const Circuit& circuit() const noexcept { return circuit_; }
+
+ private:
+  Circuit circuit_;
+  std::array<std::array<std::uint32_t, 3>, 3> before_;
+  std::array<std::array<std::uint32_t, 3>, 3> after_;
+  Config config_;
+};
+
+}  // namespace revft

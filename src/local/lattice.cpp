@@ -1,0 +1,94 @@
+#include "local/lattice.h"
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace revft {
+
+namespace {
+
+LocalityReport bad(std::size_t op_index, const std::string& reason) {
+  return LocalityReport{false, op_index, reason};
+}
+
+std::string describe(const Gate& g) {
+  std::ostringstream os;
+  os << gate_name(g.kind);
+  for (int i = 0; i < g.arity(); ++i)
+    os << ' ' << g.bits[static_cast<std::size_t>(i)];
+  return os.str();
+}
+
+}  // namespace
+
+LocalityReport check_locality_1d(const Circuit& circuit,
+                                 const LocalityOptions& opts) {
+  for (std::size_t i = 0; i < circuit.size(); ++i) {
+    const Gate& g = circuit.op(i);
+    if (g.kind == GateKind::kInit3 && opts.allow_nonlocal_init) continue;
+    const int n = g.arity();
+    if (n == 1) continue;
+    if (n == 2) {
+      const std::uint32_t lo = std::min(g.bits[0], g.bits[1]);
+      const std::uint32_t hi = std::max(g.bits[0], g.bits[1]);
+      if (hi != lo + 1)
+        return bad(i, "non-adjacent 1D cells in op: " + describe(g));
+      continue;
+    }
+    // Triple: sort the three cells by hand (avoids a GCC 12
+    // -Warray-bounds false positive on partial std::sort ranges).
+    std::array<std::uint32_t, 3> cells{g.bits[0], g.bits[1], g.bits[2]};
+    if (cells[0] > cells[1]) std::swap(cells[0], cells[1]);
+    if (cells[1] > cells[2]) std::swap(cells[1], cells[2]);
+    if (cells[0] > cells[1]) std::swap(cells[0], cells[1]);
+    if (cells[1] != cells[0] + 1 || cells[2] != cells[1] + 1)
+      return bad(i, "non-adjacent 1D cells in op: " + describe(g));
+  }
+  return {};
+}
+
+LocalityReport check_locality_2d(const Circuit& circuit, std::uint32_t rows,
+                                 std::uint32_t cols,
+                                 const LocalityOptions& opts) {
+  REVFT_CHECK_MSG(rows * cols == circuit.width(),
+                  "check_locality_2d: grid " << rows << "x" << cols
+                                             << " != width "
+                                             << circuit.width());
+  auto row_of = [cols](std::uint32_t bit) { return bit / cols; };
+  auto col_of = [cols](std::uint32_t bit) { return bit % cols; };
+
+  for (std::size_t i = 0; i < circuit.size(); ++i) {
+    const Gate& g = circuit.op(i);
+    if (g.kind == GateKind::kInit3 && opts.allow_nonlocal_init) continue;
+    const int n = g.arity();
+    if (n == 1) continue;
+    if (n == 2) {
+      const auto r0 = row_of(g.bits[0]), c0 = col_of(g.bits[0]);
+      const auto r1 = row_of(g.bits[1]), c1 = col_of(g.bits[1]);
+      const std::uint32_t dist = (r0 > r1 ? r0 - r1 : r1 - r0) +
+                                 (c0 > c1 ? c0 - c1 : c1 - c0);
+      if (dist != 1) return bad(i, "non-adjacent 2D pair in op: " + describe(g));
+      continue;
+    }
+    // Triple: consecutive cells of one row or one column.
+    std::array<std::uint32_t, 3> rs{}, cs{};
+    for (int k = 0; k < 3; ++k) {
+      rs[static_cast<std::size_t>(k)] = row_of(g.bits[static_cast<std::size_t>(k)]);
+      cs[static_cast<std::size_t>(k)] = col_of(g.bits[static_cast<std::size_t>(k)]);
+    }
+    const bool same_row = rs[0] == rs[1] && rs[1] == rs[2];
+    const bool same_col = cs[0] == cs[1] && cs[1] == cs[2];
+    if (!same_row && !same_col)
+      return bad(i, "2D triple not collinear in op: " + describe(g));
+    std::array<std::uint32_t, 3> line = same_row ? cs : rs;
+    std::sort(line.begin(), line.end());
+    if (line[1] != line[0] + 1 || line[2] != line[1] + 1)
+      return bad(i, "2D triple not consecutive in op: " + describe(g));
+  }
+  return {};
+}
+
+}  // namespace revft

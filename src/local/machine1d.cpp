@@ -1,0 +1,136 @@
+#include "local/machine1d.h"
+
+#include <algorithm>
+
+#include "local/router.h"
+#include "support/error.h"
+
+namespace revft {
+
+namespace {
+
+/// Working state of the compiler: which logical bit sits in each block
+/// slot, plus the emitted circuit and counters.
+class Compiler {
+ public:
+  Compiler(std::uint32_t logical_bits, bool with_init,
+           Machine1dProgram& program)
+      : bits_(logical_bits), with_init_(with_init), program_(program) {
+    slot_of_.resize(bits_);
+    logical_at_.resize(bits_);
+    for (std::uint32_t i = 0; i < bits_; ++i) {
+      slot_of_[i] = i;
+      logical_at_[i] = i;
+    }
+  }
+
+  void emit(const Gate& g) {
+    switch (g.kind) {
+      case GateKind::kNot:
+        emit_not(g.bits[0]);
+        return;
+      case GateKind::kInit3:
+        emit_init(g);
+        return;
+      default:
+        REVFT_CHECK_MSG(g.arity() == 3 && gate_is_reversible(g.kind),
+                        "Machine1d: unsupported logical op "
+                            << gate_name(g.kind));
+        emit_gate3(g);
+        return;
+    }
+  }
+
+  void finish() {
+    program_.slot_of_logical = slot_of_;
+  }
+
+ private:
+  /// Exchange the blocks in slots s and s+1: 81 adjacent cell swaps
+  /// (the 18-cell window's inversion count), packed into SWAP3s.
+  void transpose_blocks(std::uint32_t s) {
+    REVFT_CHECK_MSG(s + 1 < bits_, "transpose_blocks: slot out of range");
+    const std::uint32_t base = 9 * s;
+    // Current window items 0..17; target: right block first.
+    std::vector<std::uint32_t> current(18), target(18);
+    for (std::uint32_t i = 0; i < 18; ++i) current[i] = i;
+    for (std::uint32_t i = 0; i < 9; ++i) {
+      target[i] = 9 + i;
+      target[9 + i] = i;
+    }
+    const auto swaps = route_line(current, target);
+    program_.routing_cell_swaps += swaps.size();
+    // Shift window-relative swaps to absolute cells and pack.
+    std::vector<SwapOp> absolute;
+    absolute.reserve(swaps.size());
+    for (const auto& sw : swaps) absolute.push_back({base + sw.a, base + sw.b});
+    for (const Gate& g : pack_swap3(absolute)) program_.physical.push(g);
+    ++program_.block_transpositions;
+    // Bookkeeping.
+    std::swap(logical_at_[s], logical_at_[s + 1]);
+    slot_of_[logical_at_[s]] = s;
+    slot_of_[logical_at_[s + 1]] = s + 1;
+  }
+
+  void emit_gate3(const Gate& g) {
+    const std::uint32_t p = g.bits[0], q = g.bits[1], r = g.bits[2];
+    // Gather the operand blocks consecutive in order (p, q, r); the
+    // block-level schedule (inversion-count optimal) executes as
+    // 81-cell-swap transpositions.
+    const auto target = gather_triple_target(logical_at_, p, q, r);
+    for (const SwapOp& s : route_line(logical_at_, target))
+      transpose_blocks(s.a);
+    REVFT_CHECK(slot_of_[p] + 1 == slot_of_[q] && slot_of_[q] + 1 == slot_of_[r]);
+
+    const Cycle1d cycle = make_cycle_1d(g.kind, with_init_);
+    program_.physical.append_shifted(cycle.circuit, 9 * slot_of_[p]);
+    ++program_.gate_cycles;
+    program_.recovery_stages += 3;
+  }
+
+  void emit_not(std::uint32_t l) {
+    const std::uint32_t base = 9 * slot_of_[l];
+    // Transversal NOT on the codeword, then one recovery stage.
+    for (std::uint32_t offset : {0u, 3u, 6u})
+      program_.physical.not_(base + offset);
+    const Ec1d ec = make_ec_1d(with_init_);
+    program_.physical.append_shifted(ec.circuit, base);
+    ++program_.recovery_stages;
+  }
+
+  void emit_init(const Gate& g) {
+    for (int k = 0; k < 3; ++k) {
+      const std::uint32_t base = 9 * slot_of_[g.bits[static_cast<std::size_t>(k)]];
+      for (std::uint32_t t = 0; t < 9; t += 3)
+        program_.physical.init3(base + t, base + t + 1, base + t + 2);
+    }
+  }
+
+  std::uint32_t bits_;
+  bool with_init_;
+  Machine1dProgram& program_;
+  std::vector<std::uint32_t> slot_of_;    // logical -> slot
+  std::vector<std::uint32_t> logical_at_; // slot -> logical
+};
+
+}  // namespace
+
+Machine1d::Machine1d(std::uint32_t logical_bits, bool with_init)
+    : logical_bits_(logical_bits), with_init_(with_init) {
+  REVFT_CHECK_MSG(logical_bits >= 3, "Machine1d: need at least 3 logical bits");
+}
+
+Machine1dProgram Machine1d::compile(const Circuit& logical) const {
+  REVFT_CHECK_MSG(logical.width() == logical_bits_,
+                  "Machine1d::compile: circuit width " << logical.width()
+                                                       << " != machine size "
+                                                       << logical_bits_);
+  Machine1dProgram program;
+  program.physical = Circuit(cells());
+  Compiler compiler(logical_bits_, with_init_, program);
+  for (const Gate& g : logical.ops()) compiler.emit(g);
+  compiler.finish();
+  return program;
+}
+
+}  // namespace revft

@@ -1,0 +1,146 @@
+#include "local/machine2d.h"
+
+#include "local/lattice.h"
+#include "local/router.h"
+#include "local/scheme2d.h"
+#include "support/error.h"
+
+namespace revft {
+
+namespace {
+
+class Compiler {
+ public:
+  Compiler(std::uint32_t logical_bits, bool with_init,
+           Machine2dProgram& program)
+      : bits_(logical_bits), with_init_(with_init), program_(program) {
+    slot_of_.resize(bits_);
+    logical_at_.resize(bits_);
+    for (std::uint32_t i = 0; i < bits_; ++i) {
+      slot_of_[i] = i;
+      logical_at_[i] = i;
+    }
+  }
+
+  void emit(const Gate& g) {
+    switch (g.kind) {
+      case GateKind::kNot:
+        emit_not(g.bits[0]);
+        return;
+      case GateKind::kInit3:
+        emit_init(g);
+        return;
+      default:
+        REVFT_CHECK_MSG(g.arity() == 3 && gate_is_reversible(g.kind),
+                        "Machine2d: unsupported logical op "
+                            << gate_name(g.kind));
+        emit_gate3(g);
+        return;
+    }
+  }
+
+  void finish() { program_.slot_of_logical = slot_of_; }
+
+ private:
+  /// Block-local bit (r, c) of the block in slot s -> global bit.
+  std::uint32_t cell(std::uint32_t s, std::uint32_t r, std::uint32_t c) const {
+    return grid_bit(3 * s + r, c, Machine2d::kCols);
+  }
+
+  /// Exchange vertically adjacent blocks in slots s and s+1: route the
+  /// 6-cell window of each column independently (9 swaps per column).
+  void transpose_blocks(std::uint32_t s) {
+    REVFT_CHECK_MSG(s + 1 < bits_, "transpose_blocks: slot out of range");
+    std::vector<std::uint32_t> window(6), target(6);
+    for (std::uint32_t i = 0; i < 6; ++i) window[i] = i;
+    for (std::uint32_t i = 0; i < 3; ++i) {
+      target[i] = 3 + i;
+      target[3 + i] = i;
+    }
+    const auto swaps = route_line(window, target);
+    for (std::uint32_t c = 0; c < Machine2d::kCols; ++c) {
+      std::vector<SwapOp> absolute;
+      absolute.reserve(swaps.size());
+      for (const auto& sw : swaps)
+        absolute.push_back({cell(s, sw.a, c), cell(s, sw.b, c)});
+      program_.routing_cell_swaps += absolute.size();
+      for (const Gate& g : pack_swap3(absolute)) program_.physical.push(g);
+    }
+    ++program_.block_transpositions;
+    std::swap(logical_at_[s], logical_at_[s + 1]);
+    slot_of_[logical_at_[s]] = s;
+    slot_of_[logical_at_[s + 1]] = s + 1;
+  }
+
+  void emit_gate3(const Gate& g) {
+    const std::uint32_t p = g.bits[0], q = g.bits[1], r = g.bits[2];
+    const auto target = gather_triple_target(logical_at_, p, q, r);
+    for (const SwapOp& s : route_line(logical_at_, target))
+      transpose_blocks(s.a);
+    REVFT_CHECK(slot_of_[p] + 1 == slot_of_[q] &&
+                slot_of_[q] + 1 == slot_of_[r]);
+
+    // The §3.1 cycle operates on three stacked blocks with row-
+    // oriented data and leaves each block column-oriented.
+    const Cycle2d cycle = make_cycle_2d(g.kind, with_init_);
+    program_.physical.append_shifted(cycle.circuit, 9 * slot_of_[p]);
+    ++program_.gate_cycles;
+    program_.recovery_stages += 3;
+
+    // Restore row orientation per operand block so cycles chain.
+    const Ec2d reorient = make_ec_2d(Orientation2d::kColumn, with_init_);
+    for (std::uint32_t l : {p, q, r}) {
+      program_.physical.append_shifted(reorient.circuit, 9 * slot_of_[l]);
+      ++program_.recovery_stages;
+    }
+  }
+
+  void emit_not(std::uint32_t l) {
+    const std::uint32_t s = slot_of_[l];
+    // Transversal NOT on the row-oriented codeword (block row 0), then
+    // two recovery stages (row->column->row) to preserve orientation.
+    for (std::uint32_t c = 0; c < 3; ++c) program_.physical.not_(cell(s, 0, c));
+    const Ec2d row_stage = make_ec_2d(Orientation2d::kRow, with_init_);
+    const Ec2d col_stage = make_ec_2d(Orientation2d::kColumn, with_init_);
+    program_.physical.append_shifted(row_stage.circuit, 9 * s);
+    program_.physical.append_shifted(col_stage.circuit, 9 * s);
+    program_.recovery_stages += 2;
+  }
+
+  void emit_init(const Gate& g) {
+    for (int k = 0; k < 3; ++k) {
+      const std::uint32_t s = slot_of_[g.bits[static_cast<std::size_t>(k)]];
+      // Reset the block row by row (rows are local triples).
+      for (std::uint32_t r = 0; r < 3; ++r)
+        program_.physical.init3(cell(s, r, 0), cell(s, r, 1), cell(s, r, 2));
+    }
+  }
+
+  std::uint32_t bits_;
+  bool with_init_;
+  Machine2dProgram& program_;
+  std::vector<std::uint32_t> slot_of_;
+  std::vector<std::uint32_t> logical_at_;
+};
+
+}  // namespace
+
+Machine2d::Machine2d(std::uint32_t logical_bits, bool with_init)
+    : logical_bits_(logical_bits), with_init_(with_init) {
+  REVFT_CHECK_MSG(logical_bits >= 3, "Machine2d: need at least 3 logical bits");
+}
+
+Machine2dProgram Machine2d::compile(const Circuit& logical) const {
+  REVFT_CHECK_MSG(logical.width() == logical_bits_,
+                  "Machine2d::compile: circuit width " << logical.width()
+                                                       << " != machine size "
+                                                       << logical_bits_);
+  Machine2dProgram program;
+  program.physical = Circuit(rows() * kCols);
+  Compiler compiler(logical_bits_, with_init_, program);
+  for (const Gate& g : logical.ops()) compiler.emit(g);
+  compiler.finish();
+  return program;
+}
+
+}  // namespace revft

@@ -1,0 +1,54 @@
+// revft/local/machine2d.h
+//
+// The 2D counterpart of machine1d: B encoded bits on a 3-column strip
+// of 3B x 3 cells, one 3x3 block per logical bit (Fig 4 layout, data
+// along each block's top row). Remote logical operands are routed by
+// exchanging vertically adjacent blocks — 27 adjacent cell swaps per
+// transposition (9 inversions per column), one third of the 1D
+// machine's 81, because the strip exchanges three cells in parallel
+// columns.
+//
+// A logical 3-bit gate routes the operand blocks adjacent in operand
+// order, runs the §3.1 cycle (perpendicular interleave, transversal
+// gate, uninterleave, zero-swap recovery), and then — because the Fig
+// 4 recovery rotates data from rows to columns — applies one more
+// recovery stage per operand block to restore row orientation so
+// cycles chain uniformly. This "re-orienting" stage is pure
+// convention (the paper's footnote-3 rotation tracked explicitly);
+// its cost is reported separately.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rev/circuit.h"
+
+namespace revft {
+
+struct Machine2dProgram {
+  Circuit physical;  ///< width 9B on a 3B x 3 grid, fully local
+  std::vector<std::uint32_t> slot_of_logical;
+  std::uint64_t block_transpositions = 0;
+  std::uint64_t routing_cell_swaps = 0;  ///< 27 per transposition
+  std::uint64_t gate_cycles = 0;
+  std::uint64_t recovery_stages = 0;  ///< including re-orientation stages
+};
+
+/// Compiler from logical circuits to 2D-strip physical programs.
+/// Supported ops: every reversible 3-bit kind, kNot, kInit3.
+class Machine2d {
+ public:
+  explicit Machine2d(std::uint32_t logical_bits, bool with_init = true);
+
+  std::uint32_t logical_bits() const noexcept { return logical_bits_; }
+  std::uint32_t rows() const noexcept { return 3 * logical_bits_; }
+  static constexpr std::uint32_t kCols = 3;
+
+  Machine2dProgram compile(const Circuit& logical) const;
+
+ private:
+  std::uint32_t logical_bits_;
+  bool with_init_;
+};
+
+}  // namespace revft

@@ -1,0 +1,161 @@
+#include "local/scheme1d.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace revft {
+
+Ec1d make_ec_1d(bool with_init) {
+  Ec1d ec;
+  ec.circuit = Circuit(9);
+  // Line order (Fig 7): q0,q3,q6,q1,q4,q7,q2,q5,q8 — data q0,q1,q2 at
+  // cells 0,3,6; ancillas at 1,2,4,5,7,8.
+  if (with_init) {
+    // Two 3-bit initializations (locality-exempt; see lattice.h).
+    ec.circuit.init3(1, 2, 4);
+    ec.circuit.init3(5, 7, 8);
+  }
+  // Encoders: each data cell with its two neighbouring ancillas —
+  // already adjacent, no routing needed.
+  ec.circuit.majinv(0, 1, 2);
+  ec.circuit.majinv(3, 4, 5);
+  ec.circuit.majinv(6, 7, 8);
+  // Fig 6: permute q-order (0,3,6,1,4,7,2,5,8) -> (0..8) so the decode
+  // blocks (q0,q1,q2), (q3,q4,q5), (q6,q7,q8) become adjacent.
+  const std::vector<std::uint32_t> current{0, 3, 6, 1, 4, 7, 2, 5, 8};
+  const std::vector<std::uint32_t> target{0, 1, 2, 3, 4, 5, 6, 7, 8};
+  const auto swaps = route_line(current, target);
+  ec.raw_swaps = swaps.size();
+  for (const Gate& g : pack_swap3(swaps)) {
+    ec.circuit.push(g);
+    if (g.kind == GateKind::kSwap3)
+      ++ec.swap3_ops;
+    else
+      ++ec.swap_ops;
+  }
+  // Decoders: majority of each block into its first cell. The outputs
+  // land at cells 0,3,6 — the same positions data started in, so the
+  // stage is layout-preserving.
+  ec.circuit.maj(0, 1, 2);
+  ec.circuit.maj(3, 4, 5);
+  ec.circuit.maj(6, 7, 8);
+  return ec;
+}
+
+namespace {
+
+/// Item ids on the 27-cell line: data bit j of codeword d is d*3 + j;
+/// ancillas get ids >= 9.
+constexpr std::uint32_t data_id(std::uint32_t d, std::uint32_t j) {
+  return d * 3 + j;
+}
+constexpr bool is_data_id(std::uint32_t id) { return id < 9; }
+constexpr std::uint32_t codeword_of_id(std::uint32_t id) { return id / 3; }
+
+class LineSim {
+ public:
+  LineSim() {
+    line_.assign(27, 0);
+    std::uint32_t next_ancilla = 9;
+    for (std::uint32_t cell = 0; cell < 27; ++cell) line_[cell] = next_ancilla++;
+    for (std::uint32_t d = 0; d < 3; ++d)
+      for (std::uint32_t j = 0; j < 3; ++j)
+        line_[9 * d + 3 * j] = data_id(d, j);
+  }
+
+  std::uint32_t pos_of(std::uint32_t id) const {
+    for (std::uint32_t cell = 0; cell < 27; ++cell)
+      if (line_[cell] == id) return cell;
+    throw Error("LineSim: unknown item id");
+  }
+
+  /// Move `id` to `target` one adjacent swap at a time, recording the
+  /// schedule and which codewords each swap touches.
+  void move(std::uint32_t id, std::uint32_t target, Interleave1d& out) {
+    std::uint32_t cur = pos_of(id);
+    while (cur != target) {
+      const std::uint32_t next = cur < target ? cur + 1 : cur - 1;
+      record_touches(line_[cur], line_[next], out);
+      std::swap(line_[cur], line_[next]);
+      out.swaps.push_back({std::min(cur, next), std::max(cur, next)});
+      cur = next;
+    }
+  }
+
+ private:
+  static void record_touches(std::uint32_t id_a, std::uint32_t id_b,
+                             Interleave1d& out) {
+    bool touched[3] = {false, false, false};
+    if (is_data_id(id_a)) touched[codeword_of_id(id_a)] = true;
+    if (is_data_id(id_b)) touched[codeword_of_id(id_b)] = true;
+    for (int d = 0; d < 3; ++d)
+      if (touched[d]) ++out.swaps_touching[static_cast<std::size_t>(d)];
+  }
+
+  std::vector<std::uint32_t> line_;
+};
+
+}  // namespace
+
+Interleave1d make_interleave_1d() {
+  Interleave1d out;
+  LineSim sim;
+  // Bring the outer codewords to the middle one (§3.2): b0's bits from
+  // above (last bit first), landing just above b1's matching bit...
+  for (int j = 2; j >= 0; --j) {
+    const auto ju = static_cast<std::uint32_t>(j);
+    sim.move(data_id(0, ju), sim.pos_of(data_id(1, ju)) - 1, out);
+  }
+  // ...then b2's bits from below (first bit first), landing just below.
+  for (std::uint32_t j = 0; j < 3; ++j)
+    sim.move(data_id(2, j), sim.pos_of(data_id(1, j)) + 1, out);
+  for (std::uint32_t d = 0; d < 3; ++d)
+    for (std::uint32_t j = 0; j < 3; ++j)
+      out.final_data[d][j] = sim.pos_of(data_id(d, j));
+  return out;
+}
+
+Cycle1d make_cycle_1d(GateKind gate, bool with_init, bool pack_swaps) {
+  REVFT_CHECK_MSG(gate_arity(gate) == 3 && gate_is_reversible(gate),
+                  "make_cycle_1d: need a reversible 3-bit gate");
+  Cycle1d cycle;
+  cycle.gate = gate;
+  cycle.circuit = Circuit(27);
+  cycle.interleave = make_interleave_1d();
+
+  auto emit_swaps = [&](const std::vector<SwapOp>& swaps) {
+    if (pack_swaps) {
+      for (const Gate& g : pack_swap3(swaps)) cycle.circuit.push(g);
+    } else {
+      for (const SwapOp& s : swaps) cycle.circuit.swap(s.a, s.b);
+    }
+  };
+  emit_swaps(cycle.interleave.swaps);
+
+  // Transversal gate on the three gathered triples: sub-gate j acts on
+  // bit j of each codeword.
+  for (std::uint32_t j = 0; j < 3; ++j) {
+    Gate g{gate,
+           {cycle.interleave.final_data[0][j], cycle.interleave.final_data[1][j],
+            cycle.interleave.final_data[2][j]}};
+    cycle.circuit.push(g);
+  }
+
+  // Uninterleave: the same swaps, reversed.
+  auto reversed = cycle.interleave.swaps;
+  std::reverse(reversed.begin(), reversed.end());
+  emit_swaps(reversed);
+
+  // One recovery stage per block.
+  const Ec1d ec = make_ec_1d(with_init);
+  cycle.ec_ops_per_block = ec.circuit.size();
+  for (std::uint32_t b = 0; b < 3; ++b)
+    cycle.circuit.append_shifted(ec.circuit, 9 * b);
+
+  for (std::uint32_t b = 0; b < 3; ++b)
+    cycle.data[b] = {9 * b + 0, 9 * b + 3, 9 * b + 6};
+  return cycle;
+}
+
+}  // namespace revft

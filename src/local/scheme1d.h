@@ -1,0 +1,75 @@
+// revft/local/scheme1d.h
+//
+// The paper's one-dimensional locally-connected scheme (§3.2, Figs 6
+// and 7).
+//
+// Block layout: one codeword plus its recovery ancillas occupy nine
+// consecutive cells in Fig 7's line order
+//   cell:   0   1   2   3   4   5   6   7   8
+//   role:  d0   a   a  d1   a   a  d2   a   a
+// i.e. data at cells {0, 3, 6}. One recovery stage (Fig 7) is:
+//   2 init3 + 3 MAJ⁻¹ + [Fig 6: 9 adjacent SWAPs = 4 SWAP3 + 1 SWAP]
+//   + 3 MAJ   —  13 ops (11 without init)
+// and it reproduces the same layout, so stages chain indefinitely.
+//
+// A logical operation on three adjacent blocks first interleaves the
+// outer codewords into the middle one bit-by-bit (the 8+7+6 and
+// 10+8+6 = 45-SWAP schedule of §3.2, at most 24 SWAPs touching one
+// codeword), applies the transversal gate on the three gathered
+// triples, and uninterleaves.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "local/router.h"
+#include "rev/circuit.h"
+
+namespace revft {
+
+/// One recovery stage on a 9-cell block (Fig 7).
+struct Ec1d {
+  Circuit circuit;  ///< width 9, nearest-neighbour (init exempt)
+  std::array<std::uint32_t, 3> data_before{{0, 3, 6}};
+  std::array<std::uint32_t, 3> data_after{{0, 3, 6}};
+  std::uint64_t raw_swaps = 0;   ///< adjacent SWAPs before packing (9)
+  std::uint64_t swap3_ops = 0;   ///< packed SWAP3 count (4)
+  std::uint64_t swap_ops = 0;    ///< residual SWAP count (1)
+};
+
+Ec1d make_ec_1d(bool with_init);
+
+/// The §3.2 interleaving schedule on a 27-cell line holding three
+/// blocks (block b's data at cells 9b + {0,3,6}).
+struct Interleave1d {
+  std::vector<SwapOp> swaps;  ///< 45 adjacent swaps, execution order
+  /// Cell of codeword d's bit j after interleaving. The triples
+  /// (final_data[0][j], final_data[1][j], final_data[2][j]) are
+  /// adjacent, ready for a transversal gate.
+  std::array<std::array<std::uint32_t, 3>, 3> final_data{};
+  /// Number of swaps touching at least one bit of codeword d
+  /// (paper: 24, 6, 24 — "at most 24 act on a single bit").
+  std::array<std::uint64_t, 3> swaps_touching{};
+};
+
+Interleave1d make_interleave_1d();
+
+/// A full 1D logical cycle on three blocks: interleave, transversal
+/// 3-bit gate, uninterleave, then one recovery stage per block.
+struct Cycle1d {
+  Circuit circuit;  ///< width 27
+  GateKind gate;
+  /// Data cells of logical bit b, before == after (self-similar).
+  std::array<std::array<std::uint32_t, 3>, 3> data{};
+  Interleave1d interleave;  ///< schedule stats (45 / 24,6,24)
+  std::uint64_t ec_ops_per_block = 0;  ///< 13 or 11
+};
+
+/// Build the cycle. `pack_swaps` selects whether routing swaps are
+/// fused pairwise into SWAP3 gates (the paper's counting, fewer fault
+/// locations but 3 bits damaged per failure) or left as plain SWAPs
+/// (more fault locations, 2 bits damaged each) — an ablation knob for
+/// the fault-census experiments.
+Cycle1d make_cycle_1d(GateKind gate, bool with_init, bool pack_swaps = true);
+
+}  // namespace revft

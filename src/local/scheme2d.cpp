@@ -1,0 +1,109 @@
+#include "local/scheme2d.h"
+
+#include "local/lattice.h"
+#include "support/error.h"
+
+namespace revft {
+
+Ec2d make_ec_2d(Orientation2d orientation, bool with_init) {
+  Ec2d ec;
+  ec.before = orientation;
+  ec.circuit = Circuit(9);
+
+  // Cell helpers on the 3x3 block; data line runs through index i,
+  // the two parallel lines hold ancillas.
+  //   kRow:    data[i]=(0,i), par1[i]=(1,i), par2[i]=(2,i)
+  //   kColumn: data[i]=(i,0), par1[i]=(i,1), par2[i]=(i,2)
+  auto data_cell = [&](std::uint32_t i) {
+    return orientation == Orientation2d::kRow ? grid_bit(0, i, 3)
+                                              : grid_bit(i, 0, 3);
+  };
+  auto par1_cell = [&](std::uint32_t i) {
+    return orientation == Orientation2d::kRow ? grid_bit(1, i, 3)
+                                              : grid_bit(i, 1, 3);
+  };
+  auto par2_cell = [&](std::uint32_t i) {
+    return orientation == Orientation2d::kRow ? grid_bit(2, i, 3)
+                                              : grid_bit(i, 2, 3);
+  };
+
+  if (with_init) {
+    // The parallel ancilla lines are themselves nearest-neighbour
+    // triples — 2D initialization is local, unlike 1D.
+    ec.circuit.init3(par1_cell(0), par1_cell(1), par1_cell(2));
+    ec.circuit.init3(par2_cell(0), par2_cell(1), par2_cell(2));
+  }
+  // Encoders along the perpendicular lines: copy data bit i into the
+  // two ancilla lines.
+  for (std::uint32_t i = 0; i < 3; ++i)
+    ec.circuit.majinv(data_cell(i), par1_cell(i), par2_cell(i));
+  // Decoders along the three parallel lines; each majority lands in
+  // the line's first cell — which together form the perpendicular
+  // line through data_cell(0).
+  ec.circuit.maj(data_cell(0), data_cell(1), data_cell(2));
+  ec.circuit.maj(par1_cell(0), par1_cell(1), par1_cell(2));
+  ec.circuit.maj(par2_cell(0), par2_cell(1), par2_cell(2));
+
+  ec.data_before = {data_cell(0), data_cell(1), data_cell(2)};
+  ec.data_after = {data_cell(0), par1_cell(0), par2_cell(0)};
+  ec.after = orientation == Orientation2d::kRow ? Orientation2d::kColumn
+                                                : Orientation2d::kRow;
+  return ec;
+}
+
+Cycle2d make_cycle_2d(GateKind gate, bool with_init) {
+  REVFT_CHECK_MSG(gate_arity(gate) == 3 && gate_is_reversible(gate),
+                  "make_cycle_2d: need a reversible 3-bit gate");
+  constexpr std::uint32_t kCols = Cycle2d::kCols;
+  Cycle2d cycle;
+  cycle.gate = gate;
+  cycle.circuit = Circuit(Cycle2d::kRows * kCols);
+
+  // Data enters along each block's top row (global rows 0, 3, 6).
+  for (std::uint32_t b = 0; b < 3; ++b)
+    for (std::uint32_t j = 0; j < 3; ++j)
+      cycle.data_before[b][j] = grid_bit(3 * b, j, kCols);
+
+  // Interleave perpendicular to the logical line: block 0's data row
+  // sinks to row 2, block 2's rises to row 4; block 1 stays. Each
+  // moving bit travels 2 cells = one SWAP3 along its column.
+  for (std::uint32_t c = 0; c < kCols; ++c) {
+    cycle.circuit.swap3(grid_bit(0, c, kCols), grid_bit(1, c, kCols),
+                        grid_bit(2, c, kCols));
+    ++cycle.interleave_swap3;
+  }
+  for (std::uint32_t c = 0; c < kCols; ++c) {
+    cycle.circuit.swap3(grid_bit(6, c, kCols), grid_bit(5, c, kCols),
+                        grid_bit(4, c, kCols));
+    ++cycle.interleave_swap3;
+  }
+
+  // Transversal gate: column c now holds bit c of every codeword at
+  // rows 2, 3, 4.
+  for (std::uint32_t c = 0; c < kCols; ++c) {
+    Gate g{gate, {grid_bit(2, c, kCols), grid_bit(3, c, kCols),
+                  grid_bit(4, c, kCols)}};
+    cycle.circuit.push(g);
+  }
+
+  // Uninterleave: inverse rotations.
+  for (std::uint32_t c = 0; c < kCols; ++c)
+    cycle.circuit.swap3(grid_bit(2, c, kCols), grid_bit(1, c, kCols),
+                        grid_bit(0, c, kCols));
+  for (std::uint32_t c = 0; c < kCols; ++c)
+    cycle.circuit.swap3(grid_bit(4, c, kCols), grid_bit(5, c, kCols),
+                        grid_bit(6, c, kCols));
+
+  // Zero-swap recovery per block (row-oriented data).
+  const Ec2d ec = make_ec_2d(Orientation2d::kRow, with_init);
+  cycle.ec_ops_per_block = ec.circuit.size();
+  for (std::uint32_t b = 0; b < 3; ++b)
+    cycle.circuit.append_shifted(ec.circuit, 9 * b);
+
+  for (std::uint32_t b = 0; b < 3; ++b)
+    for (std::uint32_t j = 0; j < 3; ++j)
+      cycle.data_after[b][j] = 9 * b + ec.data_after[j];
+  return cycle;
+}
+
+}  // namespace revft

@@ -1,0 +1,63 @@
+// revft/local/scheme2d.h
+//
+// The paper's two-dimensional locally-connected scheme (§3.1, Fig 4).
+//
+// One codeword plus ancillas occupies a 3x3 block. With the data held
+// along one line of the block (a row or a column), Fig 2's recovery
+// runs with ZERO swaps: the encoders act along the perpendicular
+// lines, the decoders along the parallel lines, and both are
+// nearest-neighbour triples. The recovered codeword emerges along a
+// perpendicular line — the recovery rotates the data orientation 90°
+// each stage.
+//
+// A logical operation on three vertically stacked blocks interleaves
+// perpendicular to the logical line (12 SWAPs = 6 SWAP3, at most 6
+// SWAPs per codeword — §3.1's counts), applies the transversal gate on
+// three vertical triples, and uninterleaves.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "rev/circuit.h"
+
+namespace revft {
+
+/// Where a block's data currently lies.
+enum class Orientation2d {
+  kRow,     ///< data along block row 0 (cells 0,1,2)
+  kColumn,  ///< data along block column 0 (cells 0,3,6)
+};
+
+/// One recovery stage on a 3x3 block (width-9 circuit, bit = 3*row+col).
+struct Ec2d {
+  Circuit circuit;
+  Orientation2d before;
+  Orientation2d after;
+  std::array<std::uint32_t, 3> data_before{};
+  std::array<std::uint32_t, 3> data_after{};
+};
+
+/// Build the zero-swap recovery for a block whose data lies along
+/// `orientation`. After the stage the data lies along the other
+/// orientation (codeword bit i ends on the line perpendicular to the
+/// input line, through the input line's first cell).
+Ec2d make_ec_2d(Orientation2d orientation, bool with_init);
+
+/// A full 2D logical cycle on three blocks stacked vertically (9x3
+/// grid, width 27; block b at rows 3b..3b+2). Data enters along each
+/// block's row 0 and leaves along each block's column 0.
+struct Cycle2d {
+  Circuit circuit;  ///< width 27 on a 9x3 grid
+  GateKind gate;
+  static constexpr std::uint32_t kRows = 9;
+  static constexpr std::uint32_t kCols = 3;
+  std::array<std::array<std::uint32_t, 3>, 3> data_before{};
+  std::array<std::array<std::uint32_t, 3>, 3> data_after{};
+  std::uint64_t interleave_swap3 = 0;  ///< 6 (12 raw SWAPs, §3.1)
+  std::uint64_t ec_ops_per_block = 0;  ///< 8 or 6
+};
+
+Cycle2d make_cycle_2d(GateKind gate, bool with_init);
+
+}  // namespace revft

@@ -1,0 +1,83 @@
+#include "noise/injection.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace revft {
+
+StateVector apply_with_faults(const Circuit& circuit, StateVector input,
+                              const std::vector<FaultSpec>& faults) {
+  REVFT_CHECK_MSG(input.width() == circuit.width(),
+                  "apply_with_faults: width mismatch");
+  // Index faults by op for O(1) lookup; reject duplicates.
+  std::vector<int> fault_at(circuit.size(), -1);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const auto& f = faults[i];
+    REVFT_CHECK_MSG(f.op_index < circuit.size(),
+                    "fault op_index " << f.op_index << " out of range");
+    REVFT_CHECK_MSG(fault_at[f.op_index] < 0,
+                    "duplicate fault on op " << f.op_index);
+    fault_at[f.op_index] = static_cast<int>(i);
+  }
+  for (std::size_t i = 0; i < circuit.size(); ++i) {
+    const Gate& g = circuit.op(i);
+    const int fi = fault_at[i];
+    if (fi < 0) {
+      input.apply(g);
+      continue;
+    }
+    const unsigned v = faults[static_cast<std::size_t>(fi)].corrupted_local;
+    const int n = g.arity();
+    REVFT_CHECK_MSG(v < (1u << n), "corrupted_local " << v << " exceeds arity");
+    for (int k = 0; k < n; ++k)
+      input.set_bit(g.bits[static_cast<std::size_t>(k)],
+                    static_cast<std::uint8_t>((v >> k) & 1u));
+  }
+  return input;
+}
+
+std::vector<FaultSpec> enumerate_single_faults(const Circuit& circuit) {
+  std::vector<FaultSpec> out;
+  for (std::size_t i = 0; i < circuit.size(); ++i) {
+    const unsigned values = 1u << circuit.op(i).arity();
+    for (unsigned v = 0; v < values; ++v) out.push_back({i, v});
+  }
+  return out;
+}
+
+PairCensusResult pair_fault_census(
+    const Circuit& circuit, const std::vector<StateVector>& prepared_inputs,
+    const std::function<bool(const StateVector&, std::size_t)>& is_error) {
+  REVFT_CHECK_MSG(!prepared_inputs.empty(), "pair_fault_census: no inputs");
+  PairCensusResult result;
+  const std::size_t n = circuit.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const unsigned vi_count = 1u << circuit.op(i).arity();
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const unsigned vj_count = 1u << circuit.op(j).arity();
+      ++result.pairs_total;
+      std::uint64_t fatal_combos = 0;
+      for (unsigned vi = 0; vi < vi_count; ++vi) {
+        for (unsigned vj = 0; vj < vj_count; ++vj) {
+          for (std::size_t in = 0; in < prepared_inputs.size(); ++in) {
+            ++result.scenarios_total;
+            const StateVector out = apply_with_faults(
+                circuit, prepared_inputs[in], {{i, vi}, {j, vj}});
+            if (is_error(out, in)) {
+              ++result.scenarios_fatal;
+              ++fatal_combos;
+            }
+          }
+        }
+      }
+      result.quadratic_coefficient +=
+          static_cast<double>(fatal_combos) /
+          (static_cast<double>(vi_count) * static_cast<double>(vj_count) *
+           static_cast<double>(prepared_inputs.size()));
+    }
+  }
+  return result;
+}
+
+}  // namespace revft

@@ -1,0 +1,70 @@
+// revft/noise/injection.h
+//
+// Deterministic fault injection: run a circuit with a chosen set of
+// gate failures, each replacing the touched bits with a chosen value.
+// Enumerating (op, value) pairs exhaustively is how the tests PROVE
+// the paper's fault-tolerance claims ("if any single error occurs ...
+// a single bit flip will not change the majority result", §2) rather
+// than merely sampling them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "rev/circuit.h"
+#include "rev/simulator.h"
+
+namespace revft {
+
+/// One injected fault: when op `op_index` executes, its touched bits
+/// are overwritten with `corrupted_local` (bit i -> operand i) instead
+/// of the correct output. Enumerating corrupted_local over 2^arity
+/// covers every possible "randomized" outcome of the paper's model,
+/// including the benign one equal to the correct output.
+struct FaultSpec {
+  std::size_t op_index;
+  unsigned corrupted_local;
+};
+
+/// Run `circuit` on `input`, injecting the given faults (sorted or
+/// not; each op index at most once — throws revft::Error on
+/// duplicates or out-of-range indices).
+StateVector apply_with_faults(const Circuit& circuit, StateVector input,
+                              const std::vector<FaultSpec>& faults);
+
+/// All single-fault scenarios of a circuit: for every op, every
+/// possible corrupted output value. Size = sum over ops of 2^arity.
+std::vector<FaultSpec> enumerate_single_faults(const Circuit& circuit);
+
+/// Exhaustive PAIR-fault census: for every unordered pair of ops and
+/// every combination of corrupted values (and every input the caller
+/// supplies), decide whether the double fault defeats the circuit.
+///
+/// This measures the exact quadratic error coefficient of a
+/// fault-tolerant construction. The paper bounds it by C(G,2) per
+/// encoded bit (every pair assumed fatal, §2.2); the census computes
+/// the true count:
+///
+///   P[logical error] = c2 g^2 + O(g^3),
+///   c2 = sum over op pairs (i<j) of P[fatal | both fail]
+///      = sum over pairs of (fatal value combos) / 2^(arity_i+arity_j)
+///
+/// averaged over the supplied inputs. (Single faults are assumed
+/// non-fatal — true for the level-1 non-local and 2D constructions;
+/// callers for 1D should also run the single-fault census.)
+struct PairCensusResult {
+  std::uint64_t pairs_total = 0;        ///< op pairs examined
+  std::uint64_t scenarios_total = 0;    ///< (pair, values, input) cases
+  std::uint64_t scenarios_fatal = 0;
+  /// Exact quadratic coefficient c2 (averaged over inputs).
+  double quadratic_coefficient = 0.0;
+};
+
+/// `is_error(final_state, input_index)` decides logical failure.
+/// Inputs are given as prepared StateVectors (one per logical input).
+PairCensusResult pair_fault_census(
+    const Circuit& circuit, const std::vector<StateVector>& prepared_inputs,
+    const std::function<bool(const StateVector&, std::size_t)>& is_error);
+
+}  // namespace revft

@@ -1,0 +1,31 @@
+#include "noise/model.h"
+
+#include "support/error.h"
+
+namespace revft {
+
+NoiseModel NoiseModel::uniform(double g) {
+  REVFT_CHECK_MSG(g >= 0.0 && g <= 1.0, "NoiseModel: g=" << g << " out of [0,1]");
+  return NoiseModel(g);
+}
+
+NoiseModel& NoiseModel::set_kind(GateKind kind, double p) {
+  REVFT_CHECK_MSG(p >= 0.0 && p <= 1.0, "NoiseModel: p=" << p << " out of [0,1]");
+  per_kind_[static_cast<std::size_t>(kind)] = p;
+  return *this;
+}
+
+bool NoiseModel::is_noiseless() const noexcept {
+  if (gate_error_ > 0.0) {
+    // A positive base error could still be fully overridden per kind,
+    // but in practice callers never do that; check anyway.
+    for (std::size_t k = 0; k < per_kind_.size(); ++k)
+      if (per_kind_[k] != 0.0) return false;
+    return true;
+  }
+  for (double o : per_kind_)
+    if (o > 0.0) return false;
+  return true;
+}
+
+}  // namespace revft

@@ -1,0 +1,51 @@
+// revft/noise/monte_carlo.h
+//
+// Thin Monte-Carlo harness over the packed simulator: run a circuit
+// for N trials in 64-lane batches, let the caller prepare lanes and
+// classify outcomes, and accumulate a Bernoulli estimate with Wilson
+// confidence intervals.
+#pragma once
+
+#include <cstdint>
+
+#include "noise/packed_sim.h"
+#include "support/stats.h"
+
+namespace revft {
+
+struct McOptions {
+  std::uint64_t trials = 100000;
+  std::uint64_t seed = 0x5eedf00dULL;
+};
+
+/// Runs ceil(trials/64) batches. For each batch:
+///   prepare(state, rng, batch)          — set up all 64 lanes;
+///   ... circuit applied noisily ...
+///   classify(state, lane, batch) -> bool — true means "error".
+/// Only the first (trials % 64) lanes of the last batch are counted,
+/// so the estimate covers exactly `trials` trials.
+template <typename PrepareFn, typename ClassifyFn>
+BernoulliEstimate run_packed_mc(const Circuit& circuit, const NoiseModel& model,
+                                const McOptions& opts, PrepareFn&& prepare,
+                                ClassifyFn&& classify) {
+  PackedSimulator sim(model, opts.seed);
+  PackedState state(circuit.width());
+  BernoulliEstimate est;
+  const std::uint64_t batches = (opts.trials + 63) / 64;
+  for (std::uint64_t batch = 0; batch < batches; ++batch) {
+    const int lanes_this_batch =
+        (batch + 1 == batches && opts.trials % 64 != 0)
+            ? static_cast<int>(opts.trials % 64)
+            : 64;
+    state.clear();
+    prepare(state, sim.rng(), batch);
+    sim.apply_noisy(state, circuit);
+    for (int lane = 0; lane < lanes_this_batch; ++lane) {
+      ++est.trials;
+      if (classify(state, lane, batch)) ++est.successes;
+    }
+  }
+  return est;
+}
+
+}  // namespace revft

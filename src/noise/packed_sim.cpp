@@ -1,0 +1,148 @@
+#include "noise/packed_sim.h"
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace revft {
+
+void PackedState::set_bit_lane(std::uint32_t bit, int lane, bool v) {
+  REVFT_CHECK_MSG(lane >= 0 && lane < 64, "set_bit_lane: lane " << lane);
+  const std::uint64_t m = 1ULL << lane;
+  if (v)
+    words_.at(bit) |= m;
+  else
+    words_.at(bit) &= ~m;
+}
+
+BernoulliMaskStream::BernoulliMaskStream(double p, Xoshiro256* rng)
+    : p_(p), rng_(rng) {
+  REVFT_CHECK_MSG(p >= 0.0 && p <= 1.0, "BernoulliMaskStream: p=" << p);
+  REVFT_CHECK(rng != nullptr);
+  // Below ~3% the expected number of set lanes per mask is < 2, so gap
+  // sampling (about one log per failure) beats 64 threshold draws.
+  use_geometric_ = p > 0.0 && p < 0.03;
+  if (use_geometric_) {
+    inv_log1m_p_ = 1.0 / std::log1p(-p);
+    next_index_ = draw_gap();
+  }
+}
+
+std::uint64_t BernoulliMaskStream::draw_gap() {
+  // Inversion of the geometric distribution: G = floor(ln U / ln(1-p))
+  // with U in (0, 1] has P(G = k) = (1-p)^k p — exactly the number of
+  // non-failures before the next failure in a Bernoulli(p) stream.
+  double u = rng_->next_double();
+  if (u <= 0.0) u = 0x1.0p-53;  // next_double() is in [0,1); map 0 to the
+                                // smallest positive value so ln is finite
+  const double gap = std::floor(std::log(u) * inv_log1m_p_);
+  // Cap to keep the integer conversion defined; gaps this large behave
+  // identically (no failure for a very long time).
+  if (gap > 9.0e18) return 9000000000000000000ULL;
+  return static_cast<std::uint64_t>(gap);
+}
+
+std::uint64_t BernoulliMaskStream::next_mask() {
+  if (p_ <= 0.0) return 0;
+  if (p_ >= 1.0) return ~0ULL;
+  if (use_geometric_) {
+    std::uint64_t mask = 0;
+    while (next_index_ < 64) {
+      mask |= 1ULL << next_index_;
+      next_index_ += 1 + draw_gap();
+    }
+    next_index_ -= 64;
+    return mask;
+  }
+  return rng_->next_bernoulli_mask(p_);
+}
+
+PackedSimulator::PackedSimulator(const NoiseModel& model, std::uint64_t seed)
+    : model_(model), rng_(seed) {
+  streams_.reserve(kNumGateKinds);
+  for (int k = 0; k < kNumGateKinds; ++k)
+    streams_.emplace_back(model_.error_for(static_cast<GateKind>(k)), &rng_);
+}
+
+void PackedSimulator::apply_ideal(PackedState& state, const Gate& g) {
+  const auto& b = g.bits;
+  switch (g.kind) {
+    case GateKind::kNot:
+      state.word(b[0]) = ~state.word(b[0]);
+      return;
+    case GateKind::kCnot:
+      state.word(b[1]) ^= state.word(b[0]);
+      return;
+    case GateKind::kSwap: {
+      std::uint64_t t = state.word(b[0]);
+      state.word(b[0]) = state.word(b[1]);
+      state.word(b[1]) = t;
+      return;
+    }
+    case GateKind::kToffoli:
+      state.word(b[2]) ^= state.word(b[0]) & state.word(b[1]);
+      return;
+    case GateKind::kFredkin: {
+      const std::uint64_t d =
+          state.word(b[0]) & (state.word(b[1]) ^ state.word(b[2]));
+      state.word(b[1]) ^= d;
+      state.word(b[2]) ^= d;
+      return;
+    }
+    case GateKind::kSwap3: {
+      // Left rotation: new(a,b,c) = (old b, old c, old a).
+      const std::uint64_t t = state.word(b[0]);
+      state.word(b[0]) = state.word(b[1]);
+      state.word(b[1]) = state.word(b[2]);
+      state.word(b[2]) = t;
+      return;
+    }
+    case GateKind::kMaj: {
+      state.word(b[1]) ^= state.word(b[0]);
+      state.word(b[2]) ^= state.word(b[0]);
+      state.word(b[0]) ^= state.word(b[1]) & state.word(b[2]);
+      return;
+    }
+    case GateKind::kMajInv: {
+      state.word(b[0]) ^= state.word(b[1]) & state.word(b[2]);
+      state.word(b[1]) ^= state.word(b[0]);
+      state.word(b[2]) ^= state.word(b[0]);
+      return;
+    }
+    case GateKind::kInit3:
+      state.word(b[0]) = 0;
+      state.word(b[1]) = 0;
+      state.word(b[2]) = 0;
+      return;
+  }
+}
+
+void PackedSimulator::apply_ideal(PackedState& state, const Circuit& c) {
+  REVFT_CHECK_MSG(c.width() == state.width(), "apply_ideal: width mismatch");
+  for (const Gate& g : c.ops()) apply_ideal(state, g);
+}
+
+std::uint64_t PackedSimulator::failure_mask(GateKind kind) {
+  return streams_[static_cast<std::size_t>(kind)].next_mask();
+}
+
+void PackedSimulator::apply_noisy(PackedState& state, const Gate& g) {
+  apply_ideal(state, g);
+  const std::uint64_t fail = failure_mask(g.kind);
+  if (fail == 0) return;
+  faults_drawn_ += static_cast<std::uint64_t>(__builtin_popcountll(fail));
+  // In failed lanes, every touched bit becomes uniformly random —
+  // independent of the correct output, per the paper's model.
+  const int n = g.arity();
+  for (int i = 0; i < n; ++i) {
+    std::uint64_t& w = state.word(g.bits[static_cast<std::size_t>(i)]);
+    w = (w & ~fail) | (rng_.next() & fail);
+  }
+}
+
+void PackedSimulator::apply_noisy(PackedState& state, const Circuit& c) {
+  REVFT_CHECK_MSG(c.width() == state.width(), "apply_noisy: width mismatch");
+  for (const Gate& g : c.ops()) apply_noisy(state, g);
+}
+
+}  // namespace revft

@@ -1,0 +1,105 @@
+#include "rev/circuit.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace revft {
+
+std::uint64_t GateHistogram::total() const noexcept {
+  std::uint64_t t = 0;
+  for (auto c : counts) t += c;
+  return t;
+}
+
+std::uint64_t GateHistogram::total_reversible() const noexcept {
+  return total() - of(GateKind::kInit3);
+}
+
+Circuit& Circuit::push(const Gate& g) {
+  REVFT_CHECK_MSG(g.max_bit_plus_one() <= width_,
+                  gate_name(g.kind) << " operand out of range for width "
+                                    << width_);
+  ops_.push_back(g);
+  return *this;
+}
+
+Circuit& Circuit::append(const Circuit& other) {
+  REVFT_CHECK_MSG(other.width_ == width_, "append: width mismatch "
+                                              << other.width_ << " vs "
+                                              << width_);
+  ops_.insert(ops_.end(), other.ops_.begin(), other.ops_.end());
+  return *this;
+}
+
+Circuit& Circuit::append_shifted(const Circuit& other, std::uint32_t offset) {
+  REVFT_CHECK_MSG(other.width_ + offset <= width_,
+                  "append_shifted: offset " << offset << " overflows width");
+  for (Gate g : other.ops_) {
+    const int n = g.arity();
+    for (int i = 0; i < n; ++i) g.bits[static_cast<std::size_t>(i)] += offset;
+    ops_.push_back(g);
+  }
+  return *this;
+}
+
+Circuit& Circuit::append_mapped(const Circuit& other,
+                                const std::vector<std::uint32_t>& bit_map) {
+  REVFT_CHECK_MSG(bit_map.size() == other.width_,
+                  "append_mapped: map size " << bit_map.size()
+                                             << " != other width "
+                                             << other.width_);
+  for (Gate g : other.ops_) {
+    const int n = g.arity();
+    for (int i = 0; i < n; ++i) {
+      auto& b = g.bits[static_cast<std::size_t>(i)];
+      b = bit_map.at(b);
+    }
+    push(g);  // re-validate mapped operands
+  }
+  return *this;
+}
+
+Circuit Circuit::inverse() const {
+  Circuit inv(width_);
+  inv.ops_.reserve(ops_.size());
+  for (auto it = ops_.rbegin(); it != ops_.rend(); ++it)
+    inv.ops_.push_back(it->inverse());
+  return inv;
+}
+
+bool Circuit::is_reversible() const noexcept {
+  return std::none_of(ops_.begin(), ops_.end(), [](const Gate& g) {
+    return g.kind == GateKind::kInit3;
+  });
+}
+
+GateHistogram Circuit::histogram() const noexcept {
+  GateHistogram h;
+  for (const Gate& g : ops_) ++h.counts[static_cast<std::size_t>(g.kind)];
+  return h;
+}
+
+std::uint64_t Circuit::touch_count(std::uint32_t bit) const noexcept {
+  std::uint64_t n = 0;
+  for (const Gate& g : ops_)
+    if (g.touches(bit)) ++n;
+  return n;
+}
+
+std::uint64_t Circuit::depth() const noexcept {
+  std::vector<std::uint64_t> ready(width_, 0);  // earliest free step per bit
+  std::uint64_t depth = 0;
+  for (const Gate& g : ops_) {
+    std::uint64_t step = 0;
+    const int n = g.arity();
+    for (int i = 0; i < n; ++i)
+      step = std::max(step, ready[g.bits[static_cast<std::size_t>(i)]]);
+    for (int i = 0; i < n; ++i)
+      ready[g.bits[static_cast<std::size_t>(i)]] = step + 1;
+    depth = std::max(depth, step + 1);
+  }
+  return depth;
+}
+
+}  // namespace revft

@@ -1,0 +1,87 @@
+// revft/rev/gate.h
+//
+// The primitive gate set of the paper's abstract machine (§2): 1-, 2-
+// and 3-bit reversible gates plus the 3-bit initialization operation.
+// Every reversible gate's semantics is a permutation of its local
+// 2^arity input space; INIT3 is the one irreversible primitive (it
+// resets three bits to zero and is how entropy leaves the computer).
+//
+// Gate counting convention (paper §2.2): the noise model charges every
+// *operation* — including SWAP3 (two swaps packed into one 3-bit gate,
+// Fig 5) and INIT3 (one 3-bit reset) — a single failure probability g.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace revft {
+
+/// Primitive operations. Arity is intrinsic to the kind.
+enum class GateKind : std::uint8_t {
+  kNot,      ///< 1-bit: a ^= 1
+  kCnot,     ///< 2-bit: (c, t): t ^= c
+  kSwap,     ///< 2-bit: exchange
+  kToffoli,  ///< 3-bit: (c1, c2, t): t ^= c1 & c2
+  kFredkin,  ///< 3-bit: (c, a, b): if c, swap(a, b)
+  kSwap3,    ///< 3-bit (Fig 5): swap(a,b); swap(b,c) == left rotate (a,b,c)->(b,c,a)
+  kMaj,      ///< 3-bit (Fig 1, Table 1): (a,b,c) -> (maj(a,b,c), a^b, a^c)
+  kMajInv,   ///< 3-bit: inverse of kMaj; (a,0,0) -> (a,a,a) is the encoder
+  kInit3,    ///< 3-bit irreversible reset to |000>
+};
+
+/// Number of distinct gate kinds (for histogram arrays).
+inline constexpr int kNumGateKinds = 9;
+
+/// Number of bits the gate acts on.
+int gate_arity(GateKind kind) noexcept;
+
+/// True for every kind except kInit3.
+bool gate_is_reversible(GateKind kind) noexcept;
+
+/// Lower-case mnemonic ("maj", "cnot", ...), stable across versions;
+/// used by the text serialization format.
+const char* gate_name(GateKind kind) noexcept;
+
+/// Parse a mnemonic produced by gate_name. Throws revft::Error on
+/// unknown names.
+GateKind gate_from_name(const std::string& name);
+
+/// Apply the gate to a local value: bit i of `local` is the value of
+/// operand i. `local` must be < 2^arity. kInit3 maps everything to 0.
+unsigned gate_apply_local(GateKind kind, unsigned local) noexcept;
+
+/// A gate applied to specific circuit bits. Operands beyond the arity
+/// are unused (and canonically zero).
+struct Gate {
+  GateKind kind;
+  std::array<std::uint32_t, 3> bits;
+
+  int arity() const noexcept { return gate_arity(kind); }
+
+  /// The gate that undoes this one, acting on the same bits.
+  /// kMaj <-> kMajInv; kSwap3's inverse is kSwap3 with reversed
+  /// operands (a right rotation). Throws revft::Error for kInit3.
+  Gate inverse() const;
+
+  /// True if `bit` is one of the operands.
+  bool touches(std::uint32_t bit) const noexcept;
+
+  /// Largest operand index + 1 (minimum circuit width that fits).
+  std::uint32_t max_bit_plus_one() const noexcept;
+
+  bool operator==(const Gate&) const = default;
+};
+
+/// Construction helpers with operand-validity checks (distinct bits).
+Gate make_not(std::uint32_t a);
+Gate make_cnot(std::uint32_t control, std::uint32_t target);
+Gate make_swap(std::uint32_t a, std::uint32_t b);
+Gate make_toffoli(std::uint32_t c1, std::uint32_t c2, std::uint32_t target);
+Gate make_fredkin(std::uint32_t control, std::uint32_t a, std::uint32_t b);
+Gate make_swap3(std::uint32_t a, std::uint32_t b, std::uint32_t c);
+Gate make_maj(std::uint32_t a, std::uint32_t b, std::uint32_t c);
+Gate make_majinv(std::uint32_t a, std::uint32_t b, std::uint32_t c);
+Gate make_init3(std::uint32_t a, std::uint32_t b, std::uint32_t c);
+
+}  // namespace revft

@@ -1,0 +1,134 @@
+#include "rev/optimize.h"
+
+#include <optional>
+#include <vector>
+
+#include "support/error.h"
+
+namespace revft {
+
+bool gates_disjoint(const Gate& a, const Gate& b) noexcept {
+  const int na = a.arity();
+  for (int i = 0; i < na; ++i)
+    if (b.touches(a.bits[static_cast<std::size_t>(i)])) return false;
+  return true;
+}
+
+bool gates_cancel(const Gate& a, const Gate& b) noexcept {
+  if (a.kind == GateKind::kInit3 || b.kind == GateKind::kInit3) return false;
+  return a.inverse() == b;
+}
+
+namespace {
+
+/// One fixed-point iteration of all passes over a linear op list.
+/// Returns true if anything changed.
+bool optimize_once(std::vector<Gate>& ops, OptimizeStats& stats) {
+  bool changed = false;
+
+  // Pass 1: commutation-aware inverse-pair cancellation. For each op,
+  // scan forward past disjoint ops; cancel with the first op sharing a
+  // bit if it is the exact inverse.
+  {
+    std::vector<bool> dead(ops.size(), false);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (dead[i]) continue;
+      for (std::size_t j = i + 1; j < ops.size(); ++j) {
+        if (dead[j]) continue;
+        if (gates_cancel(ops[i], ops[j])) {
+          dead[i] = dead[j] = true;
+          ++stats.cancelled_pairs;
+          changed = true;
+          break;
+        }
+        if (!gates_disjoint(ops[i], ops[j])) break;  // blocked
+      }
+    }
+    if (changed) {
+      std::vector<Gate> kept;
+      kept.reserve(ops.size());
+      for (std::size_t i = 0; i < ops.size(); ++i)
+        if (!dead[i]) kept.push_back(ops[i]);
+      ops.swap(kept);
+    }
+  }
+
+  // Pass 2: fuse consecutive overlapping SWAPs into SWAP3
+  // (swap(x,y);swap(y,z) == swap3(x,y,z)).
+  {
+    std::vector<Gate> kept;
+    kept.reserve(ops.size());
+    std::size_t i = 0;
+    while (i < ops.size()) {
+      if (i + 1 < ops.size() && ops[i].kind == GateKind::kSwap &&
+          ops[i + 1].kind == GateKind::kSwap) {
+        const auto& s1 = ops[i];
+        const auto& s2 = ops[i + 1];
+        std::optional<std::uint32_t> common;
+        for (int p = 0; p < 2; ++p)
+          for (int q = 0; q < 2; ++q)
+            if (s1.bits[static_cast<std::size_t>(p)] ==
+                s2.bits[static_cast<std::size_t>(q)])
+              common = s1.bits[static_cast<std::size_t>(p)];
+        if (common.has_value()) {
+          const std::uint32_t first =
+              s1.bits[0] == *common ? s1.bits[1] : s1.bits[0];
+          const std::uint32_t second =
+              s2.bits[0] == *common ? s2.bits[1] : s2.bits[0];
+          if (first != second) {
+            kept.push_back(make_swap3(first, *common, second));
+            ++stats.fused_swaps;
+            changed = true;
+            i += 2;
+            continue;
+          }
+        }
+      }
+      kept.push_back(ops[i]);
+      ++i;
+    }
+    ops.swap(kept);
+  }
+
+  // Pass 3: collapse immediately repeated init3 on identical bit sets.
+  {
+    std::vector<Gate> kept;
+    kept.reserve(ops.size());
+    for (const Gate& g : ops) {
+      if (!kept.empty() && g.kind == GateKind::kInit3 &&
+          kept.back().kind == GateKind::kInit3) {
+        // Same set of bits (order-insensitive)?
+        bool same = true;
+        for (int p = 0; p < 3; ++p)
+          if (!kept.back().touches(g.bits[static_cast<std::size_t>(p)]))
+            same = false;
+        if (same) {
+          ++stats.collapsed_inits;
+          changed = true;
+          continue;  // drop the duplicate
+        }
+      }
+      kept.push_back(g);
+    }
+    ops.swap(kept);
+  }
+
+  return changed;
+}
+
+}  // namespace
+
+Circuit optimize(const Circuit& circuit, OptimizeStats* stats) {
+  OptimizeStats local;
+  local.ops_before = circuit.size();
+  std::vector<Gate> ops(circuit.ops().begin(), circuit.ops().end());
+  while (optimize_once(ops, local)) {
+  }
+  local.ops_after = ops.size();
+  Circuit out(circuit.width());
+  for (const Gate& g : ops) out.push(g);
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace revft

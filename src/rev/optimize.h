@@ -1,0 +1,50 @@
+// revft/rev/optimize.h
+//
+// Peephole optimization for reversible circuits. Relevant to the
+// paper's cost model because every operation carries failure
+// probability g: removing a gate both shrinks the circuit AND removes
+// a fault location, so optimization directly raises the effective
+// threshold of a workload.
+//
+// Passes (all semantics-preserving, verified by tests against the
+// exact simulator):
+//   * inverse-pair cancellation — g followed by g⁻¹ on the same bits
+//     cancels, including across intervening ops that touch disjoint
+//     bits (commutation-aware);
+//   * SWAP fusion — two adjacent SWAPs sharing one bit fuse into a
+//     SWAP3 (Fig 5), halving the fault locations of routing;
+//   * self-inverse squares — NOT·NOT, SWAP·SWAP, etc. cancel (a
+//     special case of inverse pairs);
+//   * redundant reset — init3 immediately following init3 on the same
+//     bits collapses to one.
+//
+// Irreversible init3 ops act as barriers for cancellation across them
+// on their bits.
+#pragma once
+
+#include "rev/circuit.h"
+
+namespace revft {
+
+struct OptimizeStats {
+  std::size_t ops_before = 0;
+  std::size_t ops_after = 0;
+  std::size_t cancelled_pairs = 0;
+  std::size_t fused_swaps = 0;
+  std::size_t collapsed_inits = 0;
+};
+
+/// Run all passes to a fixed point. Returns the optimized circuit and
+/// fills `stats` if non-null.
+Circuit optimize(const Circuit& circuit, OptimizeStats* stats = nullptr);
+
+/// True if the two gates act on disjoint bit sets (and therefore
+/// commute regardless of kind).
+bool gates_disjoint(const Gate& a, const Gate& b) noexcept;
+
+/// True if `a` immediately undone by `b`: b == a.inverse() acting on
+/// the same operands (operand order respected; swap3 reversal
+/// handled).
+bool gates_cancel(const Gate& a, const Gate& b) noexcept;
+
+}  // namespace revft

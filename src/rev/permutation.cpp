@@ -1,0 +1,79 @@
+#include "rev/permutation.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace revft {
+
+Permutation Permutation::identity(std::size_t size) {
+  std::vector<std::uint32_t> map(size);
+  for (std::size_t i = 0; i < size; ++i) map[i] = static_cast<std::uint32_t>(i);
+  return Permutation(std::move(map));
+}
+
+bool Permutation::is_bijection() const noexcept {
+  std::vector<bool> seen(map_.size(), false);
+  for (auto v : map_) {
+    if (v >= map_.size() || seen[v]) return false;
+    seen[v] = true;
+  }
+  return true;
+}
+
+bool Permutation::is_identity() const noexcept {
+  for (std::size_t i = 0; i < map_.size(); ++i)
+    if (map_[i] != i) return false;
+  return true;
+}
+
+Permutation Permutation::compose(const Permutation& other) const {
+  REVFT_CHECK_MSG(size() == other.size(), "compose: size mismatch");
+  REVFT_CHECK(is_bijection());
+  REVFT_CHECK(other.is_bijection());
+  std::vector<std::uint32_t> out(size());
+  for (std::size_t i = 0; i < size(); ++i) out[i] = map_[other.map_[i]];
+  return Permutation(std::move(out));
+}
+
+Permutation Permutation::inverse() const {
+  REVFT_CHECK(is_bijection());
+  std::vector<std::uint32_t> out(size());
+  for (std::size_t i = 0; i < size(); ++i)
+    out[map_[i]] = static_cast<std::uint32_t>(i);
+  return Permutation(std::move(out));
+}
+
+std::size_t Permutation::fixed_points() const noexcept {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < map_.size(); ++i)
+    if (map_[i] == i) ++n;
+  return n;
+}
+
+std::vector<std::size_t> Permutation::cycle_type() const {
+  REVFT_CHECK(is_bijection());
+  std::vector<bool> seen(map_.size(), false);
+  std::vector<std::size_t> cycles;
+  for (std::size_t start = 0; start < map_.size(); ++start) {
+    if (seen[start]) continue;
+    std::size_t len = 0;
+    std::size_t cur = start;
+    while (!seen[cur]) {
+      seen[cur] = true;
+      cur = map_[cur];
+      ++len;
+    }
+    cycles.push_back(len);
+  }
+  std::sort(cycles.rbegin(), cycles.rend());
+  return cycles;
+}
+
+int Permutation::parity() const {
+  // sign = (-1)^(n - #cycles)
+  const auto cycles = cycle_type().size();
+  return ((map_.size() - cycles) % 2 == 0) ? +1 : -1;
+}
+
+}  // namespace revft

@@ -1,0 +1,55 @@
+// revft/rev/permutation.h
+//
+// Permutations on {0, ..., 2^n - 1}: the exact mathematical object a
+// reversible circuit computes. Used to verify bijectivity (Table 1),
+// decomposition equivalence (Fig 1), and circuit-algebra identities.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace revft {
+
+/// A (claimed) permutation of {0, ..., size-1}, stored as the image
+/// table: map()[x] is the image of x.
+class Permutation {
+ public:
+  Permutation() = default;
+  /// Takes the image table; does not validate — call is_bijection().
+  explicit Permutation(std::vector<std::uint32_t> map) : map_(std::move(map)) {}
+
+  static Permutation identity(std::size_t size);
+
+  std::size_t size() const noexcept { return map_.size(); }
+  const std::vector<std::uint32_t>& map() const noexcept { return map_; }
+  std::uint32_t operator()(std::uint32_t x) const { return map_.at(x); }
+
+  /// True iff the table is a bijection on {0, ..., size-1}.
+  bool is_bijection() const noexcept;
+
+  bool is_identity() const noexcept;
+
+  /// this ∘ other: apply `other` first, then this. Sizes must match
+  /// and both must be bijections (throws revft::Error otherwise).
+  Permutation compose(const Permutation& other) const;
+
+  /// Inverse permutation (requires bijection; throws otherwise).
+  Permutation inverse() const;
+
+  /// Number of fixed points.
+  std::size_t fixed_points() const noexcept;
+
+  /// Cycle lengths in decreasing order (fixed points included as 1s).
+  /// Requires bijection.
+  std::vector<std::size_t> cycle_type() const;
+
+  /// Parity: +1 for even, -1 for odd. Requires bijection.
+  int parity() const;
+
+  bool operator==(const Permutation&) const = default;
+
+ private:
+  std::vector<std::uint32_t> map_;
+};
+
+}  // namespace revft

@@ -1,0 +1,116 @@
+#include "rev/render.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace revft {
+
+namespace {
+
+/// Symbol for operand `slot` (0-based) of a gate.
+char symbol_for(GateKind kind, int slot) {
+  switch (kind) {
+    case GateKind::kNot:
+      return '+';
+    case GateKind::kCnot:
+      return slot == 0 ? '*' : '+';
+    case GateKind::kSwap:
+      return 'x';
+    case GateKind::kToffoli:
+      return slot == 2 ? '+' : '*';
+    case GateKind::kFredkin:
+      return slot == 0 ? '*' : 'x';
+    case GateKind::kSwap3:
+      return 'x';
+    case GateKind::kMaj:
+      return slot == 0 ? 'M' : '#';
+    case GateKind::kMajInv:
+      return slot == 0 ? 'W' : '#';
+    case GateKind::kInit3:
+      return '0';
+  }
+  return '?';
+}
+
+}  // namespace
+
+std::string render_ascii(const Circuit& circuit, const RenderOptions& opts) {
+  const std::uint32_t width = circuit.width();
+  REVFT_CHECK_MSG(width > 0, "render_ascii: empty circuit width");
+  std::vector<std::string> labels = opts.labels;
+  if (labels.empty()) {
+    labels.reserve(width);
+    for (std::uint32_t i = 0; i < width; ++i)
+      labels.push_back("q" + std::to_string(i));
+  }
+  REVFT_CHECK_MSG(labels.size() == width, "render_ascii: label count mismatch");
+  std::size_t label_width = 0;
+  for (const auto& l : labels) label_width = std::max(label_width, l.size());
+
+  // Assign each op a column: either its own, or greedy-packed.
+  std::vector<std::size_t> column(circuit.size());
+  std::size_t num_columns = 0;
+  if (opts.compact) {
+    std::vector<std::size_t> ready(width, 0);
+    for (std::size_t i = 0; i < circuit.size(); ++i) {
+      const Gate& g = circuit.op(i);
+      std::size_t col = 0;
+      // A gate must come after anything touching its bits, and also
+      // not overlap vertically with another gate in the same column
+      // whose connector spans its lines. Keep it simple: block the
+      // whole [min,max] span of each placed gate.
+      const int n = g.arity();
+      std::uint32_t lo = width, hi = 0;
+      for (int k = 0; k < n; ++k) {
+        lo = std::min(lo, g.bits[static_cast<std::size_t>(k)]);
+        hi = std::max(hi, g.bits[static_cast<std::size_t>(k)]);
+      }
+      for (std::uint32_t b = lo; b <= hi; ++b) col = std::max(col, ready[b]);
+      for (std::uint32_t b = lo; b <= hi; ++b) ready[b] = col + 1;
+      column[i] = col;
+      num_columns = std::max(num_columns, col + 1);
+    }
+  } else {
+    for (std::size_t i = 0; i < circuit.size(); ++i) column[i] = i;
+    num_columns = circuit.size();
+  }
+
+  // Canvas: one text row per line plus connector rows between lines.
+  // Each column is 3 chars wide ("-?-" on wires, " ? " on connectors).
+  const std::size_t rows = 2 * static_cast<std::size_t>(width) - 1;
+  const std::size_t cols = 3 * std::max<std::size_t>(num_columns, 1);
+  std::vector<std::string> canvas(rows);
+  for (std::uint32_t b = 0; b < width; ++b)
+    canvas[2 * b] = std::string(cols, '-');
+  for (std::uint32_t b = 0; b + 1 < width; ++b)
+    canvas[2 * b + 1] = std::string(cols, ' ');
+
+  for (std::size_t i = 0; i < circuit.size(); ++i) {
+    const Gate& g = circuit.op(i);
+    const std::size_t cx = 3 * column[i] + 1;
+    const int n = g.arity();
+    std::uint32_t lo = width, hi = 0;
+    for (int k = 0; k < n; ++k) {
+      const std::uint32_t b = g.bits[static_cast<std::size_t>(k)];
+      lo = std::min(lo, b);
+      hi = std::max(hi, b);
+      canvas[2 * b][cx] = symbol_for(g.kind, k);
+    }
+    // Vertical connector through every row strictly between lo and hi.
+    for (std::size_t r = 2 * lo + 1; r < 2 * hi; ++r)
+      if (canvas[r][cx] == ' ' || canvas[r][cx] == '-') canvas[r][cx] = '|';
+  }
+
+  std::string out;
+  for (std::uint32_t b = 0; b < width; ++b) {
+    std::string label = labels[b];
+    label.resize(label_width, ' ');
+    out += label + ": " + canvas[2 * b] + "\n";
+    if (b + 1 < width)
+      out += std::string(label_width + 2, ' ') + canvas[2 * b + 1] + "\n";
+  }
+  return out;
+}
+
+}  // namespace revft

@@ -1,0 +1,35 @@
+// revft/rev/render.h
+//
+// ASCII rendering of circuits in the paper's gate-array notation
+// (space on the y-axis, time on the x-axis). This is how the repo
+// "reproduces" the construction figures (Figs 1, 2, 5, 6, 7): the
+// bench binaries print the constructed circuits next to their verified
+// properties.
+//
+// Symbol legend (ASCII-safe):
+//   *  control            +  XOR target (NOT/CNOT/Toffoli)
+//   x  swapped line       M  MAJ (first operand; majority lands here)
+//   W  MAJ^-1 first operand   #  other MAJ/MAJ^-1 operand
+//   0  init3 (reset)      |  vertical connector
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rev/circuit.h"
+
+namespace revft {
+
+struct RenderOptions {
+  /// Optional per-line labels; defaults to "q0", "q1", ...
+  std::vector<std::string> labels;
+  /// Pack ops into parallel time steps (greedy, same rule as
+  /// Circuit::depth) instead of one column per op.
+  bool compact = false;
+};
+
+/// Render the circuit as multi-line ASCII art (trailing newline
+/// included).
+std::string render_ascii(const Circuit& circuit, const RenderOptions& opts = {});
+
+}  // namespace revft

@@ -1,0 +1,26 @@
+// revft/rev/serialize.h
+//
+// A tiny line-oriented text format for circuits, so workloads can be
+// saved, diffed and reloaded:
+//
+//   revft-circuit v1
+//   width 9
+//   majinv 0 3 6
+//   init3 3 4 5
+//   # comments and blank lines are ignored
+#pragma once
+
+#include <string>
+
+#include "rev/circuit.h"
+
+namespace revft {
+
+/// Serialize to the v1 text format (round-trips through circuit_from_text).
+std::string circuit_to_text(const Circuit& circuit);
+
+/// Parse the v1 text format. Throws revft::Error with a line number on
+/// malformed input.
+Circuit circuit_from_text(const std::string& text);
+
+}  // namespace revft

@@ -1,0 +1,71 @@
+#include "rev/simulator.h"
+
+#include "support/error.h"
+
+namespace revft {
+
+StateVector::StateVector(std::uint32_t width, std::uint64_t value)
+    : bits_(width, 0) {
+  REVFT_CHECK_MSG(width <= 64, "StateVector integer init: width > 64");
+  for (std::uint32_t i = 0; i < width; ++i)
+    bits_[i] = static_cast<std::uint8_t>((value >> i) & 1u);
+}
+
+void StateVector::set_bit(std::uint32_t i, std::uint8_t v) {
+  REVFT_CHECK_MSG(v <= 1, "set_bit: value must be 0 or 1");
+  bits_.at(i) = v;
+}
+
+std::uint64_t StateVector::to_integer() const {
+  REVFT_CHECK_MSG(bits_.size() <= 64, "to_integer: width > 64");
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bits_.size(); ++i)
+    v |= static_cast<std::uint64_t>(bits_[i]) << i;
+  return v;
+}
+
+void StateVector::apply(const Gate& g) {
+  const int n = g.arity();
+  unsigned local = 0;
+  for (int i = 0; i < n; ++i)
+    local |= static_cast<unsigned>(bits_.at(g.bits[static_cast<std::size_t>(i)]))
+             << i;
+  const unsigned out = gate_apply_local(g.kind, local);
+  for (int i = 0; i < n; ++i)
+    bits_[g.bits[static_cast<std::size_t>(i)]] =
+        static_cast<std::uint8_t>((out >> i) & 1u);
+}
+
+void StateVector::apply(const Circuit& c) {
+  REVFT_CHECK_MSG(c.width() == width(), "apply: circuit width mismatch");
+  for (const Gate& g : c.ops()) apply(g);
+}
+
+std::uint64_t simulate(const Circuit& circuit, std::uint64_t input) {
+  StateVector sv(circuit.width(), input);
+  sv.apply(circuit);
+  return sv.to_integer();
+}
+
+std::vector<std::uint32_t> truth_table(const Circuit& circuit) {
+  REVFT_CHECK_MSG(circuit.width() <= 20,
+                  "truth_table: width " << circuit.width() << " too large");
+  const std::size_t rows = std::size_t{1} << circuit.width();
+  std::vector<std::uint32_t> table(rows);
+  for (std::size_t x = 0; x < rows; ++x)
+    table[x] = static_cast<std::uint32_t>(simulate(circuit, x));
+  return table;
+}
+
+Permutation circuit_permutation(const Circuit& circuit) {
+  REVFT_CHECK_MSG(circuit.is_reversible(),
+                  "circuit_permutation: circuit contains init3");
+  return Permutation(truth_table(circuit));
+}
+
+bool functionally_equal(const Circuit& a, const Circuit& b) {
+  REVFT_CHECK_MSG(a.width() == b.width(), "functionally_equal: width mismatch");
+  return truth_table(a) == truth_table(b);
+}
+
+}  // namespace revft

@@ -1,0 +1,60 @@
+// revft/rev/simulator.h
+//
+// Exact (noise-free) gate-level simulation. This is the reference
+// semantics of the paper's abstract machine; the bit-parallel noisy
+// engine in noise/packed_sim.h is validated against it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rev/circuit.h"
+#include "rev/permutation.h"
+
+namespace revft {
+
+/// One classical bit per circuit line.
+class StateVector {
+ public:
+  explicit StateVector(std::uint32_t width) : bits_(width, 0) {}
+
+  /// Construct from an integer: bit i of `value` becomes line i.
+  StateVector(std::uint32_t width, std::uint64_t value);
+
+  std::uint32_t width() const noexcept {
+    return static_cast<std::uint32_t>(bits_.size());
+  }
+
+  std::uint8_t bit(std::uint32_t i) const { return bits_.at(i); }
+  void set_bit(std::uint32_t i, std::uint8_t v);
+
+  /// Pack lines back into an integer (width must be <= 64).
+  std::uint64_t to_integer() const;
+
+  void apply(const Gate& g);
+  void apply(const Circuit& c);
+
+  bool operator==(const StateVector&) const = default;
+
+ private:
+  std::vector<std::uint8_t> bits_;  // each 0 or 1
+};
+
+/// Run `circuit` on the given input (bit i of `input` feeds line i)
+/// and return the packed output. Width must be <= 64.
+std::uint64_t simulate(const Circuit& circuit, std::uint64_t input);
+
+/// Full truth table: entry x is the output for input x.
+/// Width must be <= 20 (2^20 rows).
+std::vector<std::uint32_t> truth_table(const Circuit& circuit);
+
+/// The permutation computed by a reversible circuit (truth table
+/// wrapped in Permutation). Throws revft::Error if the circuit
+/// contains init3, which is not a bijection.
+Permutation circuit_permutation(const Circuit& circuit);
+
+/// True iff two circuits compute the same function on all inputs
+/// (widths must match; width <= 20).
+bool functionally_equal(const Circuit& a, const Circuit& b);
+
+}  // namespace revft

@@ -1,0 +1,85 @@
+#include "rev/synthesis.h"
+
+#include "support/error.h"
+
+namespace revft {
+
+Circuit maj_decomposition(std::uint32_t width, std::uint32_t a, std::uint32_t b,
+                          std::uint32_t c) {
+  Circuit circ(width);
+  circ.cnot(a, b).cnot(a, c).toffoli(b, c, a);
+  return circ;
+}
+
+Circuit majinv_decomposition(std::uint32_t width, std::uint32_t a,
+                             std::uint32_t b, std::uint32_t c) {
+  Circuit circ(width);
+  circ.toffoli(b, c, a).cnot(a, b).cnot(a, c);
+  return circ;
+}
+
+Circuit swap3_decomposition(std::uint32_t width, std::uint32_t a,
+                            std::uint32_t b, std::uint32_t c) {
+  Circuit circ(width);
+  circ.swap(a, b).swap(b, c);
+  return circ;
+}
+
+Circuit uma_block(std::uint32_t width, std::uint32_t a, std::uint32_t b,
+                  std::uint32_t c) {
+  Circuit circ(width);
+  circ.toffoli(b, c, a).cnot(a, c).cnot(c, b);
+  return circ;
+}
+
+RippleAdder cuccaro_adder(std::uint32_t n) {
+  REVFT_CHECK_MSG(n >= 1, "cuccaro_adder: need n >= 1");
+  const std::uint32_t width = 2 * n + 2;
+  RippleAdder adder;
+  adder.circuit = Circuit(width);
+  adder.carry_in = 0;
+  adder.carry_out = width - 1;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    adder.b_bits.push_back(1 + 2 * i);
+    adder.a_bits.push_back(2 + 2 * i);
+  }
+  auto carry_line = [&](std::uint32_t i) {
+    return i == 0 ? adder.carry_in : adder.a_bits[i - 1];
+  };
+  // Forward MAJ ripple: after step i, a_i holds carry_{i+1}.
+  for (std::uint32_t i = 0; i < n; ++i)
+    adder.circuit.maj(adder.a_bits[i], adder.b_bits[i], carry_line(i));
+  // Copy the top carry out.
+  adder.circuit.cnot(adder.a_bits[n - 1], adder.carry_out);
+  // Backward UMA ripple: restores a and the carry chain, writes sums.
+  for (std::uint32_t i = n; i-- > 0;)
+    adder.circuit.append(
+        uma_block(width, adder.a_bits[i], adder.b_bits[i], carry_line(i)));
+  return adder;
+}
+
+NandEmbedding nand_via_toffoli() {
+  NandEmbedding e;
+  e.circuit = Circuit(3);
+  e.circuit.toffoli(0, 1, 2);
+  e.out_bit = 2;
+  e.garbage = {0, 1};
+  e.ancilla_bit = 2;
+  e.ancilla_value = 1;
+  return e;
+}
+
+NandEmbedding nand_via_majinv() {
+  NandEmbedding e;
+  e.circuit = Circuit(3);
+  // MAJ⁻¹ with the preset-1 ancilla as the first operand:
+  // (1, a, b) -> (1^(a&b), a^out, b^out).
+  e.circuit.majinv(2, 0, 1);
+  e.out_bit = 2;
+  e.garbage = {0, 1};
+  e.ancilla_bit = 2;
+  e.ancilla_value = 1;
+  return e;
+}
+
+}  // namespace revft

@@ -1,0 +1,75 @@
+// revft/rev/synthesis.h
+//
+// Known reversible constructions used by the paper:
+//
+//  * Fig 1 — MAJ from two CNOTs and one Toffoli (and its inverse);
+//  * Fig 5 — SWAP3 from two SWAPs;
+//  * the Cuccaro/Draper/Kutin/Moulton ripple-carry adder ([4] in the
+//    paper), which is built from exactly the paper's MAJ gate plus the
+//    UMA block — the paper cites it as evidence MAJ is "a valuable
+//    gate for reversible and quantum computers";
+//  * NAND embeddings into Toffoli and MAJ⁻¹, used by §4's irreversible-
+//    simulation entropy accounting (3/2-bit optimality).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "rev/circuit.h"
+
+namespace revft {
+
+/// Fig 1: CNOT(a->b), CNOT(a->c), Toffoli(b,c->a) on the given bits of
+/// a circuit of width `width`. Functionally equal to make_maj(a,b,c).
+Circuit maj_decomposition(std::uint32_t width, std::uint32_t a, std::uint32_t b,
+                          std::uint32_t c);
+
+/// Inverse order of Fig 1; functionally equal to make_majinv(a,b,c).
+Circuit majinv_decomposition(std::uint32_t width, std::uint32_t a,
+                             std::uint32_t b, std::uint32_t c);
+
+/// Fig 5: SWAP(a,b) then SWAP(b,c); functionally equal to
+/// make_swap3(a,b,c).
+Circuit swap3_decomposition(std::uint32_t width, std::uint32_t a,
+                            std::uint32_t b, std::uint32_t c);
+
+/// The UMA ("UnMajority and Add") block of the Cuccaro adder:
+/// Toffoli(b,c->a), CNOT(a->c), CNOT(c->b). Applied after MAJ(a,b,c)
+/// it restores a and c and leaves b = a ^ b ^ c (the sum bit).
+Circuit uma_block(std::uint32_t width, std::uint32_t a, std::uint32_t b,
+                  std::uint32_t c);
+
+/// An n-bit in-place ripple-carry adder with carry-in and carry-out:
+/// (cin, b, a, z=0)  ->  (cin, a+b+cin mod 2^n, a, carry).
+struct RippleAdder {
+  Circuit circuit;
+  std::vector<std::uint32_t> a_bits;  ///< addend (restored on output)
+  std::vector<std::uint32_t> b_bits;  ///< addend in, sum out
+  std::uint32_t carry_in;             ///< also restored on output
+  std::uint32_t carry_out;            ///< must be 0 on input
+};
+
+/// Build the Cuccaro adder for n >= 1 bits (width 2n + 2).
+RippleAdder cuccaro_adder(std::uint32_t n);
+
+/// A reversible circuit that computes NAND(a, b) into one output bit,
+/// consuming a preset ancilla and producing two garbage bits. Used by
+/// the §4 entropy accounting.
+struct NandEmbedding {
+  Circuit circuit;                        ///< width 3; inputs a=bit0, b=bit1
+  std::uint32_t out_bit;                  ///< holds NAND(a,b) after the run
+  std::array<std::uint32_t, 2> garbage;   ///< bits discarded each cycle
+  std::uint32_t ancilla_bit;              ///< bit that must be preset
+  std::uint8_t ancilla_value;             ///< preset value (1 for both)
+};
+
+/// NAND via a bare Toffoli: garbage = the untouched inputs (a, b).
+NandEmbedding nand_via_toffoli();
+
+/// NAND via MAJ⁻¹ (paper footnote 4): garbage = (a ^ out, b ^ out),
+/// whose *unconditional* entropy under uniform inputs is exactly 3/2
+/// bits — the paper's optimal dissipation figure.
+NandEmbedding nand_via_majinv();
+
+}  // namespace revft

@@ -1,0 +1,63 @@
+#include "support/entropy_math.h"
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace revft {
+
+double binary_entropy(double p) {
+  REVFT_CHECK_MSG(p >= 0.0 && p <= 1.0, "binary_entropy: p=" << p);
+  if (p == 0.0 || p == 1.0) return 0.0;
+  return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+double binary_entropy_upper_2sqrt(double p) {
+  REVFT_CHECK_MSG(p >= 0.0 && p <= 1.0, "binary_entropy_upper_2sqrt: p=" << p);
+  return 2.0 * std::sqrt(p * (1.0 - p));
+}
+
+double shannon_entropy(const std::vector<double>& probs) {
+  double total = 0.0;
+  for (double p : probs) {
+    REVFT_CHECK_MSG(p >= 0.0, "shannon_entropy: negative weight " << p);
+    total += p;
+  }
+  REVFT_CHECK_MSG(total > 0.0, "shannon_entropy: all weights are zero");
+  double h = 0.0;
+  for (double p : probs) {
+    if (p <= 0.0) continue;
+    const double q = p / total;
+    h -= q * std::log2(q);
+  }
+  return h;
+}
+
+double entropy_plugin(const std::vector<std::uint64_t>& counts) {
+  std::uint64_t total = 0;
+  for (auto c : counts) total += c;
+  REVFT_CHECK_MSG(total > 0, "entropy_plugin: all counts are zero");
+  const double n = static_cast<double>(total);
+  double h = 0.0;
+  for (auto c : counts) {
+    if (c == 0) continue;
+    const double q = static_cast<double>(c) / n;
+    h -= q * std::log2(q);
+  }
+  return h;
+}
+
+double entropy_miller_madow(const std::vector<std::uint64_t>& counts) {
+  std::uint64_t total = 0;
+  std::size_t support = 0;
+  for (auto c : counts) {
+    total += c;
+    if (c > 0) ++support;
+  }
+  REVFT_CHECK_MSG(total > 0, "entropy_miller_madow: all counts are zero");
+  const double correction = (static_cast<double>(support) - 1.0) /
+                            (2.0 * static_cast<double>(total) * std::log(2.0));
+  return entropy_plugin(counts) + correction;
+}
+
+}  // namespace revft

@@ -1,0 +1,43 @@
+// revft/support/entropy_math.h
+//
+// Information-theoretic primitives used by the entropy-dissipation
+// analysis (paper §4): binary entropy and its standard bounds, Shannon
+// entropy of discrete distributions, and entropy estimation from
+// empirical counts (plug-in and Miller-Madow bias-corrected).
+//
+// All entropies are in bits (log base 2), matching the paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace revft {
+
+/// Binary entropy H(p) = -p log2 p - (1-p) log2 (1-p), H(0)=H(1)=0.
+/// Requires p in [0,1] (throws revft::Error otherwise).
+double binary_entropy(double p);
+
+/// The bound H(p) <= 2 sqrt(p (1-p)) used in the paper's §4 chain
+/// H(7g/8) <= 2 sqrt(7g/8). We expose the exact form and the paper's
+/// looser sqrt-only form separately so benches can show both.
+double binary_entropy_upper_2sqrt(double p);
+
+/// Shannon entropy (bits) of an explicit distribution. Probabilities
+/// must be non-negative; they are normalized internally so callers may
+/// pass unnormalized weights. All-zero input throws revft::Error.
+double shannon_entropy(const std::vector<double>& probs);
+
+/// Plug-in (maximum likelihood) entropy estimate from outcome counts:
+/// H_hat = -sum (c_i/N) log2 (c_i/N). Zero-count outcomes contribute 0.
+/// Throws revft::Error when all counts are zero.
+double entropy_plugin(const std::vector<std::uint64_t>& counts);
+
+/// Miller-Madow bias-corrected estimate:
+///   H_MM = H_plugin + (K-1) / (2 N ln 2),
+/// K = number of outcomes with non-zero count, N = total count.
+/// The plug-in estimator underestimates entropy; this first-order
+/// correction matters at the sample sizes our ancilla-entropy
+/// experiment uses.
+double entropy_miller_madow(const std::vector<std::uint64_t>& counts);
+
+}  // namespace revft

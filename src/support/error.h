@@ -1,0 +1,51 @@
+// revft/support/error.h
+//
+// Error handling policy for the revft library (see DESIGN.md §6):
+// invariant violations and precondition failures throw revft::Error;
+// expected-failure paths (e.g. "this trial had a logical error") are
+// ordinary return values, never exceptions.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace revft {
+
+/// Exception thrown on contract violations anywhere in revft.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "revft check failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace revft
+
+/// Precondition / invariant check. Always on (these guard logical
+/// correctness of circuit constructions, not hot inner loops).
+#define REVFT_CHECK(expr)                                                  \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::revft::detail::raise_check_failure(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+/// Check with a formatted message, e.g.
+///   REVFT_CHECK_MSG(bit < width, "bit " << bit << " out of range");
+#define REVFT_CHECK_MSG(expr, stream_expr)                              \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      std::ostringstream revft_os_;                                     \
+      revft_os_ << stream_expr;                                         \
+      ::revft::detail::raise_check_failure(#expr, __FILE__, __LINE__,   \
+                                           revft_os_.str());            \
+    }                                                                   \
+  } while (0)

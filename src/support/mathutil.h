@@ -1,0 +1,28 @@
+// revft/support/mathutil.h
+//
+// Small exact-integer math helpers used throughout the analysis layer:
+// binomial coefficients and integer powers with overflow checking (the
+// blow-up formulas Γ_L = (3(G-2))^L and S_L = 9^L overflow 64 bits
+// quickly, and silently wrapping would corrupt tables).
+#pragma once
+
+#include <cstdint>
+
+namespace revft {
+
+/// C(n, k) as an exact unsigned 64-bit value.
+/// Throws revft::Error on overflow.
+std::uint64_t binomial(std::uint64_t n, std::uint64_t k);
+
+/// base^exp as an exact unsigned 64-bit value.
+/// Throws revft::Error on overflow.
+std::uint64_t checked_pow(std::uint64_t base, std::uint64_t exp);
+
+/// base^exp in double precision (never throws; used for the large-L
+/// asymptotic columns of the blow-up tables).
+double pow_double(double base, double exp) noexcept;
+
+/// True iff base^exp fits in uint64.
+bool pow_fits_u64(std::uint64_t base, std::uint64_t exp) noexcept;
+
+}  // namespace revft

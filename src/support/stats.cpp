@@ -1,0 +1,73 @@
+#include "support/stats.h"
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace revft {
+
+void RunningStat::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStat::stderror() const noexcept {
+  if (n_ < 2) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double BernoulliEstimate::rate() const noexcept {
+  return trials == 0 ? 0.0
+                     : static_cast<double>(successes) / static_cast<double>(trials);
+}
+
+BernoulliEstimate::Interval BernoulliEstimate::wilson(double z) const noexcept {
+  if (trials == 0) return {0.0, 1.0};
+  const double n = static_cast<double>(trials);
+  const double p = rate();
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double centre = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      (z / denom) * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  double lo = centre - half;
+  double hi = centre + half;
+  if (lo < 0.0) lo = 0.0;
+  if (hi > 1.0) hi = 1.0;
+  return {lo, hi};
+}
+
+LineFit fit_line(const std::vector<double>& xs, const std::vector<double>& ys) {
+  REVFT_CHECK_MSG(xs.size() == ys.size() && xs.size() >= 2,
+                  "fit_line needs >= 2 matched points, got " << xs.size()
+                                                             << "/" << ys.size());
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double cov = sxy - sx * sy / n;
+  const double var_x = sxx - sx * sx / n;
+  const double var_y = syy - sy * sy / n;
+  REVFT_CHECK_MSG(var_x > 0.0, "fit_line: x values are all identical");
+  LineFit fit;
+  fit.slope = cov / var_x;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  fit.r_squared = var_y <= 0.0 ? 1.0 : (cov * cov) / (var_x * var_y);
+  return fit;
+}
+
+}  // namespace revft

@@ -1,0 +1,65 @@
+// revft/support/stats.h
+//
+// Statistics utilities for Monte-Carlo experiments: running moments,
+// Bernoulli (success-count) estimates with Wilson confidence intervals,
+// and a tiny least-squares line fit used by the pseudo-threshold finder
+// (log p_L vs log g slope estimation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace revft {
+
+/// Welford running mean/variance accumulator.
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance (0 when fewer than 2 samples).
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  /// Standard error of the mean (0 when fewer than 2 samples).
+  double stderror() const noexcept;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Estimate of a Bernoulli success probability from (successes, trials).
+struct BernoulliEstimate {
+  std::uint64_t successes = 0;
+  std::uint64_t trials = 0;
+
+  double rate() const noexcept;
+
+  /// Wilson score interval at z standard deviations (z = 1.96 for 95%).
+  /// Well-behaved at rate 0 and 1, unlike the normal approximation.
+  struct Interval {
+    double lo;
+    double hi;
+  };
+  Interval wilson(double z = 1.96) const noexcept;
+
+  BernoulliEstimate& operator+=(const BernoulliEstimate& other) noexcept {
+    successes += other.successes;
+    trials += other.trials;
+    return *this;
+  }
+};
+
+/// Ordinary least squares fit y = slope*x + intercept.
+/// Requires xs.size() == ys.size() >= 2 (throws revft::Error otherwise).
+struct LineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination in [0,1].
+  double r_squared = 0.0;
+};
+LineFit fit_line(const std::vector<double>& xs, const std::vector<double>& ys);
+
+}  // namespace revft

@@ -1,0 +1,80 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace revft {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  REVFT_CHECK_MSG(!headers_.empty(), "AsciiTable needs at least one column");
+}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  REVFT_CHECK_MSG(cells.size() == headers_.size(),
+                  "row has " << cells.size() << " cells, expected "
+                             << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string AsciiTable::str() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream os;
+  auto rule = [&] {
+    os << '+';
+    for (auto w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      os << ' ' << cells[c] << std::string(widths[c] - cells[c].size(), ' ')
+         << " |";
+    os << '\n';
+  };
+  rule();
+  line(headers_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+  return os.str();
+}
+
+std::string AsciiTable::cell(std::uint64_t v) {
+  return std::to_string(v);
+}
+
+std::string AsciiTable::cell(std::int64_t v) {
+  return std::to_string(v);
+}
+
+std::string AsciiTable::fixed(double v, int decimals) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(decimals);
+  os << v;
+  return os.str();
+}
+
+std::string AsciiTable::sci(double v, int decimals) {
+  std::ostringstream os;
+  os.setf(std::ios::scientific);
+  os.precision(decimals);
+  os << v;
+  return os.str();
+}
+
+std::string AsciiTable::reciprocal(double v) {
+  if (v <= 0.0) return "inf";
+  return "1/" + std::to_string(static_cast<std::uint64_t>(std::llround(1.0 / v)));
+}
+
+}  // namespace revft

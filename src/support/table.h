@@ -1,0 +1,51 @@
+// revft/support/table.h
+//
+// Minimal ASCII table formatter used by the bench binaries to print
+// paper-reproduction rows in a uniform, diff-friendly layout:
+//
+//   +-----------+----------+----------+
+//   | g         | [paper]  | [meas.]  |
+//   +-----------+----------+----------+
+//   | 1.0e-03   | 3.3e-05  | 1.1e-05  |
+//   +-----------+----------+----------+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace revft {
+
+/// Column-aligned ASCII table. Cells are strings; use the cell()
+/// overloads for common numeric formats.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  /// Append one row; must have exactly as many cells as headers.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Render the full table, trailing newline included.
+  std::string str() const;
+
+  // --- cell formatting helpers -------------------------------------
+  static std::string cell(const std::string& s) { return s; }
+  static std::string cell(const char* s) { return s; }
+  static std::string cell(std::uint64_t v);
+  static std::string cell(std::int64_t v);
+  static std::string cell(int v) { return cell(static_cast<std::int64_t>(v)); }
+  /// Fixed-point with the given number of decimals.
+  static std::string fixed(double v, int decimals);
+  /// Scientific with the given number of significant decimals.
+  static std::string sci(double v, int decimals = 2);
+  /// "1/165"-style reciprocal rendering for thresholds.
+  static std::string reciprocal(double v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace revft

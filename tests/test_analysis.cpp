@@ -1,0 +1,243 @@
+// Tests pinning the analysis layer to the paper's published numbers:
+// every threshold, the Eq. 2 recursion, Eq. 3 levels, the §2.3 blow-up
+// worked example (441 gates / 81 bits / L = 2 at T = 10^6), and
+// Table 2's six ratios.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/blowup.h"
+#include "analysis/mixing.h"
+#include "analysis/threshold.h"
+#include "support/error.h"
+
+namespace revft {
+namespace {
+
+TEST(Threshold, PaperValues) {
+  EXPECT_DOUBLE_EQ(threshold_for_ops(11), 1.0 / 165.0);   // §2.2 with init
+  EXPECT_DOUBLE_EQ(threshold_for_ops(9), 1.0 / 108.0);    // §2.2 perfect init
+  EXPECT_DOUBLE_EQ(threshold_for_ops(16), 1.0 / 360.0);   // §3.1 with init
+  EXPECT_DOUBLE_EQ(threshold_for_ops(14), 1.0 / 273.0);   // §3.1 perfect init
+  EXPECT_DOUBLE_EQ(threshold_for_ops(40), 1.0 / 2340.0);  // §3.2 with init
+  EXPECT_DOUBLE_EQ(threshold_for_ops(38), 1.0 / 2109.0);  // §3.2 perfect init
+}
+
+TEST(Threshold, PresetsEncodePaperAccounting) {
+  EXPECT_EQ(PaperGateCounts::kNonLocalWithInit, 11);
+  EXPECT_EQ(PaperGateCounts::kNonLocalPerfectInit, 9);
+  EXPECT_EQ(PaperGateCounts::kLocal2dWithInit, 16);
+  EXPECT_EQ(PaperGateCounts::kLocal2dPerfectInit, 14);
+  EXPECT_EQ(PaperGateCounts::kLocal1dWithInit, 40);
+  EXPECT_EQ(PaperGateCounts::kLocal1dPerfectInit, 38);
+  // Strict recount of the 2D construction: one extra op (DESIGN.md).
+  EXPECT_EQ(PaperGateCounts::kLocal2dWithInitStrict, 17);
+  EXPECT_EQ(PaperGateCounts::kLocal2dPerfectInitStrict, 15);
+}
+
+TEST(Threshold, TwoDThresholdIsApprox0point4Percent) {
+  // "the gate error rate only needs to reach ... approximately 0.4%".
+  EXPECT_NEAR(threshold_for_ops(14), 0.004, 0.0005);
+}
+
+TEST(Threshold, OneLevelMapQuadratic) {
+  EXPECT_DOUBLE_EQ(logical_error_one_level(1e-3, 9), 108.0 * 1e-6);
+  EXPECT_DOUBLE_EQ(logical_error_one_level(1e-3, 11), 165.0 * 1e-6);
+  // Saturates at 1.
+  EXPECT_DOUBLE_EQ(logical_error_one_level(0.9, 40), 1.0);
+}
+
+TEST(Threshold, BelowThresholdImprovesAboveWorsens) {
+  const int G = 9;
+  const double rho = threshold_for_ops(G);
+  EXPECT_LT(logical_error_one_level(rho / 2, G), rho / 2);
+  EXPECT_GT(logical_error_one_level(rho * 2, G), rho * 2);
+  // Exactly at threshold the map is the identity.
+  EXPECT_NEAR(logical_error_one_level(rho, G), rho, 1e-15);
+}
+
+TEST(Threshold, Eq2ClosedFormBoundsRecursion) {
+  // g_k (exact recursion) <= rho (g/rho)^{2^k} for g below threshold.
+  const int G = 9;
+  const double rho = threshold_for_ops(G);
+  for (double g : {rho / 10, rho / 3, rho / 1.5}) {
+    for (int level = 0; level <= 5; ++level) {
+      const double exact = level_error_recursion(g, G, level);
+      const double bound = level_error_bound(g, rho, level);
+      EXPECT_LE(exact, bound * (1 + 1e-12))
+          << "g=" << g << " level=" << level;
+    }
+  }
+}
+
+TEST(Threshold, Eq2ClosedFormIsTightHere) {
+  // For this scheme the recursion g' = 3C(G,2) g^2 makes Eq. 2 exact,
+  // not just an upper bound.
+  const int G = 11;
+  const double rho = threshold_for_ops(G);
+  const double g = rho / 7;
+  for (int level = 0; level <= 4; ++level)
+    EXPECT_NEAR(level_error_recursion(g, G, level),
+                level_error_bound(g, rho, level),
+                level_error_bound(g, rho, level) * 1e-9);
+}
+
+TEST(Threshold, Eq2DoublyExponentialSuppression) {
+  const double rho = 1.0 / 108.0;
+  const double g = rho / 10;
+  // Each extra level squares the suppression factor.
+  for (int level = 1; level <= 4; ++level) {
+    const double prev = level_error_bound(g, rho, level - 1) / rho;
+    const double curr = level_error_bound(g, rho, level) / rho;
+    EXPECT_NEAR(curr, prev * prev, curr * 1e-9);
+  }
+}
+
+TEST(Blowup, GateBlowupFormula) {
+  EXPECT_EQ(gate_blowup(9, 0), 1u);
+  EXPECT_EQ(gate_blowup(9, 1), 21u);
+  EXPECT_EQ(gate_blowup(9, 2), 441u);  // the paper's worked example
+  EXPECT_EQ(gate_blowup(11, 1), 27u);
+  EXPECT_EQ(gate_blowup(11, 2), 729u);
+  EXPECT_EQ(gate_blowup(11, 3), 19683u);
+}
+
+TEST(Blowup, BitBlowupFormula) {
+  EXPECT_EQ(bit_blowup(0), 1u);
+  EXPECT_EQ(bit_blowup(1), 9u);
+  EXPECT_EQ(bit_blowup(2), 81u);  // the paper's worked example
+  EXPECT_EQ(bit_blowup(3), 729u);
+}
+
+TEST(Blowup, Exponents) {
+  // "(3(G-2))^L = O((log T)^4.75)" for G = 11 and S_L = O((log T)^3.17).
+  EXPECT_NEAR(gate_blowup_exponent(11), 4.75, 0.01);
+  EXPECT_NEAR(gate_blowup_exponent(9), std::log2(21.0), 1e-12);
+  EXPECT_NEAR(bit_blowup_exponent(), 3.17, 0.01);
+}
+
+TEST(Blowup, PaperWorkedExample) {
+  // §2.3: G = 9, rho ~ 1/108, g = rho/10, T = 10^6  =>  L = 2,
+  // 441 gates per gate, 81 bits per bit.
+  const double rho = threshold_for_ops(9);
+  const int level = required_level(rho / 10, rho, 1e6);
+  EXPECT_EQ(level, 2);
+  EXPECT_EQ(gate_blowup(9, level), 441u);
+  EXPECT_EQ(bit_blowup(level), 81u);
+}
+
+TEST(Blowup, RequiredLevelEdgeCases) {
+  const double rho = 1.0 / 108.0;
+  // Small modules need no encoding when rho*T <= 1.
+  EXPECT_EQ(required_level(rho / 10, rho, 10.0), 0);
+  // Larger T needs more levels, monotonically.
+  int last = 0;
+  for (double T : {1e3, 1e6, 1e9, 1e12}) {
+    const int level = required_level(rho / 10, rho, T);
+    EXPECT_GE(level, last);
+    last = level;
+  }
+  // Above threshold there is no valid level.
+  EXPECT_THROW(required_level(rho * 2, rho, 1e6), Error);
+}
+
+TEST(Blowup, RequiredLevelSufficesAndIsMinimal) {
+  const double rho = threshold_for_ops(9);
+  for (double T : {1e4, 1e6, 1e9}) {
+    for (double g : {rho / 20, rho / 10, rho / 3}) {
+      const int level = required_level(g, rho, T);
+      EXPECT_LE(level_error_bound(g, rho, level), 1.0 / T + 1e-18);
+      if (level > 0) {
+        EXPECT_GT(level_error_bound(g, rho, level - 1), 1.0 / T)
+            << "level not minimal for T=" << T << " g=" << g;
+      }
+    }
+  }
+}
+
+TEST(Mixing, FormulaEndpoints) {
+  const double rho1 = 1.0 / 2109.0, rho2 = 1.0 / 273.0;
+  // k = 0: pure 1D threshold; k -> infinity: approaches 2D threshold.
+  EXPECT_DOUBLE_EQ(mixed_threshold(rho2, rho1, 0), rho1);
+  EXPECT_NEAR(mixed_threshold(rho2, rho1, 20), rho2, rho2 * 1e-4);
+  // Monotone increasing in k.
+  for (int k = 0; k < 8; ++k)
+    EXPECT_LT(mixed_threshold(rho2, rho1, k), mixed_threshold(rho2, rho1, k + 1));
+}
+
+TEST(Mixing, Table2RatiosMatchPaper) {
+  // Table 2: k, width, rho(k)/rho2 = 0.13, 0.36, 0.60, 0.77, 0.88, 0.94.
+  // Matching the published ratios requires the PERFECT-INIT presets
+  // (rho2 = 1/273, rho1 = 1/2109): 273/2109 = 0.1294 ~ 0.13, while the
+  // with-init presets give 360/2340 = 0.154. The paper evidently
+  // computed Table 2 with initialization uncounted.
+  const double rho1 = 1.0 / 2109.0, rho2 = 1.0 / 273.0;
+  const auto rows = table2_rows(rho2, rho1, 5);
+  ASSERT_EQ(rows.size(), 6u);
+  const double paper_ratios[6] = {0.13, 0.36, 0.60, 0.77, 0.88, 0.94};
+  const std::uint64_t paper_widths[6] = {1, 3, 9, 27, 81, 243};
+  for (int k = 0; k <= 5; ++k) {
+    EXPECT_EQ(rows[static_cast<std::size_t>(k)].k, k);
+    EXPECT_EQ(rows[static_cast<std::size_t>(k)].width,
+              paper_widths[static_cast<std::size_t>(k)]);
+    EXPECT_NEAR(rows[static_cast<std::size_t>(k)].ratio_to_inner,
+                paper_ratios[static_cast<std::size_t>(k)], 0.005)
+        << "k=" << k;
+  }
+}
+
+TEST(Mixing, PaperHeadlineClaims) {
+  const double rho1 = 1.0 / 2109.0, rho2 = 1.0 / 273.0;
+  // "a linear array nine bits wide has a threshold 60% as large as the
+  // full 2D case" (k = 2).
+  EXPECT_NEAR(mixed_threshold(rho2, rho1, 2) / rho2, 0.60, 0.005);
+  // "an array 27 bits wide has a threshold 77% as large" / "only 23%
+  // smaller than 2D" (k = 3).
+  EXPECT_NEAR(mixed_threshold(rho2, rho1, 3) / rho2, 0.77, 0.005);
+  // Abstract: "1D ... threshold ... about an order of magnitude worse".
+  EXPECT_NEAR(rho2 / rho1, 7.7, 0.1);
+}
+
+TEST(Mixing, InitConventionShiftsRatiosSlightly) {
+  // The ratio table depends (weakly) on the init convention: with-init
+  // presets give rho1/rho2 = 360/2340 = 0.154 at k = 0 instead of the
+  // published 0.129 — evidence Table 2 was computed with perfect init.
+  const auto with_init = table2_rows(1.0 / 360.0, 1.0 / 2340.0, 5);
+  const auto perfect = table2_rows(1.0 / 273.0, 1.0 / 2109.0, 5);
+  EXPECT_NEAR(with_init[0].ratio_to_inner, 0.154, 0.001);
+  EXPECT_NEAR(perfect[0].ratio_to_inner, 0.129, 0.001);
+  for (std::size_t k = 0; k < 6; ++k)
+    EXPECT_NEAR(with_init[k].ratio_to_inner, perfect[k].ratio_to_inner, 0.04);
+}
+
+TEST(PseudoThreshold, InterpolatesCrossing) {
+  // Synthetic quadratic data p = c g^2 with c = 100: crossing at 0.01.
+  std::vector<SweepSample> samples;
+  for (double g = 0.002; g <= 0.03; g *= 1.5)
+    samples.push_back({g, 100.0 * g * g});
+  EXPECT_NEAR(pseudo_threshold_from_sweep(samples), 0.01, 1e-4);
+}
+
+TEST(PseudoThreshold, ZeroWhenNoCrossing) {
+  std::vector<SweepSample> samples{{1e-4, 1e-6}, {2e-4, 4e-6}};
+  EXPECT_EQ(pseudo_threshold_from_sweep(samples), 0.0);
+}
+
+TEST(PseudoThreshold, FitRecoversQuadratic) {
+  std::vector<SweepSample> samples;
+  for (double g = 1e-4; g <= 1e-2; g *= 2) samples.push_back({g, 165.0 * g * g});
+  const auto fit = fit_error_scaling(samples);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-6);
+  EXPECT_NEAR(fit.coefficient, 165.0, 0.01);
+  EXPECT_NEAR(fit.implied_threshold, 1.0 / 165.0, 1e-6);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(PseudoThreshold, FitIgnoresZeroSamples) {
+  std::vector<SweepSample> samples{{1e-4, 0.0}, {1e-3, 1e-4}, {1e-2, 1e-2}};
+  const auto fit = fit_error_scaling(samples);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace revft

@@ -1,0 +1,172 @@
+// Tests for the von Neumann NAND-multiplexing baseline (§2's cited
+// prior art): analytic stage maps, the classical critical error rate
+// ε* = (3-√7)/4, and Monte-Carlo behaviour of the packed bundle
+// simulator below/above threshold.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/nand_multiplexing.h"
+#include "support/error.h"
+
+namespace revft {
+namespace {
+
+TEST(NandMux, StageMapNoiselessValues) {
+  // Clean NAND of clean bundles.
+  EXPECT_DOUBLE_EQ(nand_stage_map(1.0, 1.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(nand_stage_map(0.0, 0.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(nand_stage_map(1.0, 0.0, 0.0), 1.0);
+  // Half-stimulated independent bundles: 1 - 0.25.
+  EXPECT_DOUBLE_EQ(nand_stage_map(0.5, 0.5, 0.0), 0.75);
+}
+
+TEST(NandMux, StageMapNoiseMixesTowardFlip) {
+  // With epsilon the output interpolates between NAND and its negation.
+  EXPECT_DOUBLE_EQ(nand_stage_map(1.0, 1.0, 0.1), 0.1);
+  EXPECT_DOUBLE_EQ(nand_stage_map(0.0, 0.0, 0.1), 0.9);
+  EXPECT_THROW(nand_stage_map(1.2, 0.0, 0.0), Error);
+  EXPECT_THROW(nand_stage_map(0.5, 0.5, -0.1), Error);
+}
+
+TEST(NandMux, RestorativeMapSharpensCleanBundles) {
+  // Below threshold, the double-NAND map pushes fractions toward the
+  // stable levels: a slightly degraded 1 gets cleaner.
+  const double eps = 0.01;
+  const double degraded = 0.9;
+  const double restored = restorative_map(degraded, eps);
+  EXPECT_GT(restored, degraded);
+  // And a slightly-off 0 gets cleaner too.
+  EXPECT_LT(restorative_map(0.1, eps), 0.1);
+}
+
+TEST(NandMux, CriticalEpsilonMatchesClosedForm) {
+  // ε* = (3 - sqrt(7))/4 ≈ 0.088562 — the classical threshold of
+  // noisy-NAND restoration (the paper's "about 11%" ballpark figure).
+  const double closed_form = (3.0 - std::sqrt(7.0)) / 4.0;
+  EXPECT_NEAR(critical_epsilon(), closed_form, 1e-4);
+}
+
+TEST(NandMux, RestorationDiesAboveCritical) {
+  const double above = 0.12;
+  // Iterate the map from a clean 1: it must collapse into the dead
+  // band instead of holding near 1.
+  double z = 1.0;
+  for (int i = 0; i < 50; ++i) z = restorative_map(z, above);
+  EXPECT_LT(z, 0.9);
+  EXPECT_GT(z, 0.1);
+}
+
+TEST(NandMux, ConstantBundlesDecode) {
+  NandMultiplexConfig config;
+  config.bundle_size = 33;
+  const NandMultiplexer mux(config);
+  const auto ones = mux.constant_bundle(true);
+  const auto zeros = mux.constant_bundle(false);
+  for (int lane : {0, 17, 63}) {
+    EXPECT_EQ(mux.decode_lane(ones, lane), 1);
+    EXPECT_EQ(mux.decode_lane(zeros, lane), 0);
+    EXPECT_DOUBLE_EQ(mux.fraction_lane(ones, lane), 1.0);
+  }
+}
+
+TEST(NandMux, NoiselessUnitComputesNand) {
+  NandMultiplexConfig config;
+  config.bundle_size = 15;
+  const NandMultiplexer mux(config);
+  Xoshiro256 rng(1);
+  const struct {
+    bool x, y;
+    int want;
+  } cases[] = {{true, true, 0}, {true, false, 1}, {false, true, 1},
+               {false, false, 1}};
+  for (const auto& c : cases) {
+    const auto out = mux.nand(mux.constant_bundle(c.x), mux.constant_bundle(c.y),
+                              0.0, rng);
+    EXPECT_EQ(mux.decode_lane(out, 5), c.want) << c.x << "," << c.y;
+  }
+}
+
+TEST(NandMux, ChainBelowThresholdIsReliable) {
+  NandMultiplexConfig config;
+  config.bundle_size = 199;
+  const auto result = run_nand_chain(config, 12, 0.02, 20000, 0x1a);
+  EXPECT_LT(result.logical_error.rate(), 0.01)
+      << "epsilon=0.02 is far below the 8.9% threshold";
+}
+
+TEST(NandMux, ChainAboveThresholdFails) {
+  NandMultiplexConfig config;
+  config.bundle_size = 199;
+  const auto result = run_nand_chain(config, 12, 0.2, 20000, 0x1b);
+  EXPECT_GT(result.logical_error.rate(), 0.5)
+      << "epsilon=0.2 is far above the threshold";
+}
+
+TEST(NandMux, BiggerBundlesSharpenTheThreshold) {
+  // At an epsilon just below threshold, larger bundles should be more
+  // reliable (finite-size noise shrinks as 1/sqrt(N)).
+  const double eps = 0.05;
+  NandMultiplexConfig small_config;
+  small_config.bundle_size = 25;
+  NandMultiplexConfig big_config;
+  big_config.bundle_size = 399;
+  const auto small_result = run_nand_chain(small_config, 10, eps, 20000, 0x2a);
+  const auto big_result = run_nand_chain(big_config, 10, eps, 20000, 0x2b);
+  EXPECT_LT(big_result.logical_error.rate(),
+            small_result.logical_error.rate() + 1e-9);
+}
+
+TEST(NandMux, MeanFractionTracksAnalyticUnitMap) {
+  // Iterate the exact infinite-bundle unit map — executive stage
+  // against a constant-1 bundle, then the two restorative stages —
+  // and compare the Monte-Carlo mean final fraction against it.
+  const double eps = 0.03;
+  const int units = 12;
+  double z = 1.0;
+  for (int u = 0; u < units; ++u) {
+    const double executive = nand_stage_map(z, 1.0, eps);
+    z = restorative_map(executive, eps);
+  }
+  NandMultiplexConfig config;
+  config.bundle_size = 299;
+  const auto result = run_nand_chain(config, units, eps, 20000, 0x3c);
+  EXPECT_NEAR(result.mean_final_fraction, z, 0.02);
+}
+
+TEST(NandMux, FixedWiringsAccumulateCorrelations) {
+  // Ablation: reusing the same three permutations every unit (a
+  // manufactured device) violates von Neumann's independence
+  // assumption; the steady-state stimulated fraction drops measurably
+  // below the fresh-wiring value.
+  const double eps = 0.03;
+  NandMultiplexConfig fresh;
+  fresh.bundle_size = 299;
+  fresh.fresh_wirings = true;
+  NandMultiplexConfig fixed = fresh;
+  fixed.fresh_wirings = false;
+  const auto fresh_result = run_nand_chain(fresh, 12, eps, 20000, 0x4d);
+  const auto fixed_result = run_nand_chain(fixed, 12, eps, 20000, 0x4d);
+  EXPECT_GT(fresh_result.mean_final_fraction,
+            fixed_result.mean_final_fraction + 0.01);
+}
+
+TEST(NandMux, DeterministicGivenSeed) {
+  NandMultiplexConfig config;
+  config.bundle_size = 49;
+  const auto a = run_nand_chain(config, 6, 0.05, 5000, 77);
+  const auto b = run_nand_chain(config, 6, 0.05, 5000, 77);
+  EXPECT_EQ(a.logical_error.successes, b.logical_error.successes);
+}
+
+TEST(NandMux, ConfigValidation) {
+  NandMultiplexConfig config;
+  config.bundle_size = 0;
+  EXPECT_THROW(NandMultiplexer{config}, Error);
+  config.bundle_size = 10;
+  config.delta = 0.5;
+  EXPECT_THROW(NandMultiplexer{config}, Error);
+}
+
+}  // namespace
+}  // namespace revft

@@ -1,0 +1,138 @@
+// Unit tests for rev/circuit.h: construction validation, composition
+// helpers, inversion, histograms, touch counts and depth.
+#include <gtest/gtest.h>
+
+#include "rev/circuit.h"
+#include "rev/simulator.h"
+#include "support/error.h"
+
+namespace revft {
+namespace {
+
+TEST(Circuit, PushValidatesOperandRange) {
+  Circuit c(3);
+  EXPECT_NO_THROW(c.maj(0, 1, 2));
+  EXPECT_THROW(c.cnot(0, 3), Error);
+  EXPECT_THROW(c.not_(5), Error);
+  EXPECT_EQ(c.size(), 1u);  // failed pushes leave the circuit unchanged
+}
+
+TEST(Circuit, FluentBuildersAppendInOrder) {
+  Circuit c(4);
+  c.not_(0).cnot(0, 1).toffoli(0, 1, 2).swap(2, 3);
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.op(0).kind, GateKind::kNot);
+  EXPECT_EQ(c.op(1).kind, GateKind::kCnot);
+  EXPECT_EQ(c.op(2).kind, GateKind::kToffoli);
+  EXPECT_EQ(c.op(3).kind, GateKind::kSwap);
+}
+
+TEST(Circuit, AppendRequiresMatchingWidth) {
+  Circuit a(3), b(4);
+  b.not_(0);
+  EXPECT_THROW(a.append(b), Error);
+}
+
+TEST(Circuit, AppendShiftedRemapsOperands) {
+  Circuit inner(3);
+  inner.maj(0, 1, 2);
+  Circuit outer(9);
+  outer.append_shifted(inner, 6);
+  ASSERT_EQ(outer.size(), 1u);
+  EXPECT_EQ(outer.op(0).bits[0], 6u);
+  EXPECT_EQ(outer.op(0).bits[1], 7u);
+  EXPECT_EQ(outer.op(0).bits[2], 8u);
+  EXPECT_THROW(outer.append_shifted(inner, 7), Error);  // would overflow
+}
+
+TEST(Circuit, AppendMappedRemapsThroughTable) {
+  Circuit inner(3);
+  inner.maj(0, 1, 2);
+  Circuit outer(10);
+  outer.append_mapped(inner, {9, 4, 0});
+  ASSERT_EQ(outer.size(), 1u);
+  EXPECT_EQ(outer.op(0).bits[0], 9u);
+  EXPECT_EQ(outer.op(0).bits[1], 4u);
+  EXPECT_EQ(outer.op(0).bits[2], 0u);
+  EXPECT_THROW(outer.append_mapped(inner, {0, 1}), Error);  // size mismatch
+  Circuit tiny(2);
+  EXPECT_THROW(tiny.append_mapped(inner, {0, 1, 5}), Error);  // out of range
+}
+
+TEST(Circuit, InverseUndoesCircuit) {
+  Circuit c(5);
+  c.maj(0, 1, 2).cnot(3, 4).swap3(1, 2, 3).toffoli(0, 4, 2).not_(3);
+  Circuit round_trip = c;
+  round_trip.append(c.inverse());
+  EXPECT_TRUE(circuit_permutation(round_trip).is_identity());
+}
+
+TEST(Circuit, InverseReversesOrder) {
+  Circuit c(3);
+  c.maj(0, 1, 2).not_(0);
+  const Circuit inv = c.inverse();
+  ASSERT_EQ(inv.size(), 2u);
+  EXPECT_EQ(inv.op(0).kind, GateKind::kNot);
+  EXPECT_EQ(inv.op(1).kind, GateKind::kMajInv);
+}
+
+TEST(Circuit, InverseWithInit3Throws) {
+  Circuit c(3);
+  c.init3(0, 1, 2);
+  EXPECT_THROW(c.inverse(), Error);
+}
+
+TEST(Circuit, IsReversible) {
+  Circuit c(3);
+  c.maj(0, 1, 2);
+  EXPECT_TRUE(c.is_reversible());
+  c.init3(0, 1, 2);
+  EXPECT_FALSE(c.is_reversible());
+}
+
+TEST(Circuit, HistogramCounts) {
+  Circuit c(9);
+  c.maj(0, 1, 2).maj(3, 4, 5).majinv(6, 7, 8).init3(0, 1, 2).swap(0, 1);
+  const auto h = c.histogram();
+  EXPECT_EQ(h.of(GateKind::kMaj), 2u);
+  EXPECT_EQ(h.of(GateKind::kMajInv), 1u);
+  EXPECT_EQ(h.of(GateKind::kInit3), 1u);
+  EXPECT_EQ(h.of(GateKind::kSwap), 1u);
+  EXPECT_EQ(h.of(GateKind::kToffoli), 0u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.total_reversible(), 4u);
+}
+
+TEST(Circuit, TouchCount) {
+  Circuit c(4);
+  c.maj(0, 1, 2).cnot(0, 3).swap(1, 2);
+  EXPECT_EQ(c.touch_count(0), 2u);
+  EXPECT_EQ(c.touch_count(1), 2u);
+  EXPECT_EQ(c.touch_count(2), 2u);
+  EXPECT_EQ(c.touch_count(3), 1u);
+}
+
+TEST(Circuit, DepthPacksDisjointOps) {
+  Circuit c(6);
+  c.cnot(0, 1).cnot(2, 3).cnot(4, 5);  // all disjoint: one step
+  EXPECT_EQ(c.depth(), 1u);
+  c.cnot(1, 2);  // overlaps the first two: second step
+  EXPECT_EQ(c.depth(), 2u);
+}
+
+TEST(Circuit, DepthOfSequentialChain) {
+  Circuit c(2);
+  for (int i = 0; i < 7; ++i) c.cnot(0, 1);
+  EXPECT_EQ(c.depth(), 7u);
+}
+
+TEST(Circuit, EmptyCircuit) {
+  Circuit c(3);
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(c.depth(), 0u);
+  EXPECT_EQ(c.histogram().total(), 0u);
+  EXPECT_TRUE(c.is_reversible());
+}
+
+}  // namespace
+}  // namespace revft

@@ -1,0 +1,241 @@
+// Tests for the concatenation compiler (ft/concat.h): size accounting
+// against §2.3's formulas, exhaustive logical correctness at levels
+// 0-2, and the level-1 fault-tolerance property proven by exhaustive
+// single-fault injection across the entire compiled module.
+#include <gtest/gtest.h>
+
+#include "ft/concat.h"
+#include "noise/injection.h"
+#include "rev/simulator.h"
+#include "support/error.h"
+#include "support/mathutil.h"
+
+namespace revft {
+namespace {
+
+Circuit single_gate_circuit(GateKind kind) {
+  const int arity = gate_arity(kind);
+  Circuit c(static_cast<std::uint32_t>(arity));
+  Gate g{kind, {0, 0, 0}};
+  for (int i = 0; i < arity; ++i)
+    g.bits[static_cast<std::size_t>(i)] = static_cast<std::uint32_t>(i);
+  c.push(g);
+  return c;
+}
+
+/// Encode logical inputs, run the compiled module noise-free, decode.
+unsigned run_compiled(const CompiledModule& module, const Circuit& logical,
+                      unsigned input) {
+  StateVector sv(module.physical.width());
+  for (std::uint32_t k = 0; k < logical.width(); ++k) {
+    const auto tree = BlockTree::canonical(
+        module.level,
+        k * static_cast<std::uint32_t>(module.blocks[k].span()));
+    encode_block(tree, static_cast<int>((input >> k) & 1u),
+                 [&](std::uint32_t b, int v) {
+                   sv.set_bit(b, static_cast<std::uint8_t>(v));
+                 });
+  }
+  sv.apply(module.physical);
+  unsigned out = 0;
+  for (std::uint32_t k = 0; k < logical.width(); ++k) {
+    const int v = decode_block(module.blocks[k], [&](std::uint32_t b) {
+      return static_cast<int>(sv.bit(b));
+    });
+    out |= static_cast<unsigned>(v) << k;
+  }
+  return out;
+}
+
+TEST(Concat, LevelZeroIsIdentityCompilation) {
+  const Circuit logical = single_gate_circuit(GateKind::kToffoli);
+  const auto module = concat_compile(logical, 0);
+  EXPECT_EQ(module.physical, logical);
+  EXPECT_EQ(module.blocks.size(), 3u);
+}
+
+TEST(Concat, PhysicalWidthIsNinePowLevel) {
+  const Circuit logical = single_gate_circuit(GateKind::kToffoli);
+  EXPECT_EQ(concat_compile(logical, 1).physical.width(), 27u);
+  EXPECT_EQ(concat_compile(logical, 2).physical.width(), 243u);
+  EXPECT_EQ(concat_compile(logical, 3).physical.width(), 2187u);
+}
+
+TEST(Concat, GateCountWithoutInitMatchesPaperGammaExactly) {
+  // With E = 6 (no init ops) the compiled count is exactly the
+  // paper's Γ_L = (3(G-2))^L = 21^L.
+  const Circuit logical = single_gate_circuit(GateKind::kToffoli);
+  const ConcatOptions no_init{false};
+  for (int level = 0; level <= 3; ++level) {
+    const auto module = concat_compile(logical, level, no_init);
+    EXPECT_EQ(module.physical.size(),
+              checked_pow(21, static_cast<std::uint64_t>(level)))
+        << "level " << level;
+  }
+}
+
+TEST(Concat, GateCountWithInitFollowsRecurrence) {
+  // With init the compiled count obeys C_L = 21 C_{L-1} + 6 * 9^{L-1}
+  // (resets are plain physical init3 sweeps), which is <= the paper's
+  // accounting Γ_L = 27^L that charges every recovery op Γ_{L-1}.
+  const Circuit logical = single_gate_circuit(GateKind::kToffoli);
+  std::uint64_t expected = 1;
+  for (int level = 0; level <= 3; ++level) {
+    const auto module = concat_compile(logical, level, ConcatOptions{true});
+    EXPECT_EQ(module.physical.size(), expected) << "level " << level;
+    EXPECT_LE(module.physical.size(),
+              checked_pow(27, static_cast<std::uint64_t>(level)))
+        << "compiled must not exceed paper accounting";
+    expected = 21 * expected + 6 * checked_pow(9, static_cast<std::uint64_t>(level));
+  }
+}
+
+TEST(Concat, Level1CountsBreakdown) {
+  const auto module =
+      concat_compile(single_gate_circuit(GateKind::kToffoli), 1);
+  const auto h = module.physical.histogram();
+  EXPECT_EQ(h.of(GateKind::kToffoli), 3u);  // transversal
+  EXPECT_EQ(h.of(GateKind::kMajInv), 9u);   // 3 EC stages x 3 encoders
+  EXPECT_EQ(h.of(GateKind::kMaj), 9u);      // 3 EC stages x 3 decoders
+  EXPECT_EQ(h.of(GateKind::kInit3), 6u);    // 3 EC stages x 2 inits
+  EXPECT_EQ(h.total(), 27u);
+}
+
+class ConcatExhaustive
+    : public ::testing::TestWithParam<std::tuple<GateKind, int>> {};
+
+TEST_P(ConcatExhaustive, ComputesLogicalFunctionOnAllInputs) {
+  const GateKind kind = std::get<0>(GetParam());
+  const int level = std::get<1>(GetParam());
+  const Circuit logical = single_gate_circuit(kind);
+  for (bool with_init : {true, false}) {
+    const auto module = concat_compile(logical, level, ConcatOptions{with_init});
+    const unsigned inputs = 1u << logical.width();
+    for (unsigned input = 0; input < inputs; ++input) {
+      const unsigned expected =
+          static_cast<unsigned>(simulate(logical, input));
+      EXPECT_EQ(run_compiled(module, logical, input), expected)
+          << gate_name(kind) << " level " << level << " input " << input
+          << " with_init " << with_init;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GatesAndLevels, ConcatExhaustive,
+    ::testing::Combine(::testing::Values(GateKind::kToffoli, GateKind::kMaj,
+                                         GateKind::kMajInv, GateKind::kFredkin,
+                                         GateKind::kSwap3, GateKind::kCnot,
+                                         GateKind::kSwap, GateKind::kNot),
+                       ::testing::Values(1, 2)));
+
+TEST(Concat, MultiGateLogicalCircuit) {
+  // A 4-bit logical circuit with several gates, compiled to level 1.
+  Circuit logical(4);
+  logical.maj(0, 1, 2).cnot(2, 3).toffoli(0, 3, 1).swap(1, 2);
+  const auto module = concat_compile(logical, 1);
+  for (unsigned input = 0; input < 16; ++input) {
+    EXPECT_EQ(run_compiled(module, logical, input),
+              static_cast<unsigned>(simulate(logical, input)))
+        << "input " << input;
+  }
+}
+
+TEST(Concat, LogicalInitResetsToZero) {
+  Circuit logical(3);
+  logical.init3(0, 1, 2);
+  for (int level : {1, 2}) {
+    const auto module = concat_compile(logical, level);
+    for (unsigned input = 0; input < 8; ++input)
+      EXPECT_EQ(run_compiled(module, logical, input), 0u)
+          << "level " << level << " input " << input;
+  }
+}
+
+TEST(Concat, LogicalInitCost) {
+  // Resetting 3 level-L blocks costs 9^L plain init3 ops (span / 3
+  // bits each) — far below the paper's Γ accounting for inits.
+  Circuit logical(3);
+  logical.init3(0, 1, 2);
+  EXPECT_EQ(concat_compile(logical, 1).physical.size(), 9u);
+  EXPECT_EQ(concat_compile(logical, 2).physical.size(), 81u);
+}
+
+TEST(Concat, RecoveryRotatesBlockData) {
+  const auto module =
+      concat_compile(single_gate_circuit(GateKind::kToffoli), 1);
+  // After one recovery, data children are {0, 3, 6} (Fig 2's rotation
+  // mapped to child indices: kept data child 0 plus ancillas 3 and 6
+  // ... i.e. first ancilla of each init triple).
+  for (const auto& block : module.blocks)
+    EXPECT_EQ(block.data, (std::array<int, 3>{0, 3, 6}));
+}
+
+// The construction-level FT theorem at level 1: NO single physical
+// fault anywhere in the compiled module can change any logical output.
+TEST(Concat, Level1SingleFaultNeverCausesLogicalError) {
+  const Circuit logical = single_gate_circuit(GateKind::kToffoli);
+  const auto module = concat_compile(logical, 1);
+  const auto faults = enumerate_single_faults(module.physical);
+  for (unsigned input = 0; input < 8; ++input) {
+    const unsigned expected = static_cast<unsigned>(simulate(logical, input));
+    // Prepare the encoded state once per input.
+    StateVector prepared(module.physical.width());
+    for (std::uint32_t k = 0; k < 3; ++k) {
+      const auto tree = BlockTree::canonical(1, k * 9);
+      encode_block(tree, static_cast<int>((input >> k) & 1u),
+                   [&](std::uint32_t b, int v) {
+                     prepared.set_bit(b, static_cast<std::uint8_t>(v));
+                   });
+    }
+    for (const auto& fault : faults) {
+      const StateVector out =
+          apply_with_faults(module.physical, prepared, {fault});
+      unsigned decoded = 0;
+      for (std::uint32_t k = 0; k < 3; ++k)
+        decoded |= static_cast<unsigned>(decode_block(
+                       module.blocks[k],
+                       [&](std::uint32_t b) { return static_cast<int>(out.bit(b)); }))
+                   << k;
+      ASSERT_EQ(decoded, expected)
+          << "input " << input << " op " << fault.op_index << " value "
+          << fault.corrupted_local;
+    }
+  }
+}
+
+TEST(Concat, Level2SingleFaultNeverCausesLogicalError) {
+  // Same theorem one level up; spot-check one input against every
+  // fault location/value (4968 scenarios).
+  const Circuit logical = single_gate_circuit(GateKind::kToffoli);
+  const auto module = concat_compile(logical, 2);
+  const unsigned input = 0b101;
+  const unsigned expected = static_cast<unsigned>(simulate(logical, input));
+  StateVector prepared(module.physical.width());
+  for (std::uint32_t k = 0; k < 3; ++k) {
+    const auto tree = BlockTree::canonical(2, k * 81);
+    encode_block(tree, static_cast<int>((input >> k) & 1u),
+                 [&](std::uint32_t b, int v) {
+                   prepared.set_bit(b, static_cast<std::uint8_t>(v));
+                 });
+  }
+  for (const auto& fault : enumerate_single_faults(module.physical)) {
+    const StateVector out = apply_with_faults(module.physical, prepared, {fault});
+    unsigned decoded = 0;
+    for (std::uint32_t k = 0; k < 3; ++k)
+      decoded |= static_cast<unsigned>(decode_block(
+                     module.blocks[k],
+                     [&](std::uint32_t b) { return static_cast<int>(out.bit(b)); }))
+                 << k;
+    ASSERT_EQ(decoded, expected)
+        << "op " << fault.op_index << " value " << fault.corrupted_local;
+  }
+}
+
+TEST(Concat, RejectsNegativeLevel) {
+  EXPECT_THROW(concat_compile(single_gate_circuit(GateKind::kMaj), -1),
+               Error);
+}
+
+}  // namespace
+}  // namespace revft

@@ -1,0 +1,163 @@
+// Monte-Carlo experiment driver tests: statistical sanity of the
+// threshold experiments at small trial counts (kept light so the
+// suite stays fast; the benches run the full sweeps).
+#include <gtest/gtest.h>
+
+#include "analysis/threshold.h"
+#include "ft/experiments.h"
+
+namespace revft {
+namespace {
+
+LogicalGateExperimentConfig config_for(int level, std::uint64_t trials) {
+  LogicalGateExperimentConfig config;
+  config.level = level;
+  config.trials = trials;
+  config.seed = 0x5eedULL + static_cast<std::uint64_t>(level);
+  return config;
+}
+
+TEST(Experiments, Level0AnchorsToPhysicalErrorScale) {
+  // An unencoded toffoli fails visibly with probability g * 7/8 *
+  // P[corruption changes the output] — bounded by g. Check the
+  // measured rate is within [g/2, g] for a moderate g.
+  const LogicalGateExperiment exp(config_for(0, 200000));
+  const double g = 0.02;
+  const auto est = exp.run(g);
+  EXPECT_GT(est.rate(), 0.4 * g);
+  EXPECT_LT(est.rate(), 1.1 * g);
+}
+
+TEST(Experiments, ZeroNoiseZeroErrors) {
+  for (int level : {0, 1, 2}) {
+    const LogicalGateExperiment exp(config_for(level, 5000));
+    EXPECT_EQ(exp.run(0.0).successes, 0u) << "level " << level;
+  }
+}
+
+TEST(Experiments, Level1SuppressesErrorsBelowThreshold) {
+  // At g = rho/10 the level-1 logical error rate must be well below g.
+  const LogicalGateExperiment exp(config_for(1, 300000));
+  const double rho = threshold_for_ops(11);
+  const double g = rho / 10;
+  const auto est = exp.run(g);
+  EXPECT_LT(est.wilson().lo, g) << "logical error not below physical!";
+  EXPECT_LT(est.rate(), g * 0.8);
+}
+
+TEST(Experiments, Level1WorseAboveSaturation) {
+  // Far above threshold, encoding hurts: logical error rate exceeds
+  // the bare-gate visible error rate.
+  const LogicalGateExperiment level1(config_for(1, 50000));
+  const LogicalGateExperiment level0(config_for(0, 50000));
+  const double g = 0.2;
+  EXPECT_GT(level1.run(g).rate(), level0.run(g).rate());
+}
+
+TEST(Experiments, Level2BeatsLevel1DeepBelowThreshold) {
+  const double g = 1e-3;  // ~rho/6 for G=11
+  const LogicalGateExperiment level1(config_for(1, 400000));
+  const LogicalGateExperiment level2(config_for(2, 400000));
+  const auto e1 = level1.run(g);
+  const auto e2 = level2.run(g);
+  // Level 2 should be clearly better (Eq. 2 predicts ~squared).
+  EXPECT_LT(e2.wilson().lo, e1.wilson().hi);
+  EXPECT_LT(e2.rate(), e1.rate());
+}
+
+TEST(Experiments, QuadraticScalingAtLevel1) {
+  // p(2g)/p(g) ~ 4 below threshold. Wide tolerance: MC noise. The
+  // measured constant sits far below the paper's 3 C(G,2) bound, so g
+  // must be largish to gather counts.
+  const LogicalGateExperiment exp(config_for(1, 2000000));
+  const auto lo = exp.run(3e-3);
+  const auto hi = exp.run(6e-3);
+  ASSERT_GT(lo.successes, 50u);
+  const double ratio = hi.rate() / lo.rate();
+  EXPECT_GT(ratio, 2.8);
+  EXPECT_LT(ratio, 5.5);
+}
+
+TEST(Experiments, PerfectInitHelps) {
+  // G = 9 vs G = 11: fewer fallible ops, lower logical error.
+  LogicalGateExperimentConfig noisy = config_for(1, 400000);
+  LogicalGateExperimentConfig perfect = config_for(1, 400000);
+  perfect.noisy_init = false;
+  const double g = 3e-3;
+  const auto noisy_est = LogicalGateExperiment(noisy).run(g);
+  const auto perfect_est = LogicalGateExperiment(perfect).run(g);
+  EXPECT_LT(perfect_est.rate(), noisy_est.rate());
+}
+
+TEST(Experiments, SweepProducesMonotoneCurve) {
+  const LogicalGateExperiment exp(config_for(1, 100000));
+  const auto points = sweep_gate_error(exp, {1e-3, 3e-3, 1e-2, 3e-2});
+  ASSERT_EQ(points.size(), 4u);
+  for (std::size_t i = 1; i < points.size(); ++i)
+    EXPECT_GT(points[i].logical_error.rate(),
+              points[i - 1].logical_error.rate())
+        << "logical error should grow with g in this range";
+}
+
+TEST(Experiments, DeterministicGivenSeed) {
+  const LogicalGateExperiment exp(config_for(1, 20000));
+  const auto a = exp.run(5e-3);
+  const auto b = exp.run(5e-3);
+  EXPECT_EQ(a.successes, b.successes);
+  EXPECT_EQ(a.trials, b.trials);
+}
+
+TEST(Experiments, ModuleShapeMatchesLevel) {
+  const LogicalGateExperiment exp(config_for(2, 1));
+  EXPECT_EQ(exp.module().physical.width(), 243u);
+  EXPECT_EQ(exp.module().level, 2);
+  EXPECT_EQ(exp.module().blocks.size(), 3u);
+}
+
+TEST(Memory, CircuitShape) {
+  MemoryExperiment::Config config;
+  config.rounds = 5;
+  const MemoryExperiment exp(config);
+  // 5 recovery stages with init: 5 * 8 ops on 9 bits.
+  EXPECT_EQ(exp.circuit().size(), 40u);
+  EXPECT_EQ(exp.circuit().width(), 9u);
+}
+
+TEST(Memory, NoiselessStorageIsPerfect) {
+  MemoryExperiment::Config config;
+  config.rounds = 20;
+  config.trials = 5000;
+  const MemoryExperiment exp(config);
+  EXPECT_EQ(exp.run(0.0).successes, 0u);
+}
+
+TEST(Memory, ErrorAccumulatesRoughlyLinearly) {
+  const double g = 8e-3;
+  MemoryExperiment::Config short_config;
+  short_config.rounds = 4;
+  short_config.trials = 600000;
+  MemoryExperiment::Config long_config;
+  long_config.rounds = 16;
+  long_config.trials = 600000;
+  const double p_short = MemoryExperiment(short_config).run(g).rate();
+  const double p_long = MemoryExperiment(long_config).run(g).rate();
+  ASSERT_GT(p_short, 0.0);
+  const double ratio = p_long / p_short;
+  // 4x the rounds: expect ~4x the failures (wide MC tolerance).
+  EXPECT_GT(ratio, 2.5);
+  EXPECT_LT(ratio, 6.5);
+}
+
+TEST(Memory, StorageBeatsUnprotectedBitAtLowNoise) {
+  // An unprotected bit touched by R noisy identity ops fails ~R*g/2;
+  // the encoded memory at the same g should do much better.
+  const double g = 2e-3;
+  MemoryExperiment::Config config;
+  config.rounds = 10;
+  config.trials = 500000;
+  const double p = MemoryExperiment(config).run(g).rate();
+  EXPECT_LT(p, 10.0 * g / 2.0 * 0.5);
+}
+
+}  // namespace
+}  // namespace revft

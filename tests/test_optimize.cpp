@@ -1,0 +1,188 @@
+// Tests for the peephole optimizer: every pass must preserve circuit
+// semantics exactly (verified against the exact simulator) while
+// removing fault locations.
+#include <gtest/gtest.h>
+
+#include "rev/optimize.h"
+#include "rev/simulator.h"
+#include "support/rng.h"
+
+namespace revft {
+namespace {
+
+TEST(Optimize, CancelsAdjacentInversePairs) {
+  Circuit c(3);
+  c.maj(0, 1, 2).majinv(0, 1, 2);
+  OptimizeStats stats;
+  const Circuit out = optimize(c, &stats);
+  EXPECT_EQ(out.size(), 0u);
+  EXPECT_EQ(stats.cancelled_pairs, 1u);
+}
+
+TEST(Optimize, CancelsSelfInverseSquares) {
+  Circuit c(4);
+  c.not_(0).not_(0).swap(1, 2).swap(1, 2).cnot(2, 3).cnot(2, 3)
+      .toffoli(0, 1, 2).toffoli(0, 1, 2).fredkin(0, 1, 2).fredkin(0, 1, 2);
+  EXPECT_EQ(optimize(c).size(), 0u);
+}
+
+TEST(Optimize, CancelsSwap3WithReversedOperands) {
+  Circuit c(3);
+  c.swap3(0, 1, 2).swap3(2, 1, 0);
+  EXPECT_EQ(optimize(c).size(), 0u);
+}
+
+TEST(Optimize, DoesNotCancelSwap3WithItself) {
+  // swap3 is a 3-cycle: applying it twice is NOT the identity.
+  Circuit c(3);
+  c.swap3(0, 1, 2).swap3(0, 1, 2);
+  const Circuit out = optimize(c);
+  EXPECT_FALSE(out.empty());
+  EXPECT_TRUE(functionally_equal(out, c));
+}
+
+TEST(Optimize, CancelsAcrossDisjointOps) {
+  Circuit c(6);
+  c.maj(0, 1, 2).cnot(3, 4).not_(5).majinv(0, 1, 2);
+  const Circuit out = optimize(c);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_TRUE(functionally_equal(out, c));
+}
+
+TEST(Optimize, BlockedByOverlappingOp) {
+  Circuit c(3);
+  c.maj(0, 1, 2).not_(1).majinv(0, 1, 2);  // NOT(1) blocks cancellation
+  const Circuit out = optimize(c);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(Optimize, Init3BlocksCancellationOnItsBits) {
+  Circuit c(3);
+  c.not_(0).init3(0, 1, 2).not_(0);
+  const Circuit out = optimize(c);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(Optimize, FusesOverlappingSwaps) {
+  Circuit c(3);
+  c.swap(0, 1).swap(1, 2);
+  OptimizeStats stats;
+  const Circuit out = optimize(c, &stats);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.op(0).kind, GateKind::kSwap3);
+  EXPECT_EQ(stats.fused_swaps, 1u);
+  EXPECT_TRUE(functionally_equal(out, c));
+}
+
+TEST(Optimize, DoesNotFuseDisjointSwaps) {
+  Circuit c(4);
+  c.swap(0, 1).swap(2, 3);
+  EXPECT_EQ(optimize(c).size(), 2u);
+}
+
+TEST(Optimize, CollapsesRepeatedInit3) {
+  Circuit c(3);
+  c.init3(0, 1, 2).init3(2, 1, 0);  // same bit set, different order
+  OptimizeStats stats;
+  const Circuit out = optimize(c, &stats);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(stats.collapsed_inits, 1u);
+}
+
+TEST(Optimize, KeepsDistinctInit3) {
+  Circuit c(6);
+  c.init3(0, 1, 2).init3(3, 4, 5);
+  EXPECT_EQ(optimize(c).size(), 2u);
+}
+
+TEST(Optimize, CircuitPlusInverseCollapsesFully) {
+  // The canonical stress test: C · C^-1 must optimize to nothing, for
+  // random reversible circuits (cancellation telescopes outward only
+  // when each inner pair is removed first — the fixed-point loop).
+  Xoshiro256 rng(0x0907);
+  for (int trial = 0; trial < 20; ++trial) {
+    Circuit c(5);
+    for (int i = 0; i < 15; ++i) {
+      const auto pick = [&] {
+        return static_cast<std::uint32_t>(rng.next_below(5));
+      };
+      std::uint32_t a = pick(), b = pick(), d = pick();
+      while (b == a) b = pick();
+      while (d == a || d == b) d = pick();
+      switch (rng.next_below(5)) {
+        case 0: c.cnot(a, b); break;
+        case 1: c.toffoli(a, b, d); break;
+        case 2: c.maj(a, b, d); break;
+        case 3: c.swap3(a, b, d); break;
+        default: c.fredkin(a, b, d); break;
+      }
+    }
+    Circuit doubled = c;
+    doubled.append(c.inverse());
+    EXPECT_EQ(optimize(doubled).size(), 0u) << "trial " << trial;
+  }
+}
+
+TEST(Optimize, PreservesSemanticsOnRandomCircuits) {
+  Xoshiro256 rng(0x5e3a);
+  for (int trial = 0; trial < 30; ++trial) {
+    Circuit c(6);
+    for (int i = 0; i < 25; ++i) {
+      const auto pick = [&] {
+        return static_cast<std::uint32_t>(rng.next_below(6));
+      };
+      std::uint32_t a = pick(), b = pick(), d = pick();
+      while (b == a) b = pick();
+      while (d == a || d == b) d = pick();
+      switch (rng.next_below(7)) {
+        case 0: c.not_(a); break;
+        case 1: c.cnot(a, b); break;
+        case 2: c.swap(a, b); break;
+        case 3: c.toffoli(a, b, d); break;
+        case 4: c.maj(a, b, d); break;
+        case 5: c.majinv(a, b, d); break;
+        default: c.swap3(a, b, d); break;
+      }
+    }
+    const Circuit out = optimize(c);
+    EXPECT_LE(out.size(), c.size());
+    EXPECT_TRUE(functionally_equal(out, c)) << "trial " << trial;
+  }
+}
+
+TEST(Optimize, StatsAccounting) {
+  Circuit c(3);
+  c.maj(0, 1, 2).majinv(0, 1, 2).swap(0, 1).swap(1, 2);
+  OptimizeStats stats;
+  const Circuit out = optimize(c, &stats);
+  EXPECT_EQ(stats.ops_before, 4u);
+  EXPECT_EQ(stats.ops_after, out.size());
+  EXPECT_EQ(out.size(), 1u);  // one fused swap3 remains
+}
+
+TEST(Optimize, EmptyAndSingleOpCircuits) {
+  Circuit empty(3);
+  EXPECT_EQ(optimize(empty).size(), 0u);
+  Circuit one(3);
+  one.maj(0, 1, 2);
+  const Circuit out = optimize(one);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_TRUE(functionally_equal(out, one));
+}
+
+TEST(GatesDisjoint, Basic) {
+  EXPECT_TRUE(gates_disjoint(make_cnot(0, 1), make_cnot(2, 3)));
+  EXPECT_FALSE(gates_disjoint(make_cnot(0, 1), make_cnot(1, 2)));
+  EXPECT_FALSE(gates_disjoint(make_maj(0, 1, 2), make_not(2)));
+}
+
+TEST(GatesCancel, RespectsOperandOrder) {
+  // maj(0,1,2) then majinv(0,2,1) is NOT the inverse (roles differ).
+  EXPECT_TRUE(gates_cancel(make_maj(0, 1, 2), make_majinv(0, 1, 2)));
+  EXPECT_FALSE(gates_cancel(make_maj(0, 1, 2), make_majinv(0, 2, 1)));
+  EXPECT_TRUE(gates_cancel(make_swap3(0, 1, 2), make_swap3(2, 1, 0)));
+  EXPECT_FALSE(gates_cancel(make_init3(0, 1, 2), make_init3(0, 1, 2)));
+}
+
+}  // namespace
+}  // namespace revft

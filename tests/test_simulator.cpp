@@ -1,0 +1,148 @@
+// Unit tests for the exact simulator and permutation machinery,
+// including the paper's Table 1 via full-circuit simulation.
+#include <gtest/gtest.h>
+
+#include "rev/circuit.h"
+#include "rev/permutation.h"
+#include "rev/simulator.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace revft {
+namespace {
+
+TEST(StateVector, IntegerRoundTrip) {
+  StateVector sv(10, 0b1011001101u);
+  EXPECT_EQ(sv.to_integer(), 0b1011001101u);
+  EXPECT_EQ(sv.bit(0), 1);
+  EXPECT_EQ(sv.bit(1), 0);
+  EXPECT_EQ(sv.bit(9), 1);
+}
+
+TEST(StateVector, SetBitValidates) {
+  StateVector sv(4);
+  sv.set_bit(2, 1);
+  EXPECT_EQ(sv.to_integer(), 4u);
+  EXPECT_THROW(sv.set_bit(2, 2), Error);
+  EXPECT_THROW(sv.set_bit(9, 0), std::out_of_range);
+}
+
+TEST(Simulate, CnotComputesXor) {
+  Circuit c(2);
+  c.cnot(0, 1);
+  EXPECT_EQ(simulate(c, 0b00), 0b00u);
+  EXPECT_EQ(simulate(c, 0b01), 0b11u);
+  EXPECT_EQ(simulate(c, 0b10), 0b10u);
+  EXPECT_EQ(simulate(c, 0b11), 0b01u);
+}
+
+TEST(Simulate, MajGateMatchesTable1ThroughCircuit) {
+  // Same rows as the gate-level test, but through Circuit/StateVector.
+  Circuit c(3);
+  c.maj(0, 1, 2);
+  const std::pair<unsigned, unsigned> rows[] = {
+      {0b000, 0b000}, {0b100, 0b100}, {0b010, 0b010}, {0b110, 0b111},
+      {0b001, 0b110}, {0b101, 0b011}, {0b011, 0b101}, {0b111, 0b001}};
+  // Rows transcribed with our bit-0-is-q0 integer convention:
+  // input integer = q0 + 2 q1 + 4 q2.
+  for (const auto& [in, out] : rows)
+    EXPECT_EQ(simulate(c, in), out) << "input " << in;
+}
+
+TEST(TruthTable, SizeAndBijectivity) {
+  Circuit c(3);
+  c.maj(0, 1, 2).swap3(0, 1, 2).toffoli(0, 1, 2);
+  const auto table = truth_table(c);
+  EXPECT_EQ(table.size(), 8u);
+  EXPECT_TRUE(Permutation(table).is_bijection());
+}
+
+TEST(TruthTable, WidthLimitEnforced) {
+  Circuit c(21);
+  EXPECT_THROW(truth_table(c), Error);
+}
+
+TEST(CircuitPermutation, RejectsIrreversible) {
+  Circuit c(3);
+  c.init3(0, 1, 2);
+  EXPECT_THROW(circuit_permutation(c), Error);
+}
+
+TEST(FunctionallyEqual, DetectsEquivalenceAndDifference) {
+  Circuit a(2), b(2), d(2);
+  a.cnot(0, 1);
+  b.cnot(0, 1);
+  d.swap(0, 1);
+  EXPECT_TRUE(functionally_equal(a, b));
+  EXPECT_FALSE(functionally_equal(a, d));
+}
+
+TEST(Permutation, IdentityProperties) {
+  const auto id = Permutation::identity(8);
+  EXPECT_TRUE(id.is_bijection());
+  EXPECT_TRUE(id.is_identity());
+  EXPECT_EQ(id.fixed_points(), 8u);
+  EXPECT_EQ(id.parity(), 1);
+}
+
+TEST(Permutation, DetectsNonBijection) {
+  EXPECT_FALSE(Permutation({0, 0, 1}).is_bijection());
+  EXPECT_FALSE(Permutation({0, 5, 1}).is_bijection());
+}
+
+TEST(Permutation, ComposeAndInverse) {
+  const Permutation p({1, 2, 0, 3});
+  const auto q = p.inverse();
+  EXPECT_TRUE(p.compose(q).is_identity());
+  EXPECT_TRUE(q.compose(p).is_identity());
+}
+
+TEST(Permutation, CycleTypeAndParity) {
+  // (0 1 2)(3): one 3-cycle (even), one fixed point.
+  const Permutation p({1, 2, 0, 3});
+  const auto cycles = p.cycle_type();
+  ASSERT_EQ(cycles.size(), 2u);
+  EXPECT_EQ(cycles[0], 3u);
+  EXPECT_EQ(cycles[1], 1u);
+  EXPECT_EQ(p.parity(), 1);
+  // A transposition is odd.
+  EXPECT_EQ(Permutation({1, 0, 2, 3}).parity(), -1);
+}
+
+TEST(Permutation, SingleGateParities) {
+  // CNOT on 2 bits is a transposition (01 <-> 11): odd.
+  Circuit c(2);
+  c.cnot(0, 1);
+  EXPECT_EQ(circuit_permutation(c).parity(), -1);
+}
+
+TEST(Property, RandomReversibleCircuitsAreBijections) {
+  Xoshiro256 rng(0xc1ecu);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::uint32_t width = 4 + static_cast<std::uint32_t>(rng.next_below(5));
+    Circuit c(width);
+    for (int i = 0; i < 40; ++i) {
+      const auto pick = [&] {
+        return static_cast<std::uint32_t>(rng.next_below(width));
+      };
+      std::uint32_t a = pick(), b = pick(), d = pick();
+      while (b == a) b = pick();
+      while (d == a || d == b) d = pick();
+      switch (rng.next_below(6)) {
+        case 0: c.not_(a); break;
+        case 1: c.cnot(a, b); break;
+        case 2: c.swap(a, b); break;
+        case 3: c.toffoli(a, b, d); break;
+        case 4: c.maj(a, b, d); break;
+        default: c.swap3(a, b, d); break;
+      }
+    }
+    const auto p = circuit_permutation(c);
+    ASSERT_TRUE(p.is_bijection()) << "trial " << trial;
+    // And inverse circuit gives inverse permutation.
+    ASSERT_EQ(circuit_permutation(c.inverse()), p.inverse());
+  }
+}
+
+}  // namespace
+}  // namespace revft

@@ -1,0 +1,167 @@
+// Tests for the synthesis library: the paper's Fig 1/Fig 5
+// decompositions, the Cuccaro ripple-carry adder built from the MAJ
+// primitive, and the NAND embeddings used by §4.
+#include <gtest/gtest.h>
+
+#include "rev/simulator.h"
+#include "rev/synthesis.h"
+#include "support/rng.h"
+
+namespace revft {
+namespace {
+
+TEST(Synthesis, Fig1MajDecomposition) {
+  Circuit primitive(3);
+  primitive.maj(0, 1, 2);
+  EXPECT_TRUE(functionally_equal(primitive, maj_decomposition(3, 0, 1, 2)));
+}
+
+TEST(Synthesis, Fig1MajDecompositionOnPermutedBits) {
+  Circuit primitive(5);
+  primitive.maj(4, 0, 2);
+  EXPECT_TRUE(functionally_equal(primitive, maj_decomposition(5, 4, 0, 2)));
+}
+
+TEST(Synthesis, MajInvDecomposition) {
+  Circuit primitive(3);
+  primitive.majinv(0, 1, 2);
+  EXPECT_TRUE(functionally_equal(primitive, majinv_decomposition(3, 0, 1, 2)));
+}
+
+TEST(Synthesis, MajInvDecompositionInvertsFig1) {
+  Circuit both = maj_decomposition(3, 0, 1, 2);
+  both.append(majinv_decomposition(3, 0, 1, 2));
+  EXPECT_TRUE(circuit_permutation(both).is_identity());
+}
+
+TEST(Synthesis, Fig5Swap3Decomposition) {
+  Circuit primitive(3);
+  primitive.swap3(0, 1, 2);
+  EXPECT_TRUE(functionally_equal(primitive, swap3_decomposition(3, 0, 1, 2)));
+}
+
+TEST(Synthesis, Swap3DecompositionGateCount) {
+  const Circuit d = swap3_decomposition(3, 0, 1, 2);
+  EXPECT_EQ(d.size(), 2u);  // "two swaps on three bits" (Fig 5 caption)
+  EXPECT_EQ(d.histogram().of(GateKind::kSwap), 2u);
+}
+
+TEST(Synthesis, UmaUndoesMajAndComputesSum) {
+  // After MAJ(a,b,c) then UMA(a,b,c): a and c restored, b = a^b^c.
+  Circuit c(3);
+  c.maj(0, 1, 2);
+  c.append(uma_block(3, 0, 1, 2));
+  for (unsigned v = 0; v < 8; ++v) {
+    const unsigned out = static_cast<unsigned>(simulate(c, v));
+    const unsigned a = v & 1u, b = (v >> 1) & 1u, cc = (v >> 2) & 1u;
+    EXPECT_EQ(out & 1u, a) << v;
+    EXPECT_EQ((out >> 1) & 1u, a ^ b ^ cc) << v;
+    EXPECT_EQ((out >> 2) & 1u, cc) << v;
+  }
+}
+
+// Exhaustive adder check for small widths: every (a, b, carry-in).
+class CuccaroAdderExhaustive : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(CuccaroAdderExhaustive, AddsCorrectlyAndRestoresA) {
+  const std::uint32_t n = GetParam();
+  const RippleAdder adder = cuccaro_adder(n);
+  EXPECT_EQ(adder.circuit.width(), 2 * n + 2);
+  for (std::uint64_t a = 0; a < (1ULL << n); ++a) {
+    for (std::uint64_t b = 0; b < (1ULL << n); ++b) {
+      for (std::uint64_t cin = 0; cin < 2; ++cin) {
+        StateVector sv(adder.circuit.width());
+        sv.set_bit(adder.carry_in, static_cast<std::uint8_t>(cin));
+        for (std::uint32_t i = 0; i < n; ++i) {
+          sv.set_bit(adder.a_bits[i], static_cast<std::uint8_t>((a >> i) & 1));
+          sv.set_bit(adder.b_bits[i], static_cast<std::uint8_t>((b >> i) & 1));
+        }
+        sv.apply(adder.circuit);
+        const std::uint64_t want = a + b + cin;
+        std::uint64_t sum = 0, a_out = 0;
+        for (std::uint32_t i = 0; i < n; ++i) {
+          sum |= static_cast<std::uint64_t>(sv.bit(adder.b_bits[i])) << i;
+          a_out |= static_cast<std::uint64_t>(sv.bit(adder.a_bits[i])) << i;
+        }
+        ASSERT_EQ(sum, want & ((1ULL << n) - 1))
+            << n << "-bit " << a << "+" << b << "+" << cin;
+        ASSERT_EQ(sv.bit(adder.carry_out), (want >> n) & 1);
+        ASSERT_EQ(a_out, a) << "addend not restored";
+        ASSERT_EQ(sv.bit(adder.carry_in), cin) << "carry-in not restored";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, CuccaroAdderExhaustive,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(Synthesis, CuccaroAdderRandomWide) {
+  const std::uint32_t n = 24;
+  const RippleAdder adder = cuccaro_adder(n);
+  Xoshiro256 rng(0xadd2);
+  const std::uint64_t mask = (1ULL << n) - 1;
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t a = rng.next() & mask;
+    const std::uint64_t b = rng.next() & mask;
+    StateVector sv(adder.circuit.width());
+    for (std::uint32_t i = 0; i < n; ++i) {
+      sv.set_bit(adder.a_bits[i], static_cast<std::uint8_t>((a >> i) & 1));
+      sv.set_bit(adder.b_bits[i], static_cast<std::uint8_t>((b >> i) & 1));
+    }
+    sv.apply(adder.circuit);
+    std::uint64_t sum = 0;
+    for (std::uint32_t i = 0; i < n; ++i)
+      sum |= static_cast<std::uint64_t>(sv.bit(adder.b_bits[i])) << i;
+    sum |= static_cast<std::uint64_t>(sv.bit(adder.carry_out)) << n;
+    ASSERT_EQ(sum, a + b);
+  }
+}
+
+TEST(Synthesis, CuccaroAdderUsesMajPrimitives) {
+  // The paper cites this adder as evidence MAJ is a valuable gate
+  // (footnote 2): one MAJ per bit position.
+  const RippleAdder adder = cuccaro_adder(8);
+  EXPECT_EQ(adder.circuit.histogram().of(GateKind::kMaj), 8u);
+}
+
+TEST(Synthesis, CuccaroAdderIsReversible) {
+  const RippleAdder adder = cuccaro_adder(3);
+  Circuit round_trip = adder.circuit;
+  round_trip.append(adder.circuit.inverse());
+  EXPECT_TRUE(circuit_permutation(round_trip).is_identity());
+}
+
+TEST(Synthesis, NandViaToffoliComputesNand) {
+  const NandEmbedding e = nand_via_toffoli();
+  for (unsigned a = 0; a < 2; ++a)
+    for (unsigned b = 0; b < 2; ++b) {
+      StateVector sv(3);
+      sv.set_bit(0, static_cast<std::uint8_t>(a));
+      sv.set_bit(1, static_cast<std::uint8_t>(b));
+      sv.set_bit(e.ancilla_bit, e.ancilla_value);
+      sv.apply(e.circuit);
+      EXPECT_EQ(sv.bit(e.out_bit), 1u ^ (a & b)) << a << "," << b;
+    }
+}
+
+TEST(Synthesis, NandViaMajInvComputesNand) {
+  const NandEmbedding e = nand_via_majinv();
+  for (unsigned a = 0; a < 2; ++a)
+    for (unsigned b = 0; b < 2; ++b) {
+      StateVector sv(3);
+      sv.set_bit(0, static_cast<std::uint8_t>(a));
+      sv.set_bit(1, static_cast<std::uint8_t>(b));
+      sv.set_bit(e.ancilla_bit, e.ancilla_value);
+      sv.apply(e.circuit);
+      EXPECT_EQ(sv.bit(e.out_bit), 1u ^ (a & b)) << a << "," << b;
+    }
+}
+
+TEST(Synthesis, NandEmbeddingsUseOneGate) {
+  EXPECT_EQ(nand_via_toffoli().circuit.size(), 1u);
+  EXPECT_EQ(nand_via_majinv().circuit.size(), 1u);
+}
+
+}  // namespace
+}  // namespace revft
