@@ -15,6 +15,7 @@
 //     workload measurably lowers its logical error rate.
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <cstdio>
 
 #include "analysis/threshold.h"
@@ -24,6 +25,7 @@
 #include "ft/experiments.h"
 #include "local/scheme1d.h"
 #include "noise/injection.h"
+#include "noise/parallel_mc.h"
 #include "rev/optimize.h"
 #include "rev/simulator.h"
 #include "rev/synthesis.h"
@@ -190,27 +192,35 @@ void ablation_optimizer() {
   // probability of the two under the same noise.
   const std::uint64_t trials = benchutil::trials_from_env(400000);
   const double g = 2e-3;
-  auto visible_error = [&](const Circuit& c) {
-    McOptions opts;
-    opts.trials = trials;
-    opts.seed = benchutil::seed_from_env();
-    std::uint64_t inputs[16];
-    auto prepare = [&](PackedState& state, Xoshiro256& rng, std::uint64_t) {
-      for (std::uint32_t b = 0; b < c.width(); ++b) {
+  // Per-shard kernel: each shard owns its `inputs` scratch (the
+  // prepare→classify hand-off), so shards can run concurrently.
+  struct VisibleErrorKernel {
+    const Circuit* circuit;
+    std::array<std::uint64_t, 16> inputs{};
+    void prepare(PackedState& state, Xoshiro256& rng, std::uint64_t) {
+      for (std::uint32_t b = 0; b < circuit->width(); ++b) {
         inputs[b] = rng.next();
         state.word(b) = inputs[b];
       }
-    };
-    auto classify = [&](const PackedState& state, int lane, std::uint64_t) {
-      StateVector sv(c.width());
-      for (std::uint32_t b = 0; b < c.width(); ++b)
+    }
+    bool classify(const PackedState& state, int lane, std::uint64_t) const {
+      StateVector sv(circuit->width());
+      for (std::uint32_t b = 0; b < circuit->width(); ++b)
         sv.set_bit(b, static_cast<std::uint8_t>((inputs[b] >> lane) & 1u));
-      sv.apply(c);  // reference ideal output for this lane
-      for (std::uint32_t b = 0; b < c.width(); ++b)
+      sv.apply(*circuit);  // reference ideal output for this lane
+      for (std::uint32_t b = 0; b < circuit->width(); ++b)
         if (sv.bit(b) != state.bit_lane(b, lane)) return true;
       return false;
-    };
-    return run_packed_mc(c, NoiseModel::uniform(g), opts, prepare, classify)
+    }
+  };
+  auto visible_error = [&](const Circuit& c) {
+    ParallelMcOptions opts;
+    opts.trials = trials;
+    opts.seed = benchutil::seed_from_env();
+    return run_parallel_mc(c, NoiseModel::uniform(g), opts,
+                           [&](std::uint64_t) {
+                             return VisibleErrorKernel{&c, {}};
+                           })
         .rate();
   };
   const double before = visible_error(workload);

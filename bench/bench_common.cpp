@@ -14,6 +14,18 @@ std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
   if (end == value) return fallback;
   return static_cast<std::uint64_t>(parsed);
 }
+
+// Minimal JSON string escaping: our keys are ASCII identifiers, so
+// only the structural characters need care.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
 }  // namespace
 
 std::uint64_t trials_from_env(std::uint64_t fallback) {
@@ -28,6 +40,95 @@ void print_header(const std::string& title, const std::string& paper_ref) {
   std::printf("reproduces: %s  (Boykin & Roychowdhury, DSN 2005)\n",
               paper_ref.c_str());
   std::printf("================================================================\n");
+}
+
+JsonResultWriter::JsonResultWriter(std::string name) : name_(std::move(name)) {}
+
+JsonResultWriter::~JsonResultWriter() { write(); }
+
+namespace {
+std::string number_token(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+std::string number_token(std::uint64_t value) {
+  return std::to_string(value);
+}
+}  // namespace
+
+void JsonResultWriter::meta(const std::string& key, double value) {
+  meta_.emplace_back(key, number_token(value));
+}
+
+void JsonResultWriter::meta(const std::string& key, std::uint64_t value) {
+  meta_.emplace_back(key, number_token(value));
+}
+
+JsonResultWriter::Entries* JsonResultWriter::section(const std::string& name) {
+  for (auto& s : sections_)
+    if (s.first == name) return &s.second;
+  sections_.push_back({name, {}});
+  return &sections_.back().second;
+}
+
+void JsonResultWriter::add(const std::string& section_name,
+                           const std::string& key, double value) {
+  section(section_name)->emplace_back(key, number_token(value));
+}
+
+void JsonResultWriter::add(const std::string& section_name,
+                           const std::string& key, std::uint64_t value) {
+  section(section_name)->emplace_back(key, number_token(value));
+}
+
+bool JsonResultWriter::write() {
+  if (written_) return true;
+  written_ = true;
+
+  std::string dir = ".";
+  if (const char* env = std::getenv("REVFT_JSON_DIR")) {
+    if (*env == '\0') return false;  // emission disabled
+    dir = env;
+  }
+  const std::string path = dir + "/BENCH_" + name_ + ".json";
+
+  auto emit_map = [](std::string& out, const Entries& entries) {
+    out += '{';
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (i) out += ", ";
+      out += '"';
+      out += json_escape(entries[i].first);
+      out += "\": ";
+      out += entries[i].second;
+    }
+    out += '}';
+  };
+
+  std::string out = "{\n  \"bench\": \"";
+  out += json_escape(name_);
+  out += "\",\n  \"meta\": ";
+  emit_map(out, meta_);
+  out += ",\n  \"results\": {";
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    if (i) out += ',';
+    out += "\n    \"";
+    out += json_escape(sections_[i].first);
+    out += "\": ";
+    emit_map(out, sections_[i].second);
+  }
+  out += sections_.empty() ? "}\n}\n" : "\n  }\n}\n";
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_common: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+  std::fclose(f);
+  if (ok) std::printf("\n[json] results written to %s\n", path.c_str());
+  return ok;
 }
 
 }  // namespace revft::benchutil

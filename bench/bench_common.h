@@ -2,16 +2,24 @@
 //
 // Shared scaffolding for the paper-reproduction bench binaries. Each
 // binary first prints its reproduction table ([paper] vs [measured]
-// columns), then runs its google-benchmark kernel timings.
+// columns), emits a machine-readable BENCH_<name>.json results file,
+// then runs its google-benchmark kernel timings.
 //
 // Environment knobs:
-//   REVFT_TRIALS — Monte-Carlo trials per data point (default differs
-//                  per bench; raise it for tighter error bars).
-//   REVFT_SEED   — master seed (default 0xD5A2005).
+//   REVFT_TRIALS   — Monte-Carlo trials per data point (default differs
+//                    per bench; raise it for tighter error bars).
+//   REVFT_SEED     — master seed (default 0xD5A2005).
+//   REVFT_THREADS  — worker threads for the sharded Monte-Carlo engine
+//                    (default: hardware concurrency). Never changes the
+//                    estimates, only wall-clock time.
+//   REVFT_JSON_DIR — directory for BENCH_*.json files (default ".";
+//                    empty string disables emission).
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace revft::benchutil {
 
@@ -20,8 +28,60 @@ std::uint64_t trials_from_env(std::uint64_t fallback);
 
 /// Master seed: REVFT_SEED or 0xD5A2005.
 std::uint64_t seed_from_env();
+// (REVFT_THREADS is read by the engine itself — resolve_thread_count
+// in noise/parallel_mc.h — whenever a config leaves threads at 0.)
 
 /// Print a section header for one reproduced table/figure.
 void print_header(const std::string& title, const std::string& paper_ref);
+
+/// Collects named scalar results and writes them as
+/// REVFT_JSON_DIR/BENCH_<name>.json so successive PRs accumulate a
+/// machine-readable perf/accuracy trajectory. Values are grouped into
+/// sections:
+///
+///   {
+///     "bench": "fig2_threshold",
+///     "meta":    {"trials": 1000000, ...},
+///     "results": {"noisy_init": {"pseudo_threshold": 0.021, ...}, ...}
+///   }
+///
+/// write() is idempotent and also runs from the destructor, so a bench
+/// can simply construct one recorder, add values, and exit.
+class JsonResultWriter {
+ public:
+  /// `name` is the bench identifier, e.g. "fig2_threshold".
+  explicit JsonResultWriter(std::string name);
+  ~JsonResultWriter();
+
+  JsonResultWriter(const JsonResultWriter&) = delete;
+  JsonResultWriter& operator=(const JsonResultWriter&) = delete;
+
+  /// Record one run-configuration value (trials, seed, threads, ...).
+  /// The integer overload keeps 64-bit values (seeds!) exact — a
+  /// double would silently round anything above 2^53.
+  void meta(const std::string& key, double value);
+  void meta(const std::string& key, std::uint64_t value);
+  /// Record one measured value under `section`.
+  void add(const std::string& section, const std::string& key, double value);
+  void add(const std::string& section, const std::string& key,
+           std::uint64_t value);
+
+  /// Write BENCH_<name>.json. Returns false (silently — benches must
+  /// still print their tables) when emission is disabled or the file
+  /// cannot be written. Subsequent calls are no-ops.
+  bool write();
+
+ private:
+  // Values are stored pre-formatted as JSON number tokens so doubles
+  // and 64-bit integers coexist losslessly.
+  using Entries = std::vector<std::pair<std::string, std::string>>;
+  using Section = std::pair<std::string, Entries>;
+  Entries* section(const std::string& name);
+
+  std::string name_;
+  Entries meta_;
+  std::vector<Section> sections_;
+  bool written_ = false;
+};
 
 }  // namespace revft::benchutil

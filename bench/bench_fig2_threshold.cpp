@@ -22,19 +22,26 @@
 #include "bench_common.h"
 #include "ft/experiments.h"
 #include "noise/injection.h"
+#include "noise/parallel_mc.h"
 #include "support/table.h"
 
 using namespace revft;
 
 namespace {
 
-void run_regime(bool noisy_init, std::uint64_t trials, std::uint64_t seed) {
+void run_regime(bool noisy_init, std::uint64_t trials, std::uint64_t seed,
+                benchutil::JsonResultWriter& json) {
   const int G = noisy_init ? PaperGateCounts::kNonLocalWithInit
                            : PaperGateCounts::kNonLocalPerfectInit;
   const double rho = threshold_for_ops(G);
+  const char* regime = noisy_init ? "noisy_init" : "perfect_init";
   std::printf("\n-- regime: %s (G = %d, paper threshold rho = %s = %.5f) --\n",
               noisy_init ? "noisy init" : "perfect init", G,
               AsciiTable::reciprocal(rho).c_str(), rho);
+
+  // Each regime runs with its own seed offset; record it so the JSON
+  // alone suffices to reproduce either regime.
+  json.add(regime, "seed", seed);
 
   LogicalGateExperimentConfig config;
   config.level = 1;
@@ -53,19 +60,15 @@ void run_regime(bool noisy_init, std::uint64_t trials, std::uint64_t seed) {
     const auto ci = point.logical_error.wilson();
     samples.push_back({point.g, p});
     table.add_row({AsciiTable::sci(point.g, 1), AsciiTable::sci(p, 3),
-                   "[" + AsciiTable::sci(ci.lo, 2) + ", " +
-                       AsciiTable::sci(ci.hi, 2) + "]",
+                   AsciiTable::interval(ci.lo, ci.hi),
                    AsciiTable::fixed(p / point.g, 3),
                    AsciiTable::sci(logical_error_one_level(point.g, G), 2)});
   }
   std::printf("%s", table.str().c_str());
 
-  // Low-g scaling fit on the first few points with enough counts.
-  std::vector<SweepSample> low;
-  for (const auto& s : samples)
-    if (s.g <= 2e-2 && s.logical_error > 0) low.push_back(s);
-  if (low.size() >= 3) {
-    const auto fit = fit_error_scaling(low);
+  const SweepSummary summary = summarize_threshold_sweep(samples, G);
+  if (summary.has_low_g_fit) {
+    const auto& fit = summary.low_g_fit;
     std::printf(
         "low-g fit: p ~= %.2f * g^%.2f  (R^2 = %.4f)\n"
         "  [paper]    slope 2, coefficient <= 3 C(%d,2) = %.0f (upper bound)\n"
@@ -73,17 +76,23 @@ void run_regime(bool noisy_init, std::uint64_t trials, std::uint64_t seed) {
         fit.coefficient, fit.slope, fit.r_squared, G,
         3.0 * static_cast<double>(G * (G - 1)) / 2.0, fit.coefficient,
         fit.coefficient <= 3.0 * G * (G - 1) / 2.0 ? "yes" : "NO");
+    json.add(regime, "fit_coefficient", fit.coefficient);
+    json.add(regime, "fit_slope", fit.slope);
+    json.add(regime, "fit_r_squared", fit.r_squared);
   }
-  const double crossing = pseudo_threshold_from_sweep(samples);
   std::printf(
       "pseudo-threshold (crossing p_L = g): [measured] %.4f vs [paper lower "
       "bound] %.5f  ->  measured >= paper: %s\n",
-      crossing, rho, crossing >= rho ? "yes" : "NO");
+      summary.pseudo_threshold, rho, summary.above_paper_bound ? "yes" : "NO");
   std::printf(
       "exact-binomial-tail refinement (\"a tighter bound will result in an\n"
       "improved error threshold\", §2.2): rho_exact = %.5f (paper's union/\n"
       "quadratic bound gives %.5f)\n",
-      exact_threshold_for_ops(G), rho);
+      summary.exact_rho, rho);
+  json.add(regime, "pseudo_threshold", summary.pseudo_threshold);
+  json.add(regime, "paper_rho", summary.paper_rho);
+  json.add(regime, "exact_rho", summary.exact_rho);
+  json.add(regime, "above_paper_bound", summary.above_paper_bound ? 1.0 : 0.0);
 }
 
 // Exhaustive pair-fault census: the EXACT quadratic coefficient of the
@@ -139,9 +148,15 @@ void print_reproduction() {
   const std::uint64_t trials = benchutil::trials_from_env(1000000);
   std::printf("trials per point: %llu (set REVFT_TRIALS to change)\n",
               static_cast<unsigned long long>(trials));
+  benchutil::JsonResultWriter json("fig2_threshold");
+  json.meta("trials", trials);
+  json.meta("seed", benchutil::seed_from_env());
+  json.meta("threads",
+            static_cast<std::uint64_t>(resolve_thread_count(0)));
   print_pair_census();
-  run_regime(true, trials, benchutil::seed_from_env());
-  run_regime(false, trials, benchutil::seed_from_env() + 1);
+  run_regime(true, trials, benchutil::seed_from_env(), json);
+  run_regime(false, trials, benchutil::seed_from_env() + 1, json);
+  json.write();
 }
 
 void BM_Level1CycleMc(benchmark::State& state) {

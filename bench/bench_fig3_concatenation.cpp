@@ -32,6 +32,10 @@ void print_reproduction() {
   const int G = PaperGateCounts::kNonLocalWithInit;
   const double rho = threshold_for_ops(G);
 
+  benchutil::JsonResultWriter json("fig3_concatenation");
+  json.meta("trials", trials);
+  json.meta("seed", benchutil::seed_from_env());
+
   std::vector<LogicalGateExperiment> exps;
   for (int level = 0; level <= 3; ++level) {
     LogicalGateExperimentConfig config;
@@ -47,6 +51,11 @@ void print_reproduction() {
   for (double g : gs) {
     std::vector<double> rates;
     for (const auto& exp : exps) rates.push_back(exp.run(g).rate());
+    for (std::size_t level = 0; level < rates.size(); ++level) {
+      std::string section = "level_";
+      section += std::to_string(level);
+      json.add(section, AsciiTable::sci(g, 1), rates[level]);
+    }
     const bool suppressing = rates[1] < rates[0] && rates[2] <= rates[1];
     table.add_row({AsciiTable::sci(g, 1), AsciiTable::sci(rates[0], 2),
                    AsciiTable::sci(rates[1], 2), AsciiTable::sci(rates[2], 2),

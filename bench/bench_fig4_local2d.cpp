@@ -110,6 +110,10 @@ void print_monte_carlo() {
   std::printf("\nMonte-Carlo: logical error per cycle, %llu trials/point\n",
               static_cast<unsigned long long>(trials));
 
+  benchutil::JsonResultWriter json("fig4_local2d");
+  json.meta("trials", trials);
+  json.meta("seed", benchutil::seed_from_env());
+
   const Cycle2d cycle = make_cycle_2d(GateKind::kToffoli, true);
   CodewordCycleExperiment::Config config;
   config.trials = trials;
@@ -128,6 +132,8 @@ void print_monte_carlo() {
   for (double g : {2e-3, 5e-3, 1e-2, 2e-2, 4e-2}) {
     const double p_nl = nonlocal.run(g).rate();
     const double p_2d = local2d.run(g).rate();
+    json.add("nonlocal", AsciiTable::sci(g, 1), p_nl);
+    json.add("local2d", AsciiTable::sci(g, 1), p_2d);
     table.add_row({AsciiTable::sci(g, 1), AsciiTable::sci(p_nl, 2),
                    AsciiTable::sci(p_2d, 2),
                    p_nl > 0 ? AsciiTable::fixed(p_2d / p_nl, 2) : "-",

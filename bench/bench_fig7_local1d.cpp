@@ -136,6 +136,10 @@ void print_monte_carlo() {
               "%llu trials/point\n",
               static_cast<unsigned long long>(trials));
 
+  benchutil::JsonResultWriter json("fig7_local1d");
+  json.meta("trials", trials);
+  json.meta("seed", benchutil::seed_from_env());
+
   LogicalGateExperimentConfig nl_config;
   nl_config.level = 1;
   nl_config.trials = trials;
@@ -162,7 +166,11 @@ void print_monte_carlo() {
     const double p_nl = nonlocal.run(g).rate();
     const double p_2d = local2d.run(g).rate();
     const double p_1d = local1d.run(g).rate();
-    table.add_row({AsciiTable::sci(g, 1), AsciiTable::sci(p_nl, 2),
+    const std::string g_label = AsciiTable::sci(g, 1);
+    json.add("nonlocal", g_label, p_nl);
+    json.add("local2d", g_label, p_2d);
+    json.add("local1d", g_label, p_1d);
+    table.add_row({g_label, AsciiTable::sci(p_nl, 2),
                    AsciiTable::sci(p_2d, 2), AsciiTable::sci(p_1d, 2),
                    AsciiTable::fixed(p_1d / g, 3),
                    (p_nl <= p_2d * 1.2 && p_2d <= p_1d * 1.2) ? "yes" : "~"});

@@ -39,6 +39,8 @@ void print_reproduction() {
   Circuit maj(3);
   maj.maj(0, 1, 2);
 
+  benchutil::JsonResultWriter json("table1_maj");
+  bool all_match = true;
   AsciiTable table({"input", "output [paper]", "output [measured]", "match"});
   for (const auto& row : paper_rows) {
     // Convert the string input to our bit order, simulate, convert back.
@@ -48,10 +50,12 @@ void print_reproduction() {
       v |= static_cast<unsigned>(in[static_cast<std::size_t>(i)] - '0') << i;
     const auto out = static_cast<unsigned>(simulate(maj, v));
     const std::string measured = bits3(out);
-    table.add_row({in, row[1], measured,
-                   measured == row[1] ? "yes" : "NO"});
+    const bool match = measured == row[1];
+    all_match = all_match && match;
+    table.add_row({in, row[1], measured, match ? "yes" : "NO"});
   }
   std::printf("%s", table.str().c_str());
+  json.add("truth_table", "all_rows_match_paper", all_match ? 1.0 : 0.0);
 
   const Circuit fig1 = maj_decomposition(3, 0, 1, 2);
   std::printf("\nFig 1 decomposition (CNOT, CNOT, Toffoli):\n%s",

@@ -33,6 +33,7 @@ void print_reproduction() {
   const auto perfect = table2_rows(rho2_perfect, rho1_perfect, 5);
   const auto with_init = table2_rows(rho2_init, rho1_init, 5);
 
+  benchutil::JsonResultWriter json("table2_mixing");
   AsciiTable table({"k", "width 3^k", "rho(k)/rho2 [paper]",
                     "[measured, perfect init]", "match",
                     "[measured, with init]"});
@@ -40,6 +41,10 @@ void print_reproduction() {
     const auto ku = static_cast<std::size_t>(k);
     const bool match =
         std::abs(perfect[ku].ratio_to_inner - paper_ratios[ku]) < 0.005;
+    std::string key = "k";
+    key += std::to_string(k);
+    json.add("ratio_perfect_init", key, perfect[ku].ratio_to_inner);
+    json.add("ratio_with_init", key, with_init[ku].ratio_to_inner);
     table.add_row({AsciiTable::cell(static_cast<std::int64_t>(k)),
                    AsciiTable::cell(perfect[ku].width),
                    AsciiTable::fixed(paper_ratios[ku], 2),

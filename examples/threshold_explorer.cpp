@@ -35,17 +35,25 @@ std::vector<double> default_sweep() {
   return gs;
 }
 
-void report(const std::vector<SweepSample>& samples, double paper_rho) {
-  const auto fit = fit_error_scaling(samples);
-  const double crossing = pseudo_threshold_from_sweep(samples);
-  std::printf("\nlog-log fit: p ~ %.2f * g^%.2f (R^2 = %.3f)\n",
-              fit.coefficient, fit.slope, fit.r_squared);
-  if (crossing > 0)
-    std::printf("pseudo-threshold (p_L = g crossing): %.4f\n", crossing);
+void report(const std::vector<SweepSample>& samples, int G) {
+  // Fit over the whole sweep (the explorer's g range is caller-chosen;
+  // a cutoff of 1.0 includes every physical g).
+  const SweepSummary summary = summarize_threshold_sweep(samples, G, 1.0);
+  if (summary.has_low_g_fit) {
+    const auto& fit = summary.low_g_fit;
+    std::printf("\nlog-log fit: p ~ %.2f * g^%.2f (R^2 = %.3f)\n",
+                fit.coefficient, fit.slope, fit.r_squared);
+  } else {
+    std::printf("\ntoo few nonzero points for a log-log fit\n");
+  }
+  if (summary.pseudo_threshold > 0)
+    std::printf("pseudo-threshold (p_L = g crossing): %.4f\n",
+                summary.pseudo_threshold);
   else
     std::printf("no p_L = g crossing inside the sweep range\n");
-  std::printf("paper analytic lower bound: %.5f (%s)\n", paper_rho,
-              AsciiTable::reciprocal(paper_rho).c_str());
+  std::printf("paper analytic lower bound: %.5f (%s), exact-map bound %.5f\n",
+              summary.paper_rho, AsciiTable::reciprocal(summary.paper_rho).c_str(),
+              summary.exact_rho);
 }
 
 }  // namespace
@@ -68,8 +76,7 @@ int main(int argc, char** argv) {
     const auto ci = est.wilson();
     samples.push_back({g, est.rate()});
     table.add_row({AsciiTable::sci(g, 2), AsciiTable::sci(est.rate(), 3),
-                   "[" + AsciiTable::sci(ci.lo, 2) + ", " +
-                       AsciiTable::sci(ci.hi, 2) + "]",
+                   AsciiTable::interval(ci.lo, ci.hi),
                    AsciiTable::fixed(est.rate() / g, 3)});
   };
 
@@ -80,7 +87,7 @@ int main(int argc, char** argv) {
     const LogicalGateExperiment exp(config);
     for (double g : gs) add_point(g, exp.run(g));
     std::printf("%s", table.str().c_str());
-    report(samples, threshold_for_ops(PaperGateCounts::kNonLocalWithInit));
+    report(samples, PaperGateCounts::kNonLocalWithInit);
   } else if (scheme == "2d") {
     const Cycle2d cycle = make_cycle_2d(GateKind::kToffoli, true);
     CodewordCycleExperiment::Config config;
@@ -89,7 +96,7 @@ int main(int argc, char** argv) {
                                       cycle.data_after, config);
     for (double g : gs) add_point(g, exp.run(g));
     std::printf("%s", table.str().c_str());
-    report(samples, threshold_for_ops(PaperGateCounts::kLocal2dWithInit));
+    report(samples, PaperGateCounts::kLocal2dWithInit);
   } else if (scheme == "1d") {
     const Cycle1d cycle = make_cycle_1d(GateKind::kToffoli, true);
     CodewordCycleExperiment::Config config;
@@ -98,7 +105,7 @@ int main(int argc, char** argv) {
                                       config);
     for (double g : gs) add_point(g, exp.run(g));
     std::printf("%s", table.str().c_str());
-    report(samples, threshold_for_ops(PaperGateCounts::kLocal1dWithInit));
+    report(samples, PaperGateCounts::kLocal1dWithInit);
     std::printf("note: the 1D cycle has a linear-in-g error component from\n"
                 "cross-codeword routing faults (see bench_fig7_local1d), so\n"
                 "expect slope < 2 at small g.\n");

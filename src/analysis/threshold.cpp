@@ -110,4 +110,24 @@ QuadraticFit fit_error_scaling(const std::vector<SweepSample>& samples) {
   return fit;
 }
 
+SweepSummary summarize_threshold_sweep(const std::vector<SweepSample>& samples,
+                                       int G, double low_g_cutoff) {
+  SweepSummary summary;
+  summary.paper_rho = threshold_for_ops(G);
+  summary.exact_rho = exact_threshold_for_ops(G);
+  summary.pseudo_threshold = pseudo_threshold_from_sweep(samples);
+  summary.above_paper_bound =
+      summary.pseudo_threshold >= summary.paper_rho;
+  std::vector<SweepSample> low;
+  for (const auto& s : samples)
+    if (s.g <= low_g_cutoff && s.logical_error > 0) low.push_back(s);
+  // >= 3: a 2-point log-log fit is an exact interpolation (R^2 = 1 by
+  // construction), not evidence of quadratic scaling.
+  if (low.size() >= 3) {
+    summary.low_g_fit = fit_error_scaling(low);
+    summary.has_low_g_fit = true;
+  }
+  return summary;
+}
+
 }  // namespace revft

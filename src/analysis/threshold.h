@@ -88,4 +88,30 @@ struct QuadraticFit {
 };
 QuadraticFit fit_error_scaling(const std::vector<SweepSample>& samples);
 
+/// Everything the threshold experiments report about one measured
+/// p_L(g) sweep, bundled so the bench binaries and example drivers
+/// share one code path (and one JSON shape).
+struct SweepSummary {
+  /// Log-log fit over the low-g points (g <= low_g_cutoff, p > 0).
+  /// Only meaningful when has_low_g_fit is true (>= 3 such points; a
+  /// 2-point fit would be an exact interpolation).
+  QuadraticFit low_g_fit;
+  bool has_low_g_fit = false;
+  /// Measured p_L = g crossing (0 when the sweep never crosses).
+  double pseudo_threshold = 0.0;
+  /// Paper's analytic lower bound ρ = 1/(3 C(G,2)).
+  double paper_rho = 0.0;
+  /// Exact-map refinement of the same bound.
+  double exact_rho = 0.0;
+  /// The reproduced claim: the measured pseudo-threshold sits at or
+  /// above the paper's lower bound (false also when no crossing).
+  bool above_paper_bound = false;
+};
+
+/// Summarize a measured sweep against the paper's G-operation
+/// accounting. `low_g_cutoff` selects the quadratic-regime points for
+/// the scaling fit.
+SweepSummary summarize_threshold_sweep(const std::vector<SweepSample>& samples,
+                                       int G, double low_g_cutoff = 2e-2);
+
 }  // namespace revft

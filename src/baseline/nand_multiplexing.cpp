@@ -159,7 +159,7 @@ NandChainResult run_nand_chain(const NandMultiplexConfig& config, int units,
     for (int lane = 0; lane < lanes; ++lane) {
       ++result.logical_error.trials;
       if (mux.decode_lane(running, lane) != expected)
-        ++result.logical_error.successes;
+        ++result.logical_error.failures;
       fractions.add(mux.fraction_lane(running, lane));
     }
   }

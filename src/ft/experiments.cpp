@@ -26,48 +26,66 @@ LogicalGateExperiment::LogicalGateExperiment(
   }
 }
 
-BernoulliEstimate LogicalGateExperiment::run(double g) const {
-  NoiseModel model = NoiseModel::uniform(g);
-  if (!config_.noisy_init) model.with_perfect_init();
+namespace {
 
-  const int arity = gate_arity(config_.gate);
-  McOptions opts;
-  opts.trials = config_.trials;
-  opts.seed = config_.seed;
+// Per-shard kernel: lane_inputs is the mutable prepare→classify
+// hand-off (word k holds logical input bit k of all 64 lanes), so each
+// shard owns a private copy; everything reached through pointers is
+// immutable during the run.
+struct LogicalGateKernel {
+  const CompiledModule* module;
+  const std::vector<std::vector<std::uint32_t>>* input_leaves;
+  GateKind gate;
+  int arity;
+  std::vector<std::uint64_t> lane_inputs;
 
-  // Per-batch lane inputs: word k holds logical input bit k of all 64
-  // lanes.
-  std::vector<std::uint64_t> lane_inputs(static_cast<std::size_t>(arity), 0);
-
-  auto prepare = [&](PackedState& state, Xoshiro256& rng, std::uint64_t) {
+  void prepare(PackedState& state, Xoshiro256& rng, std::uint64_t) {
     for (int k = 0; k < arity; ++k) {
       lane_inputs[static_cast<std::size_t>(k)] = rng.next();
       // Broadcast: every data leaf of logical bit k carries that
       // lane-pattern; all other bits stay zero (state was cleared).
-      for (const auto bit : input_leaves_[static_cast<std::size_t>(k)])
+      for (const auto bit : (*input_leaves)[static_cast<std::size_t>(k)])
         state.word(bit) = lane_inputs[static_cast<std::size_t>(k)];
     }
-  };
+  }
 
-  auto classify = [&](const PackedState& state, int lane, std::uint64_t) {
+  bool classify(const PackedState& state, int lane, std::uint64_t) const {
     unsigned input = 0;
     for (int k = 0; k < arity; ++k)
       input |= static_cast<unsigned>(
                    (lane_inputs[static_cast<std::size_t>(k)] >> lane) & 1u)
                << k;
-    const unsigned expected = gate_apply_local(config_.gate, input);
+    const unsigned expected = gate_apply_local(gate, input);
     auto reader = [&](std::uint32_t bit) {
       return static_cast<int>(state.bit_lane(bit, lane));
     };
     for (int k = 0; k < arity; ++k) {
       const int decoded =
-          decode_block(module_.blocks[static_cast<std::size_t>(k)], reader);
+          decode_block(module->blocks[static_cast<std::size_t>(k)], reader);
       if (decoded != static_cast<int>((expected >> k) & 1u)) return true;
     }
     return false;
-  };
+  }
+};
 
-  return run_packed_mc(module_.physical, model, opts, prepare, classify);
+}  // namespace
+
+BernoulliEstimate LogicalGateExperiment::run(double g) const {
+  NoiseModel model = NoiseModel::uniform(g);
+  if (!config_.noisy_init) model.with_perfect_init();
+
+  const int arity = gate_arity(config_.gate);
+  ParallelMcOptions opts;
+  opts.trials = config_.trials;
+  opts.seed = config_.seed;
+  opts.threads = config_.threads;
+
+  return run_parallel_mc(
+      module_.physical, model, opts, [&](std::uint64_t) {
+        return LogicalGateKernel{
+            &module_, &input_leaves_, config_.gate, arity,
+            std::vector<std::uint64_t>(static_cast<std::size_t>(arity), 0)};
+      });
 }
 
 std::vector<ThresholdPoint> sweep_gate_error(const LogicalGateExperiment& exp,
@@ -95,29 +113,43 @@ MemoryExperiment::MemoryExperiment(const Config& config) : config_(config) {
   output_ = layout.data;
 }
 
+namespace {
+
+struct MemoryKernel {
+  std::array<std::uint32_t, 3> input;
+  std::array<std::uint32_t, 3> output;
+  std::uint64_t lane_values = 0;
+
+  void prepare(PackedState& state, Xoshiro256& rng, std::uint64_t) {
+    lane_values = rng.next();
+    for (auto bit : input) state.word(bit) = lane_values;
+  }
+
+  bool classify(const PackedState& state, int lane, std::uint64_t) const {
+    const int expected = static_cast<int>((lane_values >> lane) & 1u);
+    const int decoded = (static_cast<int>(state.bit_lane(output[0], lane)) +
+                         static_cast<int>(state.bit_lane(output[1], lane)) +
+                         static_cast<int>(state.bit_lane(output[2], lane))) >= 2
+                            ? 1
+                            : 0;
+    return decoded != expected;
+  }
+};
+
+}  // namespace
+
 BernoulliEstimate MemoryExperiment::run(double g) const {
   NoiseModel model = NoiseModel::uniform(g);
   if (!config_.noisy_init) model.with_perfect_init();
 
-  McOptions opts;
+  ParallelMcOptions opts;
   opts.trials = config_.trials;
   opts.seed = config_.seed;
+  opts.threads = config_.threads;
 
-  std::uint64_t lane_values = 0;
-  auto prepare = [&](PackedState& state, Xoshiro256& rng, std::uint64_t) {
-    lane_values = rng.next();
-    for (auto bit : input_) state.word(bit) = lane_values;
-  };
-  auto classify = [&](const PackedState& state, int lane, std::uint64_t) {
-    const int expected = static_cast<int>((lane_values >> lane) & 1u);
-    const int decoded = (static_cast<int>(state.bit_lane(output_[0], lane)) +
-                         static_cast<int>(state.bit_lane(output_[1], lane)) +
-                         static_cast<int>(state.bit_lane(output_[2], lane))) >= 2
-                            ? 1
-                            : 0;
-    return decoded != expected;
-  };
-  return run_packed_mc(circuit_, model, opts, prepare, classify);
+  return run_parallel_mc(circuit_, model, opts, [&](std::uint64_t) {
+    return MemoryKernel{input_, output_, 0};
+  });
 }
 
 CodewordCycleExperiment::CodewordCycleExperiment(
@@ -131,31 +163,31 @@ CodewordCycleExperiment::CodewordCycleExperiment(
                   "CodewordCycleExperiment: need a 3-bit gate");
 }
 
-BernoulliEstimate CodewordCycleExperiment::run(double g) const {
-  NoiseModel model = NoiseModel::uniform(g);
-  if (!config_.noisy_init) model.with_perfect_init();
+namespace {
 
-  McOptions opts;
-  opts.trials = config_.trials;
-  opts.seed = config_.seed;
-
+struct CodewordCycleKernel {
+  const std::array<std::array<std::uint32_t, 3>, 3>* before;
+  const std::array<std::array<std::uint32_t, 3>, 3>* after;
+  GateKind gate;
   std::array<std::uint64_t, 3> lane_inputs{};
-  auto prepare = [&](PackedState& state, Xoshiro256& rng, std::uint64_t) {
+
+  void prepare(PackedState& state, Xoshiro256& rng, std::uint64_t) {
     for (int k = 0; k < 3; ++k) {
       lane_inputs[static_cast<std::size_t>(k)] = rng.next();
-      for (auto bit : before_[static_cast<std::size_t>(k)])
+      for (auto bit : (*before)[static_cast<std::size_t>(k)])
         state.word(bit) = lane_inputs[static_cast<std::size_t>(k)];
     }
-  };
-  auto classify = [&](const PackedState& state, int lane, std::uint64_t) {
+  }
+
+  bool classify(const PackedState& state, int lane, std::uint64_t) const {
     unsigned input = 0;
     for (int k = 0; k < 3; ++k)
       input |= static_cast<unsigned>(
                    (lane_inputs[static_cast<std::size_t>(k)] >> lane) & 1u)
                << k;
-    const unsigned expected = gate_apply_local(config_.gate, input);
+    const unsigned expected = gate_apply_local(gate, input);
     for (int k = 0; k < 3; ++k) {
-      const auto& cw = after_[static_cast<std::size_t>(k)];
+      const auto& cw = (*after)[static_cast<std::size_t>(k)];
       const int decoded =
           (static_cast<int>(state.bit_lane(cw[0], lane)) +
            static_cast<int>(state.bit_lane(cw[1], lane)) +
@@ -165,8 +197,23 @@ BernoulliEstimate CodewordCycleExperiment::run(double g) const {
       if (decoded != static_cast<int>((expected >> k) & 1u)) return true;
     }
     return false;
-  };
-  return run_packed_mc(circuit_, model, opts, prepare, classify);
+  }
+};
+
+}  // namespace
+
+BernoulliEstimate CodewordCycleExperiment::run(double g) const {
+  NoiseModel model = NoiseModel::uniform(g);
+  if (!config_.noisy_init) model.with_perfect_init();
+
+  ParallelMcOptions opts;
+  opts.trials = config_.trials;
+  opts.seed = config_.seed;
+  opts.threads = config_.threads;
+
+  return run_parallel_mc(circuit_, model, opts, [&](std::uint64_t) {
+    return CodewordCycleKernel{&before_, &after_, config_.gate, {}};
+  });
 }
 
 }  // namespace revft

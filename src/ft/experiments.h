@@ -18,7 +18,7 @@
 #include <vector>
 
 #include "ft/concat.h"
-#include "noise/monte_carlo.h"
+#include "noise/parallel_mc.h"
 #include "support/stats.h"
 
 namespace revft {
@@ -34,6 +34,10 @@ struct LogicalGateExperimentConfig {
   bool noisy_init = true;
   std::uint64_t trials = 100000;
   std::uint64_t seed = 0x1ea7beefULL;
+  /// Worker threads for the sharded Monte-Carlo engine. 0 = auto
+  /// (REVFT_THREADS env, else hardware concurrency). Never affects the
+  /// estimate — results are bit-identical for a fixed seed.
+  int threads = 0;
 };
 
 /// Compile once, then sweep g with run().
@@ -77,6 +81,7 @@ class MemoryExperiment {
     bool noisy_init = true;
     std::uint64_t trials = 100000;
     std::uint64_t seed = 0x3e3042ULL;
+    int threads = 0;  ///< see LogicalGateExperimentConfig::threads
   };
 
   explicit MemoryExperiment(const Config& config);
@@ -106,6 +111,7 @@ class CodewordCycleExperiment {
     bool noisy_init = true;
     std::uint64_t trials = 100000;
     std::uint64_t seed = 0x10ca1ULL;
+    int threads = 0;  ///< see LogicalGateExperimentConfig::threads
   };
 
   CodewordCycleExperiment(Circuit circuit,

@@ -4,6 +4,10 @@
 // for N trials in 64-lane batches, let the caller prepare lanes and
 // classify outcomes, and accumulate a Bernoulli estimate with Wilson
 // confidence intervals.
+//
+// The batch loop itself lives in detail::run_mc_span so the
+// thread-sharded engine (noise/parallel_mc.h) can run the identical
+// per-batch semantics over a sub-range of batches.
 #pragma once
 
 #include <cstdint>
@@ -18,34 +22,52 @@ struct McOptions {
   std::uint64_t seed = 0x5eedf00dULL;
 };
 
-/// Runs ceil(trials/64) batches. For each batch:
-///   prepare(state, rng, batch)          — set up all 64 lanes;
+namespace detail {
+
+/// Runs ceil(trials/64) batches starting at global batch index
+/// `first_batch` on an existing simulator/state pair. For each batch:
+///   prepare(state, rng, batch)           — set up all 64 lanes;
 ///   ... circuit applied noisily ...
 ///   classify(state, lane, batch) -> bool — true means "error".
 /// Only the first (trials % 64) lanes of the last batch are counted,
 /// so the estimate covers exactly `trials` trials.
+template <typename PrepareFn, typename ClassifyFn>
+BernoulliEstimate run_mc_span(PackedSimulator& sim, PackedState& state,
+                              const Circuit& circuit, std::uint64_t first_batch,
+                              std::uint64_t trials, PrepareFn&& prepare,
+                              ClassifyFn&& classify) {
+  BernoulliEstimate est;
+  const std::uint64_t batches = (trials + 63) / 64;
+  for (std::uint64_t b = 0; b < batches; ++b) {
+    const std::uint64_t batch = first_batch + b;
+    const int lanes_this_batch =
+        (b + 1 == batches && trials % 64 != 0) ? static_cast<int>(trials % 64)
+                                               : 64;
+    state.clear();
+    prepare(state, sim.rng(), batch);
+    sim.apply_noisy(state, circuit);
+    for (int lane = 0; lane < lanes_this_batch; ++lane) {
+      ++est.trials;
+      if (classify(state, lane, batch)) ++est.failures;
+    }
+  }
+  return est;
+}
+
+}  // namespace detail
+
+/// Single-threaded harness: one simulator seeded with opts.seed runs
+/// every batch in order. See detail::run_mc_span for the prepare /
+/// classify contract (classify returning true counts a *failure*).
 template <typename PrepareFn, typename ClassifyFn>
 BernoulliEstimate run_packed_mc(const Circuit& circuit, const NoiseModel& model,
                                 const McOptions& opts, PrepareFn&& prepare,
                                 ClassifyFn&& classify) {
   PackedSimulator sim(model, opts.seed);
   PackedState state(circuit.width());
-  BernoulliEstimate est;
-  const std::uint64_t batches = (opts.trials + 63) / 64;
-  for (std::uint64_t batch = 0; batch < batches; ++batch) {
-    const int lanes_this_batch =
-        (batch + 1 == batches && opts.trials % 64 != 0)
-            ? static_cast<int>(opts.trials % 64)
-            : 64;
-    state.clear();
-    prepare(state, sim.rng(), batch);
-    sim.apply_noisy(state, circuit);
-    for (int lane = 0; lane < lanes_this_batch; ++lane) {
-      ++est.trials;
-      if (classify(state, lane, batch)) ++est.successes;
-    }
-  }
-  return est;
+  return detail::run_mc_span(sim, state, circuit, /*first_batch=*/0,
+                             opts.trials, std::forward<PrepareFn>(prepare),
+                             std::forward<ClassifyFn>(classify));
 }
 
 }  // namespace revft

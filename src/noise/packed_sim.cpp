@@ -7,12 +7,13 @@
 namespace revft {
 
 void PackedState::set_bit_lane(std::uint32_t bit, int lane, bool v) {
-  REVFT_CHECK_MSG(lane >= 0 && lane < 64, "set_bit_lane: lane " << lane);
-  const std::uint64_t m = 1ULL << lane;
+  REVFT_DASSERT(lane >= 0 && lane < 64);
+  REVFT_DASSERT(bit < words_.size());
+  const std::uint64_t m = 1ULL << static_cast<unsigned>(lane);
   if (v)
-    words_.at(bit) |= m;
+    words_[bit] |= m;
   else
-    words_.at(bit) &= ~m;
+    words_[bit] &= ~m;
 }
 
 BernoulliMaskStream::BernoulliMaskStream(double p, Xoshiro256* rng)

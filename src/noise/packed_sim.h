@@ -19,6 +19,7 @@
 
 #include "noise/model.h"
 #include "rev/circuit.h"
+#include "support/error.h"
 #include "support/rng.h"
 
 namespace revft {
@@ -32,15 +33,27 @@ class PackedState {
     return static_cast<std::uint32_t>(words_.size());
   }
 
-  std::uint64_t word(std::uint32_t bit) const { return words_.at(bit); }
-  std::uint64_t& word(std::uint32_t bit) { return words_.at(bit); }
+  // Hot path: word() runs inside the innermost gate loop, so bounds
+  // checking is debug-only (REVFT_DASSERT) rather than vector::at().
+  std::uint64_t word(std::uint32_t bit) const {
+    REVFT_DASSERT(bit < words_.size());
+    return words_[bit];
+  }
+  std::uint64_t& word(std::uint32_t bit) {
+    REVFT_DASSERT(bit < words_.size());
+    return words_[bit];
+  }
 
   /// Set circuit bit `bit` to `v` in every lane.
-  void fill_bit(std::uint32_t bit, bool v) { words_.at(bit) = v ? ~0ULL : 0; }
+  void fill_bit(std::uint32_t bit, bool v) {
+    REVFT_DASSERT(bit < words_.size());
+    words_[bit] = v ? ~0ULL : 0;
+  }
 
   /// Value of `bit` in one lane.
   std::uint8_t bit_lane(std::uint32_t bit, int lane) const {
-    return static_cast<std::uint8_t>((words_.at(bit) >> lane) & 1u);
+    REVFT_DASSERT(bit < words_.size());
+    return static_cast<std::uint8_t>((words_[bit] >> lane) & 1u);
   }
 
   /// Set `bit` in one lane.

@@ -1,0 +1,95 @@
+#include "noise/parallel_mc.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace revft {
+
+std::vector<McShard> plan_shards(std::uint64_t trials, std::uint64_t master_seed,
+                                 std::uint64_t batches_per_shard) {
+  REVFT_CHECK_MSG(batches_per_shard >= 1,
+                  "plan_shards: batches_per_shard=" << batches_per_shard);
+  std::vector<McShard> shards;
+  if (trials == 0) return shards;
+  const std::uint64_t trials_per_shard = batches_per_shard * 64;
+  const std::uint64_t count = (trials + trials_per_shard - 1) / trials_per_shard;
+  shards.reserve(count);
+  Xoshiro256 master(master_seed);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    McShard shard;
+    shard.index = i;
+    shard.first_batch = i * batches_per_shard;
+    const std::uint64_t first_trial = i * trials_per_shard;
+    shard.trials = std::min(trials_per_shard, trials - first_trial);
+    shard.seed = master.derive_seed();
+    shards.push_back(shard);
+  }
+  return shards;
+}
+
+int resolve_thread_count(int requested) noexcept {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("REVFT_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 0);
+    if (parsed > 0) return static_cast<int>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+namespace detail {
+
+BernoulliEstimate run_sharded(
+    const std::vector<McShard>& shards, int threads,
+    const std::function<BernoulliEstimate(const McShard&)>& run_shard) {
+  BernoulliEstimate total;
+  if (shards.empty()) return total;
+
+  const std::size_t workers = static_cast<std::size_t>(
+      threads < 1 ? 1
+                  : std::min<std::uint64_t>(static_cast<std::uint64_t>(threads),
+                                            shards.size()));
+  std::vector<BernoulliEstimate> partial(shards.size());
+
+  if (workers == 1) {
+    for (const McShard& shard : shards) partial[shard.index] = run_shard(shard);
+  } else {
+    // Work-stealing over the shard list: shard *assignment* to threads
+    // is nondeterministic, but each shard's result depends only on the
+    // shard itself and lands in its own slot, so the merge below is
+    // deterministic.
+    std::atomic<std::size_t> next{0};
+    std::vector<std::exception_ptr> errors(shards.size());
+    auto worker = [&] {
+      for (std::size_t i = next.fetch_add(1); i < shards.size();
+           i = next.fetch_add(1)) {
+        try {
+          partial[i] = run_shard(shards[i]);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+    for (const std::exception_ptr& e : errors)
+      if (e) std::rethrow_exception(e);
+  }
+
+  // Merge in shard-index order (exact integer sums, so any order would
+  // agree — the fixed order keeps the contract obvious).
+  for (const BernoulliEstimate& est : partial) total += est;
+  return total;
+}
+
+}  // namespace detail
+
+}  // namespace revft

@@ -1,0 +1,133 @@
+// revft/noise/parallel_mc.h
+//
+// Thread-sharded Monte-Carlo engine: a drop-in generalization of
+// run_packed_mc (noise/monte_carlo.h) that splits the trial budget
+// into fixed-size shards and runs them on a pool of worker threads.
+//
+// Determinism contract: for a fixed (trials, seed, batches_per_shard)
+// the result is bit-identical regardless of thread count. This holds
+// because
+//   * the shard plan is a pure function of trials and batches_per_shard
+//     (never of the thread count),
+//   * each shard owns a private PackedSimulator seeded with a child
+//     seed derived *in shard order* from one master Xoshiro256
+//     (Xoshiro256::derive_seed, support/rng.h), and
+//   * shard estimates are merged in shard-index order after all
+//     workers finish (BernoulliEstimate::operator+= is exact integer
+//     accumulation, so even summation order is immaterial).
+//
+// Because per-batch callback state (e.g. the lane-input words the
+// classifier compares against) must not be shared across concurrently
+// running shards, the parallel engine takes a *kernel factory* rather
+// than bare prepare/classify callables: factory(shard_index) returns a
+// fresh kernel object per shard with
+//   void prepare(PackedState&, Xoshiro256&, std::uint64_t batch);
+//   bool classify(const PackedState&, int lane, std::uint64_t batch);
+// (classify returning true counts a failure). The factory itself must
+// be safe to invoke concurrently.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "noise/monte_carlo.h"
+#include "support/stats.h"
+
+namespace revft {
+
+struct ParallelMcOptions {
+  std::uint64_t trials = 100000;
+  std::uint64_t seed = 0x5eedf00dULL;
+  /// Worker threads. 0 = REVFT_THREADS env var if set, else
+  /// std::thread::hardware_concurrency(). The value never affects the
+  /// estimate, only wall-clock time.
+  int threads = 0;
+  /// Shard granularity in 64-trial batches (16384 trials per full
+  /// shard by default). Part of the determinism key: changing it
+  /// changes the RNG stream, changing the thread count does not.
+  std::uint64_t batches_per_shard = 256;
+};
+
+/// One unit of work: a contiguous batch range with its own child seed.
+struct McShard {
+  std::uint64_t index = 0;        ///< position in the plan (merge order)
+  std::uint64_t first_batch = 0;  ///< global index of the first 64-lane batch
+  std::uint64_t trials = 0;       ///< trials covered by this shard
+  std::uint64_t seed = 0;         ///< child seed for the shard's simulator
+};
+
+/// Deterministic shard decomposition of `trials`: every shard spans
+/// `batches_per_shard` batches (the last may be short, including a
+/// partial final batch), and shard seeds are drawn in order from a
+/// master Xoshiro256 seeded with `master_seed`.
+std::vector<McShard> plan_shards(std::uint64_t trials, std::uint64_t master_seed,
+                                 std::uint64_t batches_per_shard);
+
+/// `requested` if > 0; else the REVFT_THREADS env var if set and > 0;
+/// else std::thread::hardware_concurrency() (at least 1).
+int resolve_thread_count(int requested) noexcept;
+
+namespace detail {
+
+/// Runs `run_shard` over every shard on `threads` workers and merges
+/// the per-shard estimates in shard-index order. `run_shard` is
+/// invoked concurrently from multiple threads; exceptions are captured
+/// and rethrown on the calling thread (first shard in index order
+/// wins).
+BernoulliEstimate run_sharded(
+    const std::vector<McShard>& shards, int threads,
+    const std::function<BernoulliEstimate(const McShard&)>& run_shard);
+
+}  // namespace detail
+
+/// Thread-sharded Monte-Carlo run. See the file comment for the
+/// kernel-factory contract and the determinism guarantee.
+template <typename KernelFactory>
+BernoulliEstimate run_parallel_mc(const Circuit& circuit,
+                                  const NoiseModel& model,
+                                  const ParallelMcOptions& opts,
+                                  KernelFactory&& factory) {
+  const std::vector<McShard> shards =
+      plan_shards(opts.trials, opts.seed, opts.batches_per_shard);
+  return detail::run_sharded(
+      shards, resolve_thread_count(opts.threads),
+      [&](const McShard& shard) -> BernoulliEstimate {
+        auto kernel = factory(shard.index);
+        PackedSimulator sim(model, shard.seed);
+        PackedState state(circuit.width());
+        return detail::run_mc_span(
+            sim, state, circuit, shard.first_batch, shard.trials,
+            [&kernel](PackedState& s, Xoshiro256& rng, std::uint64_t batch) {
+              kernel.prepare(s, rng, batch);
+            },
+            [&kernel](const PackedState& s, int lane, std::uint64_t batch) {
+              return kernel.classify(s, lane, batch);
+            });
+      });
+}
+
+/// Adapts bare prepare/classify callables (the run_packed_mc calling
+/// convention) into a kernel factory: each shard receives its own
+/// *copies*, so state captured by value is private per shard. Captures
+/// by reference must be either immutable or externally synchronized.
+template <typename PrepareFn, typename ClassifyFn>
+auto per_shard_kernel(PrepareFn prepare, ClassifyFn classify) {
+  struct Kernel {
+    PrepareFn prepare_fn;
+    ClassifyFn classify_fn;
+    void prepare(PackedState& s, Xoshiro256& rng, std::uint64_t batch) {
+      prepare_fn(s, rng, batch);
+    }
+    bool classify(const PackedState& s, int lane, std::uint64_t batch) {
+      return classify_fn(s, lane, batch);
+    }
+  };
+  return [prepare = std::move(prepare),
+          classify = std::move(classify)](std::uint64_t) {
+    return Kernel{prepare, classify};
+  };
+}
+
+}  // namespace revft

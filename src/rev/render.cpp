@@ -41,8 +41,13 @@ std::string render_ascii(const Circuit& circuit, const RenderOptions& opts) {
   std::vector<std::string> labels = opts.labels;
   if (labels.empty()) {
     labels.reserve(width);
-    for (std::uint32_t i = 0; i < width; ++i)
-      labels.push_back("q" + std::to_string(i));
+    // Built with += rather than operator+(const char*, string&&): the
+    // latter trips GCC 12's -Wrestrict false positive (PR105329) at -O3.
+    for (std::uint32_t i = 0; i < width; ++i) {
+      std::string label = "q";
+      label += std::to_string(i);
+      labels.push_back(std::move(label));
+    }
   }
   REVFT_CHECK_MSG(labels.size() == width, "render_ascii: label count mismatch");
   std::size_t label_width = 0;

@@ -38,6 +38,15 @@ namespace detail {
       ::revft::detail::raise_check_failure(#expr, __FILE__, __LINE__, ""); \
   } while (0)
 
+/// Debug-only check for hot inner loops (e.g. per-gate word accesses
+/// in the packed simulator): a full REVFT_CHECK in debug builds,
+/// compiled out entirely under NDEBUG.
+#ifndef NDEBUG
+#define REVFT_DASSERT(expr) REVFT_CHECK(expr)
+#else
+#define REVFT_DASSERT(expr) ((void)0)
+#endif
+
 /// Check with a formatted message, e.g.
 ///   REVFT_CHECK_MSG(bit < width, "bit " << bit << " out of range");
 #define REVFT_CHECK_MSG(expr, stream_expr)                              \

@@ -27,7 +27,7 @@ double RunningStat::stderror() const noexcept {
 
 double BernoulliEstimate::rate() const noexcept {
   return trials == 0 ? 0.0
-                     : static_cast<double>(successes) / static_cast<double>(trials);
+                     : static_cast<double>(failures) / static_cast<double>(trials);
 }
 
 BernoulliEstimate::Interval BernoulliEstimate::wilson(double z) const noexcept {

@@ -30,23 +30,35 @@ class RunningStat {
   double m2_ = 0.0;
 };
 
-/// Estimate of a Bernoulli success probability from (successes, trials).
+/// Estimate of a Bernoulli event probability from (failures, trials).
+/// Every Monte-Carlo harness in revft counts *error* events — classify
+/// returning true means "this trial failed" — so the counted field is
+/// named `failures` and rate() is the estimated failure (logical
+/// error) probability. Nothing here is specific to errors beyond the
+/// naming: it is a plain event-count estimator.
 struct BernoulliEstimate {
-  std::uint64_t successes = 0;
+  std::uint64_t failures = 0;
   std::uint64_t trials = 0;
 
+  /// failures / trials (0 when no trials) — the logical error rate in
+  /// Monte-Carlo use. Wilson intervals below cover this same quantity.
   double rate() const noexcept;
+  /// Explicit alias of rate() for call sites where "which rate?"
+  /// should be unmistakable.
+  double error_rate() const noexcept { return rate(); }
 
-  /// Wilson score interval at z standard deviations (z = 1.96 for 95%).
-  /// Well-behaved at rate 0 and 1, unlike the normal approximation.
+  /// Wilson score interval at z standard deviations (z = 1.96 for 95%)
+  /// on the failure probability. Well-behaved at rate 0 and 1, unlike
+  /// the normal approximation.
   struct Interval {
     double lo;
     double hi;
   };
   Interval wilson(double z = 1.96) const noexcept;
 
+  /// Exact integer merge (used by the thread-sharded engine).
   BernoulliEstimate& operator+=(const BernoulliEstimate& other) noexcept {
-    successes += other.successes;
+    failures += other.failures;
     trials += other.trials;
     return *this;
   }

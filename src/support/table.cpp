@@ -77,4 +77,13 @@ std::string AsciiTable::reciprocal(double v) {
   return "1/" + std::to_string(static_cast<std::uint64_t>(std::llround(1.0 / v)));
 }
 
+std::string AsciiTable::interval(double lo, double hi, int decimals) {
+  std::string out = "[";
+  out += sci(lo, decimals);
+  out += ", ";
+  out += sci(hi, decimals);
+  out += "]";
+  return out;
+}
+
 }  // namespace revft

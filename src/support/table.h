@@ -42,6 +42,8 @@ class AsciiTable {
   static std::string sci(double v, int decimals = 2);
   /// "1/165"-style reciprocal rendering for thresholds.
   static std::string reciprocal(double v);
+  /// "[1.0e-03, 2.0e-03]"-style confidence-interval rendering.
+  static std::string interval(double lo, double hi, int decimals = 2);
 
  private:
   std::vector<std::string> headers_;

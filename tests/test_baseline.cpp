@@ -156,7 +156,7 @@ TEST(NandMux, DeterministicGivenSeed) {
   config.bundle_size = 49;
   const auto a = run_nand_chain(config, 6, 0.05, 5000, 77);
   const auto b = run_nand_chain(config, 6, 0.05, 5000, 77);
-  EXPECT_EQ(a.logical_error.successes, b.logical_error.successes);
+  EXPECT_EQ(a.logical_error.failures, b.logical_error.failures);
 }
 
 TEST(NandMux, ConfigValidation) {

@@ -31,7 +31,7 @@ TEST(Experiments, Level0AnchorsToPhysicalErrorScale) {
 TEST(Experiments, ZeroNoiseZeroErrors) {
   for (int level : {0, 1, 2}) {
     const LogicalGateExperiment exp(config_for(level, 5000));
-    EXPECT_EQ(exp.run(0.0).successes, 0u) << "level " << level;
+    EXPECT_EQ(exp.run(0.0).failures, 0u) << "level " << level;
   }
 }
 
@@ -72,7 +72,7 @@ TEST(Experiments, QuadraticScalingAtLevel1) {
   const LogicalGateExperiment exp(config_for(1, 2000000));
   const auto lo = exp.run(3e-3);
   const auto hi = exp.run(6e-3);
-  ASSERT_GT(lo.successes, 50u);
+  ASSERT_GT(lo.failures, 50u);
   const double ratio = hi.rate() / lo.rate();
   EXPECT_GT(ratio, 2.8);
   EXPECT_LT(ratio, 5.5);
@@ -103,7 +103,7 @@ TEST(Experiments, DeterministicGivenSeed) {
   const LogicalGateExperiment exp(config_for(1, 20000));
   const auto a = exp.run(5e-3);
   const auto b = exp.run(5e-3);
-  EXPECT_EQ(a.successes, b.successes);
+  EXPECT_EQ(a.failures, b.failures);
   EXPECT_EQ(a.trials, b.trials);
 }
 
@@ -128,7 +128,7 @@ TEST(Memory, NoiselessStorageIsPerfect) {
   config.rounds = 20;
   config.trials = 5000;
   const MemoryExperiment exp(config);
-  EXPECT_EQ(exp.run(0.0).successes, 0u);
+  EXPECT_EQ(exp.run(0.0).failures, 0u);
 }
 
 TEST(Memory, ErrorAccumulatesRoughlyLinearly) {

@@ -245,7 +245,7 @@ TEST(MonteCarlo, CountsExactTrialCount) {
         return s.bit_lane(0, lane) == 0;  // NOT of 0 is 1: never error
       });
   EXPECT_EQ(est.trials, 100u);
-  EXPECT_EQ(est.successes, 0u);
+  EXPECT_EQ(est.failures, 0u);
 }
 
 TEST(MonteCarlo, MeasuresKnownErrorRate) {
