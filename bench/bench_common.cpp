@@ -42,7 +42,26 @@ void print_header(const std::string& title, const std::string& paper_ref) {
   std::printf("================================================================\n");
 }
 
-JsonResultWriter::JsonResultWriter(std::string name) : name_(std::move(name)) {}
+namespace {
+std::string compiler_version_string() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+}  // namespace
+
+#ifndef REVFT_GIT_SHA
+#define REVFT_GIT_SHA "unknown"
+#endif
+
+JsonResultWriter::JsonResultWriter(std::string name) : name_(std::move(name)) {
+  meta("git_sha", std::string(REVFT_GIT_SHA));
+  meta("compiler", compiler_version_string());
+}
 
 JsonResultWriter::~JsonResultWriter() { write(); }
 
@@ -64,6 +83,15 @@ void JsonResultWriter::meta(const std::string& key, double value) {
 
 void JsonResultWriter::meta(const std::string& key, std::uint64_t value) {
   meta_.emplace_back(key, number_token(value));
+}
+
+void JsonResultWriter::meta(const std::string& key, const std::string& value) {
+  // Built with += rather than operator+(const char*, string&&): the
+  // latter trips GCC 12's -Wrestrict false positive (PR105329) at -O3.
+  std::string token = "\"";
+  token += json_escape(value);
+  token += '"';
+  meta_.emplace_back(key, std::move(token));
 }
 
 JsonResultWriter::Entries* JsonResultWriter::section(const std::string& name) {

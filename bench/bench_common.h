@@ -58,9 +58,13 @@ class JsonResultWriter {
 
   /// Record one run-configuration value (trials, seed, threads, ...).
   /// The integer overload keeps 64-bit values (seeds!) exact — a
-  /// double would silently round anything above 2^53.
+  /// double would silently round anything above 2^53. The string
+  /// overload emits a JSON string (provenance labels). Every writer is
+  /// pre-stamped with "git_sha" and "compiler" so a results file can
+  /// always be attributed to a build.
   void meta(const std::string& key, double value);
   void meta(const std::string& key, std::uint64_t value);
+  void meta(const std::string& key, const std::string& value);
   /// Record one measured value under `section`.
   void add(const std::string& section, const std::string& key, double value);
   void add(const std::string& section, const std::string& key,

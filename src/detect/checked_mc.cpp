@@ -1,0 +1,26 @@
+#include "detect/checked_mc.h"
+
+namespace revft::detect {
+
+std::uint64_t apply_noisy_checked(PackedSimulator& sim, PackedState& state,
+                                  const CheckedCircuit& checked) {
+  REVFT_CHECK_MSG(checked.circuit.width() == state.width(),
+                  "apply_noisy_checked: width mismatch");
+  std::uint64_t detected = 0;
+  // Run the segments between checkpoints through the simulator's span
+  // loop (hot path identical to the unchecked engine), pausing only to
+  // OR the per-lane invariant into the mask.
+  std::size_t pos = 0;
+  for (const std::size_t cp : checked.checkpoints) {
+    sim.apply_noisy_span(state, checked.circuit, pos, cp + 1);
+    pos = cp + 1;
+    detected |=
+        state.parity_word(checked.data_width) ^ state.word(checked.parity_rail);
+  }
+  sim.apply_noisy_span(state, checked.circuit, pos, checked.circuit.size());
+  for (const std::uint32_t cb : checked.check_bits)
+    detected |= state.word(cb);
+  return detected;
+}
+
+}  // namespace revft::detect

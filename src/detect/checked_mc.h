@@ -1,0 +1,161 @@
+// revft/detect/checked_mc.h
+//
+// Online error detection inside the 64-lane packed Monte-Carlo engine.
+// A checked circuit is applied noisily gate by gate; at every recorded
+// checkpoint the parity-rail invariant I = rail ^ XOR(data) is
+// evaluated for all 64 lanes at once — one XOR per data rail plus one
+// OR into the running `detected` bitmask, so detection costs a handful
+// of word ops per checkpoint regardless of trial count.
+//
+// The detected mask is threaded through the thread-sharded engine
+// (noise/parallel_mc.h): every trial is classified into one of four
+// outcomes and the per-shard DetectionEstimates merge by exact integer
+// sums, so — exactly like the plain engine — the detected / silent /
+// accepted counts are bit-identical for a fixed seed regardless of
+// REVFT_THREADS.
+//
+// The headline statistics model an abort-and-retry (post-selection)
+// protocol: trials whose checker fired are discarded, and the quality
+// of the survivors is post_selected_error_rate() = silent_failures /
+// accepted().
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "detect/rail.h"
+#include "noise/parallel_mc.h"
+
+namespace revft::detect {
+
+/// Exact outcome counts of a detection Monte-Carlo run.
+struct DetectionEstimate {
+  std::uint64_t trials = 0;
+  std::uint64_t detected = 0;           ///< checker fired (trial aborted)
+  std::uint64_t detected_failures = 0;  ///< ... and the output was wrong
+  std::uint64_t silent_failures = 0;    ///< accepted, but the output was wrong
+
+  std::uint64_t accepted() const noexcept { return trials - detected; }
+  std::uint64_t false_alarms() const noexcept {
+    return detected - detected_failures;
+  }
+  double detected_rate() const noexcept {
+    return trials ? static_cast<double>(detected) / static_cast<double>(trials)
+                  : 0.0;
+  }
+  /// Failure rate with no post-selection: silent and detected failures
+  /// both count (what an abort-unaware consumer would see).
+  double raw_failure_rate() const noexcept {
+    return trials ? static_cast<double>(silent_failures + detected_failures) /
+                        static_cast<double>(trials)
+                  : 0.0;
+  }
+  /// Failure rate among accepted trials — the post-selection payoff.
+  double post_selected_error_rate() const noexcept {
+    const std::uint64_t a = accepted();
+    return a ? static_cast<double>(silent_failures) / static_cast<double>(a)
+             : 0.0;
+  }
+
+  /// Exact integer merge (shard combination).
+  DetectionEstimate& operator+=(const DetectionEstimate& other) noexcept {
+    trials += other.trials;
+    detected += other.detected;
+    detected_failures += other.detected_failures;
+    silent_failures += other.silent_failures;
+    return *this;
+  }
+
+  bool operator==(const DetectionEstimate&) const = default;
+};
+
+/// Apply checked.circuit noisily and return the per-lane detected
+/// bitmask: bit t set means some checkpoint saw I != 0 in lane t.
+/// Embedded check bits, when present, are folded into the mask at the
+/// end. Consumes RNG identically for a fixed simulator state, so the
+/// sharded determinism contract carries over.
+std::uint64_t apply_noisy_checked(PackedSimulator& sim, PackedState& state,
+                                  const CheckedCircuit& checked);
+
+namespace detail {
+
+/// Checked counterpart of noise/monte_carlo.h's run_mc_span: identical
+/// batching and lane accounting, but every trial lands in one of the
+/// four DetectionEstimate buckets.
+template <typename PrepareFn, typename ClassifyFn>
+DetectionEstimate run_checked_mc_span(PackedSimulator& sim, PackedState& state,
+                                      const CheckedCircuit& checked,
+                                      std::uint64_t first_batch,
+                                      std::uint64_t trials, PrepareFn&& prepare,
+                                      ClassifyFn&& classify) {
+  DetectionEstimate est;
+  const std::uint64_t batches = (trials + 63) / 64;
+  for (std::uint64_t b = 0; b < batches; ++b) {
+    const std::uint64_t batch = first_batch + b;
+    const int lanes_this_batch =
+        (b + 1 == batches && trials % 64 != 0) ? static_cast<int>(trials % 64)
+                                               : 64;
+    state.clear();
+    prepare(state, sim.rng(), batch);
+    const std::uint64_t detected_mask = apply_noisy_checked(sim, state, checked);
+    for (int lane = 0; lane < lanes_this_batch; ++lane) {
+      ++est.trials;
+      const bool wrong = classify(state, lane, batch);
+      if ((detected_mask >> lane) & 1u) {
+        ++est.detected;
+        if (wrong) ++est.detected_failures;
+      } else if (wrong) {
+        ++est.silent_failures;
+      }
+    }
+  }
+  return est;
+}
+
+}  // namespace detail
+
+/// Single-threaded checked Monte-Carlo harness (one simulator runs
+/// every batch in order). prepare fills the 64 lanes of a cleared
+/// state — rail and check bits must be left zero; classify returns
+/// true when the lane's *output* is logically wrong.
+template <typename PrepareFn, typename ClassifyFn>
+DetectionEstimate run_checked_mc(const CheckedCircuit& checked,
+                                 const NoiseModel& model, const McOptions& opts,
+                                 PrepareFn&& prepare, ClassifyFn&& classify) {
+  PackedSimulator sim(model, opts.seed);
+  PackedState state(checked.circuit.width());
+  return detail::run_checked_mc_span(sim, state, checked, /*first_batch=*/0,
+                                     opts.trials,
+                                     std::forward<PrepareFn>(prepare),
+                                     std::forward<ClassifyFn>(classify));
+}
+
+/// Thread-sharded checked Monte-Carlo run. Same kernel-factory
+/// contract as run_parallel_mc (factory(shard_index) yields an object
+/// with prepare/classify); same determinism guarantee, now for all
+/// four outcome counts.
+template <typename KernelFactory>
+DetectionEstimate run_parallel_checked_mc(const CheckedCircuit& checked,
+                                          const NoiseModel& model,
+                                          const ParallelMcOptions& opts,
+                                          KernelFactory&& factory) {
+  const std::vector<McShard> shards =
+      plan_shards(opts.trials, opts.seed, opts.batches_per_shard);
+  return revft::detail::run_sharded_as<DetectionEstimate>(
+      shards, resolve_thread_count(opts.threads),
+      [&](const McShard& shard) -> DetectionEstimate {
+        auto kernel = factory(shard.index);
+        PackedSimulator sim(model, shard.seed);
+        PackedState state(checked.circuit.width());
+        return detail::run_checked_mc_span(
+            sim, state, checked, shard.first_batch, shard.trials,
+            [&kernel](PackedState& s, Xoshiro256& rng, std::uint64_t batch) {
+              kernel.prepare(s, rng, batch);
+            },
+            [&kernel](const PackedState& s, int lane, std::uint64_t batch) {
+              return kernel.classify(s, lane, batch);
+            });
+      });
+}
+
+}  // namespace revft::detect

@@ -1,0 +1,108 @@
+#include "detect/checker.h"
+
+#include "detect/parity.h"
+#include "support/error.h"
+
+namespace revft::detect {
+
+namespace {
+
+/// Parity invariant I at the current state: rail XOR all data bits.
+int invariant(const CheckedCircuit& checked, const StateVector& state) {
+  return total_parity(state, 0, checked.data_width) ^
+         static_cast<int>(state.bit(checked.parity_rail));
+}
+
+}  // namespace
+
+CheckedRunResult checked_run_with_faults(const CheckedCircuit& checked,
+                                         const StateVector& data_input,
+                                         const std::vector<FaultSpec>& faults) {
+  const Circuit& circuit = checked.circuit;
+  StateVector state = widen_input(checked, data_input);
+
+  // Index faults by op (same validation as noise/apply_with_faults).
+  std::vector<int> fault_at(circuit.size(), -1);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const auto& f = faults[i];
+    REVFT_CHECK_MSG(f.op_index < circuit.size(),
+                    "fault op_index " << f.op_index << " out of range");
+    REVFT_CHECK_MSG(fault_at[f.op_index] < 0,
+                    "duplicate fault on op " << f.op_index);
+    fault_at[f.op_index] = static_cast<int>(i);
+  }
+
+  CheckedRunResult result{StateVector(0), false, 0};
+  std::size_t next_checkpoint = 0;
+  for (std::size_t i = 0; i < circuit.size(); ++i) {
+    const Gate& g = circuit.op(i);
+    const int fi = fault_at[i];
+    if (fi < 0) {
+      state.apply(g);
+    } else {
+      const unsigned v = faults[static_cast<std::size_t>(fi)].corrupted_local;
+      const int n = g.arity();
+      REVFT_CHECK_MSG(v < (1u << n),
+                      "corrupted_local " << v << " exceeds arity");
+      for (int k = 0; k < n; ++k)
+        state.set_bit(g.bits[static_cast<std::size_t>(k)],
+                      static_cast<std::uint8_t>((v >> k) & 1u));
+    }
+    while (next_checkpoint < checked.checkpoints.size() &&
+           checked.checkpoints[next_checkpoint] == i) {
+      if (invariant(checked, state) != 0 && !result.detected) {
+        result.detected = true;
+        result.first_violation = next_checkpoint;
+      }
+      ++next_checkpoint;
+    }
+  }
+  // Embedded checker outputs: any check bit left set is a detection.
+  if (!result.detected) {
+    for (std::size_t k = 0; k < checked.check_bits.size(); ++k) {
+      if (state.bit(checked.check_bits[k]) != 0) {
+        result.detected = true;
+        result.first_violation = k;
+        break;
+      }
+    }
+  }
+  result.state = std::move(state);
+  return result;
+}
+
+CheckedRunResult checked_run(const CheckedCircuit& checked,
+                             const StateVector& data_input) {
+  return checked_run_with_faults(checked, data_input, {});
+}
+
+DetectionCensus single_fault_detection_census(
+    const CheckedCircuit& checked, const std::vector<StateVector>& data_inputs,
+    const std::function<bool(const StateVector&, std::size_t)>& is_error) {
+  REVFT_CHECK_MSG(!data_inputs.empty(),
+                  "single_fault_detection_census: no inputs");
+  DetectionCensus census;
+  std::uint64_t all_values = 0;
+  for (const Gate& g : checked.circuit.ops())
+    all_values += 1ull << g.arity();
+
+  for (std::size_t in = 0; in < data_inputs.size(); ++in) {
+    const StateVector wide = widen_input(checked, data_inputs[in]);
+    const std::vector<FaultSpec> faults =
+        enumerate_single_faults(checked.circuit, wide, /*skip_benign=*/true);
+    census.benign_skipped += all_values - faults.size();
+    for (const FaultSpec& fault : faults) {
+      ++census.scenarios;
+      const CheckedRunResult run =
+          checked_run_with_faults(checked, data_inputs[in], {fault});
+      const bool wrong = is_error(run.state, in);
+      if (run.detected)
+        ++(wrong ? census.detected_harmful : census.detected_harmless);
+      else
+        ++(wrong ? census.silent_harmful : census.harmless);
+    }
+  }
+  return census;
+}
+
+}  // namespace revft::detect

@@ -1,0 +1,81 @@
+// revft/detect/checker.h
+//
+// Online error detection for the scalar reference engine, and the
+// exhaustive single-fault detection census — the detection analogue of
+// noise/injection's pair-fault census. Instead of *sampling* the
+// detected / silent split, the census enumerates every single-fault
+// scenario of a checked circuit (every op, every corrupted local
+// value, every supplied input) and classifies each one exactly:
+//
+//   harmless          — output still correct, no alarm
+//   detected_harmless — alarm raised, output correct anyway
+//   detected_harmful  — alarm raised AND the output is wrong: the
+//                       faults a detect-and-retry protocol saves
+//   silent_harmful    — output wrong with no alarm: the failures that
+//                       defeat detection
+//
+// fault_secure() (silent_harmful == 0) is a *proof*, not an estimate:
+// for the parity-checked MAJ recovery cycle it establishes that every
+// non-benign single fault is either caught by the checker or corrected
+// by the majority vote (cf. "Detecting Errors in Reversible Circuits
+// With Invariant Relationships", arXiv:0812.3871).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "detect/rail.h"
+#include "noise/injection.h"
+#include "rev/simulator.h"
+
+namespace revft::detect {
+
+/// Outcome of one checked scalar run.
+struct CheckedRunResult {
+  StateVector state;  ///< final state at the checked circuit's width
+  bool detected = false;
+  /// Index into CheckedCircuit::checkpoints of the first violated
+  /// checkpoint (meaningful only when detected).
+  std::size_t first_violation = 0;
+};
+
+/// Run the checked circuit fault-free on a data-width input (rail and
+/// check bits are zeroed internally). A fault-free run never detects.
+CheckedRunResult checked_run(const CheckedCircuit& checked,
+                             const StateVector& data_input);
+
+/// Same, with deterministic fault injection (op indices refer to
+/// checked.circuit). The parity invariant I = rail ^ XOR(data) is
+/// evaluated at every checkpoint; embedded check bits are also
+/// inspected at the end when present.
+CheckedRunResult checked_run_with_faults(const CheckedCircuit& checked,
+                                         const StateVector& data_input,
+                                         const std::vector<FaultSpec>& faults);
+
+/// Exact classification of every single-fault scenario.
+struct DetectionCensus {
+  std::uint64_t scenarios = 0;       ///< (op, value, input) cases simulated
+  std::uint64_t benign_skipped = 0;  ///< corrupted value == correct output
+  std::uint64_t harmless = 0;
+  std::uint64_t detected_harmless = 0;
+  std::uint64_t detected_harmful = 0;
+  std::uint64_t silent_harmful = 0;
+
+  std::uint64_t detected() const noexcept {
+    return detected_harmless + detected_harmful;
+  }
+  /// The proof obligation: no single fault is both missed and fatal.
+  bool fault_secure() const noexcept { return silent_harmful == 0; }
+};
+
+/// Enumerate every single fault of checked.circuit for every input
+/// (benign values pruned via enumerate_single_faults' skip_benign
+/// path) and classify the outcomes. `is_error(final_state, input
+/// index)` judges logical failure on the full-width final state.
+DetectionCensus single_fault_detection_census(
+    const CheckedCircuit& checked, const std::vector<StateVector>& data_inputs,
+    const std::function<bool(const StateVector&, std::size_t)>& is_error);
+
+}  // namespace revft::detect

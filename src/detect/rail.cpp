@@ -1,0 +1,188 @@
+#include "detect/rail.h"
+
+#include <algorithm>
+
+#include "detect/parity.h"
+#include "support/error.h"
+
+namespace revft::detect {
+
+namespace {
+
+/// Emits rail-compensation gates, optionally fusing them: every
+/// compensation is an "XOR f(controls) into rail" involution, so two
+/// identical ones cancel as long as no intervening op wrote a control
+/// (enforced by flushing on touch) and no checkpoint read the rail in
+/// between (enforced by flushing at checkpoints).
+class CompensationEmitter {
+ public:
+  CompensationEmitter(Circuit& out, std::uint64_t& rail_ops, bool fuse)
+      : out_(out), rail_ops_(rail_ops), fuse_(fuse) {}
+
+  /// Queue (or directly emit) one compensation gate. `controls` is how
+  /// many leading operands are reads; the last operand is the rail.
+  void add(const Gate& comp) {
+    if (!fuse_) {
+      emit(comp);
+      return;
+    }
+    const auto match = std::find(pending_.begin(), pending_.end(), comp);
+    if (match != pending_.end())
+      pending_.erase(match);  // involution pair: identity on the rail
+    else
+      pending_.push_back(comp);
+  }
+
+  /// Emit, in queue order, every pending compensation whose controls
+  /// gate `g` is about to write. Must run before `g` itself.
+  void flush_touching(const Gate& g) {
+    for (std::size_t i = 0; i < pending_.size();) {
+      if (reads_bit_of(pending_[i], g)) {
+        emit(pending_[i]);
+        pending_.erase(pending_.begin() +
+                       static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  /// Emit everything still pending (checkpoints and circuit end).
+  void flush_all() {
+    for (const Gate& comp : pending_) emit(comp);
+    pending_.clear();
+  }
+
+ private:
+  static bool reads_bit_of(const Gate& comp, const Gate& g) {
+    // A compensation gate's reads are every operand but its target
+    // (the rail), which original gates never touch.
+    const int controls = comp.arity() - 1;
+    for (int k = 0; k < controls; ++k)
+      if (g.touches(comp.bits[static_cast<std::size_t>(k)])) return true;
+    return false;
+  }
+
+  void emit(const Gate& comp) {
+    out_.push(comp);
+    ++rail_ops_;
+  }
+
+  Circuit& out_;
+  std::uint64_t& rail_ops_;
+  bool fuse_;
+  std::vector<Gate> pending_;
+};
+
+/// Compensation for gates whose parity delta must be read off the
+/// *input* values (queued before the gate; flush-on-touch emits it
+/// ahead of the gate itself).
+void pre_compensation(CompensationEmitter& comp, const Gate& g,
+                      std::uint32_t rail) {
+  switch (g.kind) {
+    case GateKind::kMajInv:
+      // MAJ⁻¹ is Toffoli(b,c -> a) then CNOT(a -> b), CNOT(a -> c);
+      // only the Toffoli moves total parity, by b & c of the inputs.
+      comp.add(make_toffoli(g.bits[1], g.bits[2], rail));
+      return;
+    case GateKind::kInit3:
+      // The reset discards a ^ b ^ c of parity; fold the old values
+      // into the rail before they vanish.
+      comp.add(make_cnot(g.bits[0], rail));
+      comp.add(make_cnot(g.bits[1], rail));
+      comp.add(make_cnot(g.bits[2], rail));
+      return;
+    default:
+      return;
+  }
+}
+
+/// Compensation for gates whose parity delta is a function of values
+/// still present after the gate.
+void post_compensation(CompensationEmitter& comp, const Gate& g,
+                       std::uint32_t rail) {
+  switch (g.kind) {
+    case GateKind::kNot:
+      comp.add(make_not(rail));
+      return;
+    case GateKind::kCnot:
+      comp.add(make_cnot(g.bits[0], rail));
+      return;
+    case GateKind::kToffoli:
+      comp.add(make_toffoli(g.bits[0], g.bits[1], rail));
+      return;
+    case GateKind::kMaj:
+      // MAJ is CNOT(a -> b), CNOT(a -> c) (two cancelling deltas) then
+      // Toffoli(b,c -> a) on the new values — which the b and c rails
+      // still hold after the gate.
+      comp.add(make_toffoli(g.bits[1], g.bits[2], rail));
+      return;
+    default:
+      return;
+  }
+}
+
+}  // namespace
+
+CheckedCircuit to_parity_rail(const Circuit& circuit,
+                              const ParityRailOptions& opts) {
+  REVFT_CHECK_MSG(circuit.width() >= 1, "to_parity_rail: empty circuit");
+
+  CheckedCircuit checked;
+  checked.data_width = circuit.width();
+  checked.parity_rail = circuit.width();
+
+  // Checkpoint count decides the embedded width up front.
+  std::size_t n_checkpoints = 1;  // final
+  if (opts.check_every > 0 && !circuit.empty())
+    n_checkpoints += (circuit.size() - 1) / opts.check_every;
+  const std::uint32_t width =
+      circuit.width() + 1 +
+      (opts.embed_checkers ? static_cast<std::uint32_t>(n_checkpoints) : 0);
+  Circuit out(width);
+  CompensationEmitter comp(out, checked.rail_ops, opts.fuse_compensation);
+
+  std::uint32_t next_check_bit = checked.parity_rail + 1;
+  auto checkpoint = [&] {
+    comp.flush_all();  // the invariant must be current where checked
+    if (!out.empty()) checked.checkpoints.push_back(out.size() - 1);
+    if (!opts.embed_checkers) return;
+    const std::uint32_t cb = next_check_bit++;
+    for (std::uint32_t d = 0; d < checked.data_width; ++d) out.cnot(d, cb);
+    out.cnot(checked.parity_rail, cb);
+    checked.checker_ops += checked.data_width + 1;
+    checked.check_bits.push_back(cb);
+  };
+
+  // Encoder: load the rail with the XOR of the (arbitrary) input data.
+  for (std::uint32_t d = 0; d < checked.data_width; ++d)
+    out.cnot(d, checked.parity_rail);
+  checked.rail_ops += checked.data_width;
+
+  for (std::size_t i = 0; i < circuit.size(); ++i) {
+    const Gate& g = circuit.op(i);
+    pre_compensation(comp, g, checked.parity_rail);
+    comp.flush_touching(g);
+    out.push(g);
+    post_compensation(comp, g, checked.parity_rail);
+    const bool last = i + 1 == circuit.size();
+    if (!last && opts.check_every > 0 && (i + 1) % opts.check_every == 0)
+      checkpoint();
+  }
+  checkpoint();  // final checkpoint, always present
+
+  checked.circuit = std::move(out);
+  return checked;
+}
+
+StateVector widen_input(const CheckedCircuit& checked,
+                        const StateVector& data_input) {
+  REVFT_CHECK_MSG(data_input.width() == checked.data_width,
+                  "widen_input: expected width " << checked.data_width);
+  StateVector wide(checked.circuit.width());
+  for (std::uint32_t i = 0; i < checked.data_width; ++i)
+    wide.set_bit(i, data_input.bit(i));
+  return wide;
+}
+
+}  // namespace revft::detect

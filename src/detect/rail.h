@@ -1,0 +1,89 @@
+// revft/detect/rail.h
+//
+// Parity-rail form of an arbitrary circuit: the data rails are joined
+// by one extra *parity rail* that carries the running XOR of all data
+// bits. An encoder (one CNOT per data rail) loads the rail; every
+// parity-non-conserving gate is followed (or, where its inputs are
+// consumed, preceded) by a compensation gate that applies the same
+// parity delta to the rail. The quantity
+//
+//   I  =  rail XOR (XOR of all data bits)
+//
+// is then conserved by every emitted op *group* on every state — not
+// just reachable ones — so I != 0 at a checkpoint is proof that some
+// fault corrupted the state. Checkpoints are recorded op positions;
+// the online checkers (detect/checker.h for the scalar engine,
+// detect/checked_mc.h for the 64-lane packed engine) evaluate I there
+// without adding gates. Optionally the transform also *embeds* checker
+// sub-circuits built from the existing CNOT primitive, which copy I
+// into dedicated check bits so detection is visible in the circuit's
+// own outputs (the gate-level construction of arXiv:1008.3340).
+//
+// Detection is weaker than correction: a corruption of even weight
+// leaves I unchanged, and a fault inside a compensated group can be
+// absorbed by its own compensation gate (the checker hardware computes
+// with the corrupted values). Those escapes are exactly the
+// `silent_failures` the detection Monte-Carlo measures; for circuits
+// of parity-preserving gates every odd-weight fault is provably
+// caught (see single_fault_detection_census).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "rev/circuit.h"
+#include "rev/simulator.h"
+
+namespace revft::detect {
+
+struct ParityRailOptions {
+  /// Record a checkpoint after every `check_every` original ops
+  /// (0 = only the final checkpoint). A checkpoint always lands after
+  /// the op group — never between a gate and its compensation.
+  std::size_t check_every = 0;
+  /// Also synthesize a checker sub-circuit per checkpoint: CNOTs that
+  /// fold every data rail plus the parity rail into a dedicated check
+  /// bit, which ideally stays 0. Adds width and gates; the online
+  /// checkers need only the recorded checkpoint positions.
+  bool embed_checkers = false;
+  /// Cancel compensation pairs between checkpoints: rail updates are
+  /// XOR terms, so two identical ones with unchanged controls are the
+  /// identity — a MAJ ... MAJ⁻¹ span needs no rail traffic at all. A
+  /// pending compensation is forced out early whenever a gate writes
+  /// one of its controls, and every checkpoint flushes the buffer, so
+  /// the invariant still holds exactly where it is checked. Fusing
+  /// removes fault locations (that is the point: fewer fallible ops),
+  /// which slightly reshapes WHAT is detectable — the census is the
+  /// arbiter either way.
+  bool fuse_compensation = true;
+};
+
+/// A circuit rewritten into parity-rail form, plus the bookkeeping the
+/// online checkers need.
+struct CheckedCircuit {
+  Circuit circuit;
+  std::uint32_t data_width = 0;   ///< original width; data rails are [0, data_width)
+  std::uint32_t parity_rail = 0;  ///< rail index (== data_width)
+  /// Op indices after which I == 0 must hold in a fault-free run.
+  std::vector<std::size_t> checkpoints;
+  /// One check bit per checkpoint when embed_checkers was set.
+  std::vector<std::uint32_t> check_bits;
+  /// Added-gate accounting: encoder + compensation vs checker CNOTs.
+  std::uint64_t rail_ops = 0;
+  std::uint64_t checker_ops = 0;
+};
+
+/// Rewrite `circuit` into parity-rail form. The input must have
+/// width >= 1; its gates keep their bit positions, the rail is
+/// appended at index width, check bits (if any) after it. Inputs
+/// enter with the rail and check bits zero — see widen_input.
+CheckedCircuit to_parity_rail(const Circuit& circuit,
+                              const ParityRailOptions& opts = {});
+
+/// Lift a data-width input state to the checked circuit's width (rail
+/// and check bits zeroed).
+StateVector widen_input(const CheckedCircuit& checked,
+                        const StateVector& data_input);
+
+}  // namespace revft::detect

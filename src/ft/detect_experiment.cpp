@@ -1,0 +1,207 @@
+#include "ft/detect_experiment.h"
+
+#include <algorithm>
+
+#include "code/block_tree.h"
+#include "code/repetition.h"
+#include "detect/checker.h"
+#include "ft/ec_circuit.h"
+#include "rev/simulator.h"
+#include "support/error.h"
+
+namespace revft {
+
+detect::DetectionCensus checked_maj_cycle_census(bool embed_checkers) {
+  const EcStage stage = make_fig2_ec(/*with_init=*/true);
+  detect::ParityRailOptions opts;
+  opts.check_every = 1;
+  opts.embed_checkers = embed_checkers;
+  const auto checked = detect::to_parity_rail(stage.circuit, opts);
+
+  std::vector<StateVector> inputs;
+  for (int logical = 0; logical <= 1; ++logical) {
+    StateVector sv(9);
+    for (auto bit : stage.before.data)
+      sv.set_bit(bit, static_cast<std::uint8_t>(logical));
+    inputs.push_back(std::move(sv));
+  }
+  return detect::single_fault_detection_census(
+      checked, inputs, [&](const StateVector& out, std::size_t input) {
+        return majority3(out.bit(stage.after.data[0]),
+                         out.bit(stage.after.data[1]),
+                         out.bit(stage.after.data[2])) !=
+               static_cast<int>(input);
+      });
+}
+
+Circuit DetectVsCorrectExperiment::scrambler_round() {
+  // MAJ for nonlinear mixing, a rotation so every line visits every
+  // role, and a CNOT so corruption crosses lines linearly too. The
+  // round is reversible and its repeated composition has full period
+  // over several rounds (no early fixpoint that would mask errors).
+  Circuit round(3);
+  round.maj(0, 1, 2).swap3(0, 1, 2).cnot(2, 0);
+  return round;
+}
+
+namespace {
+
+Circuit repeat_rounds(const Circuit& round, int rounds) {
+  Circuit chain(round.width());
+  for (int r = 0; r < rounds; ++r) chain.append(round);
+  return chain;
+}
+
+std::array<unsigned, 8> truth_table3(const Circuit& circuit) {
+  std::array<unsigned, 8> table{};
+  for (unsigned v = 0; v < 8; ++v)
+    table[v] = static_cast<unsigned>(simulate(circuit, v));
+  return table;
+}
+
+}  // namespace
+
+DetectVsCorrectExperiment::DetectVsCorrectExperiment(
+    const DetectVsCorrectConfig& config)
+    : config_(config) {
+  REVFT_CHECK_MSG(config.gate_budget >= 1, "DetectVsCorrect: empty budget");
+  const Circuit round = scrambler_round();
+
+  // Correction arm: ops per level-1 round measured on a one-round
+  // compile, then the chain recompiled at the chosen length. The
+  // recovery inits are always IN the circuit (a multi-round chain
+  // needs its ancillas re-zeroed every round); noisy_init only decides
+  // whether the noise model charges them (model.with_perfect_init()
+  // in run()).
+  const ConcatOptions concat_opts{true};
+  const std::uint64_t ops_per_round_corr =
+      concat_compile(round, 1, concat_opts).physical.size();
+  correction_rounds_ = static_cast<int>(
+      std::max<std::uint64_t>(1, config.gate_budget / ops_per_round_corr));
+  const Circuit correction_chain = repeat_rounds(round, correction_rounds_);
+  module_ = concat_compile(correction_chain, 1, concat_opts);
+  correction_truth_ = truth_table3(correction_chain);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    const auto block = BlockTree::canonical(
+        1, i * static_cast<std::uint32_t>(module_.blocks[i].span()));
+    input_leaves_.push_back(collect_data_leaves(block));
+  }
+
+  // Detection arm: railed ops per round measured the same way (the
+  // 3-op encoder is charged once, not per round).
+  detect::ParityRailOptions rail_opts;
+  rail_opts.check_every = config.check_every;
+  const std::uint64_t one_round_railed =
+      detect::to_parity_rail(round, rail_opts).circuit.size();
+  const std::uint64_t encoder_ops = round.width();
+  const std::uint64_t ops_per_round_det = one_round_railed - encoder_ops;
+  detection_rounds_ = static_cast<int>(std::max<std::uint64_t>(
+      1, (std::max(config.gate_budget, encoder_ops + 1) - encoder_ops) /
+             ops_per_round_det));
+  const Circuit detection_chain = repeat_rounds(round, detection_rounds_);
+  checked_ = detect::to_parity_rail(detection_chain, rail_opts);
+  detection_truth_ = truth_table3(detection_chain);
+}
+
+namespace {
+
+// Per-shard kernels (see ft/experiments.cpp for the ownership rules:
+// lane_inputs is the mutable prepare -> classify hand-off, everything
+// behind pointers is immutable during a run).
+
+struct CorrectionKernel {
+  const CompiledModule* module;
+  const std::vector<std::vector<std::uint32_t>>* input_leaves;
+  const std::array<unsigned, 8>* truth;
+  std::array<std::uint64_t, 3> lane_inputs{};
+
+  void prepare(PackedState& state, Xoshiro256& rng, std::uint64_t) {
+    for (int k = 0; k < 3; ++k) {
+      lane_inputs[static_cast<std::size_t>(k)] = rng.next();
+      for (const auto bit : (*input_leaves)[static_cast<std::size_t>(k)])
+        state.word(bit) = lane_inputs[static_cast<std::size_t>(k)];
+    }
+  }
+
+  bool classify(const PackedState& state, int lane, std::uint64_t) const {
+    unsigned input = 0;
+    for (int k = 0; k < 3; ++k)
+      input |= static_cast<unsigned>(
+                   (lane_inputs[static_cast<std::size_t>(k)] >> lane) & 1u)
+               << k;
+    const unsigned expected = (*truth)[input];
+    auto reader = [&](std::uint32_t bit) {
+      return static_cast<int>(state.bit_lane(bit, lane));
+    };
+    for (int k = 0; k < 3; ++k) {
+      const int decoded =
+          decode_block(module->blocks[static_cast<std::size_t>(k)], reader);
+      if (decoded != static_cast<int>((expected >> k) & 1u)) return true;
+    }
+    return false;
+  }
+};
+
+struct DetectionKernel {
+  const std::array<unsigned, 8>* truth;
+  std::array<std::uint64_t, 3> lane_inputs{};
+
+  void prepare(PackedState& state, Xoshiro256& rng, std::uint64_t) {
+    // Data rails 0..2 get the random logical inputs; the rail and any
+    // check bits stay zero (the state arrives cleared).
+    for (std::uint32_t k = 0; k < 3; ++k) {
+      lane_inputs[k] = rng.next();
+      state.word(k) = lane_inputs[k];
+    }
+  }
+
+  bool classify(const PackedState& state, int lane, std::uint64_t) const {
+    unsigned input = 0;
+    for (int k = 0; k < 3; ++k)
+      input |= static_cast<unsigned>(
+                   (lane_inputs[static_cast<std::size_t>(k)] >> lane) & 1u)
+               << k;
+    const unsigned expected = (*truth)[input];
+    for (std::uint32_t k = 0; k < 3; ++k)
+      if (state.bit_lane(k, lane) != ((expected >> k) & 1u)) return true;
+    return false;
+  }
+};
+
+}  // namespace
+
+detect::DetectionEstimate DetectVsCorrectExperiment::run_detection(
+    double g, int threads) const {
+  NoiseModel model = NoiseModel::uniform(g);
+  if (!config_.noisy_init) model.with_perfect_init();
+
+  ParallelMcOptions opts;
+  opts.trials = config_.trials;
+  opts.threads = threads;
+  // Decorrelate the arms without coupling them to each other's stream.
+  opts.seed = config_.seed ^ 0x9e3779b97f4a7c15ULL;
+  return detect::run_parallel_checked_mc(
+      checked_, model, opts,
+      [&](std::uint64_t) { return DetectionKernel{&detection_truth_}; });
+}
+
+DetectVsCorrectPoint DetectVsCorrectExperiment::run(double g) const {
+  NoiseModel model = NoiseModel::uniform(g);
+  if (!config_.noisy_init) model.with_perfect_init();
+
+  ParallelMcOptions opts;
+  opts.trials = config_.trials;
+  opts.threads = config_.threads;
+  opts.seed = config_.seed;
+
+  DetectVsCorrectPoint point;
+  point.g = g;
+  point.correction = run_parallel_mc(
+      module_.physical, model, opts, [&](std::uint64_t) {
+        return CorrectionKernel{&module_, &input_leaves_, &correction_truth_};
+      });
+  point.detection = run_detection(g, config_.threads);
+  return point;
+}
+
+}  // namespace revft

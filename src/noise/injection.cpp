@@ -46,6 +46,30 @@ std::vector<FaultSpec> enumerate_single_faults(const Circuit& circuit) {
   return out;
 }
 
+std::vector<FaultSpec> enumerate_single_faults(const Circuit& circuit,
+                                               const StateVector& input,
+                                               bool skip_benign) {
+  REVFT_CHECK_MSG(input.width() == circuit.width(),
+                  "enumerate_single_faults: width mismatch");
+  std::vector<FaultSpec> out;
+  StateVector state = input;
+  for (std::size_t i = 0; i < circuit.size(); ++i) {
+    const Gate& g = circuit.op(i);
+    const int n = g.arity();
+    unsigned local = 0;
+    for (int k = 0; k < n; ++k)
+      local |= static_cast<unsigned>(
+                   state.bit(g.bits[static_cast<std::size_t>(k)]))
+               << k;
+    const unsigned correct = gate_apply_local(g.kind, local);
+    const unsigned values = 1u << n;
+    for (unsigned v = 0; v < values; ++v)
+      if (!skip_benign || v != correct) out.push_back({i, v});
+    state.apply(g);
+  }
+  return out;
+}
+
 PairCensusResult pair_fault_census(
     const Circuit& circuit, const std::vector<StateVector>& prepared_inputs,
     const std::function<bool(const StateVector&, std::size_t)>& is_error) {

@@ -37,6 +37,16 @@ StateVector apply_with_faults(const Circuit& circuit, StateVector input,
 /// possible corrupted output value. Size = sum over ops of 2^arity.
 std::vector<FaultSpec> enumerate_single_faults(const Circuit& circuit);
 
+/// Single-fault scenarios pruned for one concrete input: a fault-free
+/// forward pass records every op's correct local output, and with
+/// `skip_benign` the corrupted value equal to it is dropped — that
+/// scenario re-simulates to the fault-free run, so exhaustive censuses
+/// need not pay for it (size = sum over ops of 2^arity - 1). With
+/// skip_benign false this matches the input-independent overload.
+std::vector<FaultSpec> enumerate_single_faults(const Circuit& circuit,
+                                               const StateVector& input,
+                                               bool skip_benign);
+
 /// Exhaustive PAIR-fault census: for every unordered pair of ops and
 /// every combination of corrupted values (and every input the caller
 /// supplies), decide whether the double fault defeats the circuit.

@@ -16,6 +16,13 @@ void PackedState::set_bit_lane(std::uint32_t bit, int lane, bool v) {
     words_[bit] &= ~m;
 }
 
+std::uint64_t PackedState::parity_word(std::uint32_t count) const {
+  REVFT_DASSERT(count <= words_.size());
+  std::uint64_t acc = 0;
+  for (std::uint32_t b = 0; b < count; ++b) acc ^= words_[b];
+  return acc;
+}
+
 BernoulliMaskStream::BernoulliMaskStream(double p, Xoshiro256* rng)
     : p_(p), rng_(rng) {
   REVFT_CHECK_MSG(p >= 0.0 && p <= 1.0, "BernoulliMaskStream: p=" << p);
@@ -115,6 +122,19 @@ void PackedSimulator::apply_ideal(PackedState& state, const Gate& g) {
       state.word(b[1]) = 0;
       state.word(b[2]) = 0;
       return;
+    case GateKind::kF2g:
+      state.word(b[1]) ^= state.word(b[0]);
+      state.word(b[2]) ^= state.word(b[0]);
+      return;
+    case GateKind::kNft: {
+      // Lanes with the control set map (b,c) -> (~c, ~b); XORing both
+      // words with ~(b^c) under the control mask does exactly that.
+      const std::uint64_t d =
+          state.word(b[0]) & ~(state.word(b[1]) ^ state.word(b[2]));
+      state.word(b[1]) ^= d;
+      state.word(b[2]) ^= d;
+      return;
+    }
   }
 }
 
@@ -144,6 +164,17 @@ void PackedSimulator::apply_noisy(PackedState& state, const Gate& g) {
 void PackedSimulator::apply_noisy(PackedState& state, const Circuit& c) {
   REVFT_CHECK_MSG(c.width() == state.width(), "apply_noisy: width mismatch");
   for (const Gate& g : c.ops()) apply_noisy(state, g);
+}
+
+void PackedSimulator::apply_noisy_span(PackedState& state, const Circuit& c,
+                                       std::size_t first, std::size_t last) {
+  REVFT_CHECK_MSG(c.width() == state.width(),
+                  "apply_noisy_span: width mismatch");
+  REVFT_CHECK_MSG(first <= last && last <= c.size(),
+                  "apply_noisy_span: bad range [" << first << ", " << last
+                                                  << ")");
+  const std::vector<Gate>& ops = c.ops();
+  for (std::size_t i = first; i < last; ++i) apply_noisy(state, ops[i]);
 }
 
 }  // namespace revft

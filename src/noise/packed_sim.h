@@ -59,6 +59,13 @@ class PackedState {
   /// Set `bit` in one lane.
   void set_bit_lane(std::uint32_t bit, int lane, bool v);
 
+  /// Per-lane XOR of the words of bits [0, count): bit t of the result
+  /// is the total parity of trial t's first `count` circuit bits. This
+  /// is the word-level primitive behind online error detection
+  /// (src/detect/): one XOR per data rail evaluates the parity-rail
+  /// invariant for all 64 lanes at once.
+  std::uint64_t parity_word(std::uint32_t count) const;
+
   /// All bits of all lanes to zero.
   void clear() { std::fill(words_.begin(), words_.end(), 0); }
 
@@ -101,6 +108,13 @@ class PackedSimulator {
 
   void apply_noisy(PackedState& state, const Gate& g);
   void apply_noisy(PackedState& state, const Circuit& c);
+
+  /// Apply ops [first, last) of `c` noisily. The checked engine
+  /// (detect/checked_mc) runs the segments between checkpoints through
+  /// this so per-gate cost matches the whole-circuit overload (the
+  /// inner loop lives in one TU and inlines the gate dispatch).
+  void apply_noisy_span(PackedState& state, const Circuit& c, std::size_t first,
+                        std::size_t last);
 
   /// Total number of (gate, lane) failures drawn so far — a cheap
   /// sanity diagnostic (its expectation is g * gates * lanes).

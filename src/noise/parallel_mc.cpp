@@ -1,10 +1,7 @@
 #include "noise/parallel_mc.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cstdlib>
-#include <exception>
-#include <thread>
 
 #include "support/error.h"
 #include "support/rng.h"
@@ -48,46 +45,7 @@ namespace detail {
 BernoulliEstimate run_sharded(
     const std::vector<McShard>& shards, int threads,
     const std::function<BernoulliEstimate(const McShard&)>& run_shard) {
-  BernoulliEstimate total;
-  if (shards.empty()) return total;
-
-  const std::size_t workers = static_cast<std::size_t>(
-      threads < 1 ? 1
-                  : std::min<std::uint64_t>(static_cast<std::uint64_t>(threads),
-                                            shards.size()));
-  std::vector<BernoulliEstimate> partial(shards.size());
-
-  if (workers == 1) {
-    for (const McShard& shard : shards) partial[shard.index] = run_shard(shard);
-  } else {
-    // Work-stealing over the shard list: shard *assignment* to threads
-    // is nondeterministic, but each shard's result depends only on the
-    // shard itself and lands in its own slot, so the merge below is
-    // deterministic.
-    std::atomic<std::size_t> next{0};
-    std::vector<std::exception_ptr> errors(shards.size());
-    auto worker = [&] {
-      for (std::size_t i = next.fetch_add(1); i < shards.size();
-           i = next.fetch_add(1)) {
-        try {
-          partial[i] = run_shard(shards[i]);
-        } catch (...) {
-          errors[i] = std::current_exception();
-        }
-      }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
-    for (const std::exception_ptr& e : errors)
-      if (e) std::rethrow_exception(e);
-  }
-
-  // Merge in shard-index order (exact integer sums, so any order would
-  // agree — the fixed order keeps the contract obvious).
-  for (const BernoulliEstimate& est : partial) total += est;
-  return total;
+  return run_sharded_as<BernoulliEstimate>(shards, threads, run_shard);
 }
 
 }  // namespace detail

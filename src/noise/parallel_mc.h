@@ -27,8 +27,11 @@
 // be safe to invoke concurrently.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <exception>
 #include <functional>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -72,10 +75,59 @@ int resolve_thread_count(int requested) noexcept;
 namespace detail {
 
 /// Runs `run_shard` over every shard on `threads` workers and merges
-/// the per-shard estimates in shard-index order. `run_shard` is
-/// invoked concurrently from multiple threads; exceptions are captured
-/// and rethrown on the calling thread (first shard in index order
-/// wins).
+/// the per-shard estimates in shard-index order. Generic over the
+/// estimate type: `Estimate` must be default-constructible and merge
+/// exactly under operator+= (integer accumulation), so the result is
+/// independent of worker count. `run_shard` is invoked concurrently
+/// from multiple threads; exceptions are captured and rethrown on the
+/// calling thread (first shard in index order wins).
+template <typename Estimate, typename RunShard>
+Estimate run_sharded_as(const std::vector<McShard>& shards, int threads,
+                        RunShard&& run_shard) {
+  Estimate total{};
+  if (shards.empty()) return total;
+
+  const std::size_t workers = static_cast<std::size_t>(
+      threads < 1 ? 1
+                  : std::min<std::uint64_t>(static_cast<std::uint64_t>(threads),
+                                            shards.size()));
+  std::vector<Estimate> partial(shards.size());
+
+  if (workers == 1) {
+    for (const McShard& shard : shards) partial[shard.index] = run_shard(shard);
+  } else {
+    // Work-stealing over the shard list: shard *assignment* to threads
+    // is nondeterministic, but each shard's result depends only on the
+    // shard itself and lands in its own slot, so the merge below is
+    // deterministic.
+    std::atomic<std::size_t> next{0};
+    std::vector<std::exception_ptr> errors(shards.size());
+    auto worker = [&] {
+      for (std::size_t i = next.fetch_add(1); i < shards.size();
+           i = next.fetch_add(1)) {
+        try {
+          partial[i] = run_shard(shards[i]);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+    for (const std::exception_ptr& e : errors)
+      if (e) std::rethrow_exception(e);
+  }
+
+  // Merge in shard-index order (exact integer sums, so any order would
+  // agree — the fixed order keeps the contract obvious).
+  for (const Estimate& est : partial) total += est;
+  return total;
+}
+
+/// BernoulliEstimate instantiation kept out-of-line for existing
+/// callers (and to keep one canonical symbol in the library).
 BernoulliEstimate run_sharded(
     const std::vector<McShard>& shards, int threads,
     const std::function<BernoulliEstimate(const McShard&)>& run_shard);

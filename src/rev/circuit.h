@@ -64,6 +64,12 @@ class Circuit {
   Circuit& init3(std::uint32_t a, std::uint32_t b, std::uint32_t c) {
     return push(make_init3(a, b, c));
   }
+  Circuit& f2g(std::uint32_t a, std::uint32_t b, std::uint32_t c) {
+    return push(make_f2g(a, b, c));
+  }
+  Circuit& nft(std::uint32_t a, std::uint32_t b, std::uint32_t c) {
+    return push(make_nft(a, b, c));
+  }
 
   /// Append every gate of `other` (widths must match).
   Circuit& append(const Circuit& other);

@@ -19,6 +19,8 @@ int gate_arity(GateKind kind) noexcept {
     case GateKind::kMaj:
     case GateKind::kMajInv:
     case GateKind::kInit3:
+    case GateKind::kF2g:
+    case GateKind::kNft:
       return 3;
   }
   return 0;  // unreachable
@@ -48,6 +50,10 @@ const char* gate_name(GateKind kind) noexcept {
       return "majinv";
     case GateKind::kInit3:
       return "init3";
+    case GateKind::kF2g:
+      return "f2g";
+    case GateKind::kNft:
+      return "nft";
   }
   return "?";  // unreachable
 }
@@ -56,7 +62,8 @@ GateKind gate_from_name(const std::string& name) {
   static constexpr GateKind kAll[] = {
       GateKind::kNot,     GateKind::kCnot, GateKind::kSwap,
       GateKind::kToffoli, GateKind::kFredkin, GateKind::kSwap3,
-      GateKind::kMaj,     GateKind::kMajInv,  GateKind::kInit3};
+      GateKind::kMaj,     GateKind::kMajInv,  GateKind::kInit3,
+      GateKind::kF2g,     GateKind::kNft};
   for (GateKind k : kAll)
     if (name == gate_name(k)) return k;
   throw Error("gate_from_name: unknown gate '" + name + "'");
@@ -99,6 +106,16 @@ unsigned gate_apply_local(GateKind kind, unsigned local) noexcept {
     }
     case GateKind::kInit3:
       return 0;
+    case GateKind::kF2g:
+      // Double Feynman: two CNOTs sharing control a. Output parity
+      // b0^(b0^b1)^(b0^b2) equals the input parity b0^b1^b2.
+      return b0 | ((b1 ^ b0) << 1) | ((b2 ^ b0) << 2);
+    case GateKind::kNft:
+      // F2G followed by Fredkin on the same operands: with a set, the
+      // last two bits are negated and exchanged; otherwise identity.
+      // Nonlinear (OR / AND-NOT with a constant line) yet conserves
+      // total parity — the NFT-style member of the detect gate set.
+      return b0 ? (1u | ((b2 ^ 1u) << 1) | ((b1 ^ 1u) << 2)) : local;
   }
   return local;  // unreachable
 }
@@ -169,6 +186,12 @@ Gate make_majinv(std::uint32_t a, std::uint32_t b, std::uint32_t c) {
 }
 Gate make_init3(std::uint32_t a, std::uint32_t b, std::uint32_t c) {
   return checked(GateKind::kInit3, a, b, c);
+}
+Gate make_f2g(std::uint32_t a, std::uint32_t b, std::uint32_t c) {
+  return checked(GateKind::kF2g, a, b, c);
+}
+Gate make_nft(std::uint32_t a, std::uint32_t b, std::uint32_t c) {
+  return checked(GateKind::kNft, a, b, c);
 }
 
 }  // namespace revft

@@ -28,10 +28,15 @@ enum class GateKind : std::uint8_t {
   kMaj,      ///< 3-bit (Fig 1, Table 1): (a,b,c) -> (maj(a,b,c), a^b, a^c)
   kMajInv,   ///< 3-bit: inverse of kMaj; (a,0,0) -> (a,a,a) is the encoder
   kInit3,    ///< 3-bit irreversible reset to |000>
+  // Parity-preserving kinds (appended so earlier kind values stay
+  // stable). Both conserve the total parity a^b^c, which is what makes
+  // single bit-flip faults detectable online (src/detect/).
+  kF2g,      ///< 3-bit double-Feynman: (a,b,c) -> (a, a^b, a^c)
+  kNft,      ///< 3-bit NFT-style negate-swap: (1,b,c) -> (1, ~c, ~b); identity at a=0
 };
 
 /// Number of distinct gate kinds (for histogram arrays).
-inline constexpr int kNumGateKinds = 9;
+inline constexpr int kNumGateKinds = 11;
 
 /// Number of bits the gate acts on.
 int gate_arity(GateKind kind) noexcept;
@@ -83,5 +88,7 @@ Gate make_swap3(std::uint32_t a, std::uint32_t b, std::uint32_t c);
 Gate make_maj(std::uint32_t a, std::uint32_t b, std::uint32_t c);
 Gate make_majinv(std::uint32_t a, std::uint32_t b, std::uint32_t c);
 Gate make_init3(std::uint32_t a, std::uint32_t b, std::uint32_t c);
+Gate make_f2g(std::uint32_t a, std::uint32_t b, std::uint32_t c);
+Gate make_nft(std::uint32_t a, std::uint32_t b, std::uint32_t c);
 
 }  // namespace revft

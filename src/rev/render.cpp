@@ -29,6 +29,12 @@ char symbol_for(GateKind kind, int slot) {
       return slot == 0 ? 'W' : '#';
     case GateKind::kInit3:
       return '0';
+    case GateKind::kF2g:
+      // Double Feynman: one control fanning into two targets.
+      return slot == 0 ? '*' : '+';
+    case GateKind::kNft:
+      // Controlled negate-swap: control plus two '~' rails.
+      return slot == 0 ? '*' : '~';
   }
   return '?';
 }

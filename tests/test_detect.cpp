@@ -1,0 +1,425 @@
+// Tests for src/detect/: the parity predicate, the parity-rail
+// transform's conserved invariant, the scalar online checker, the
+// exhaustive single-fault detection census (including the acceptance
+// proof for the parity-checked MAJ recovery cycle), and the packed
+// checked Monte-Carlo engine's determinism contract.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "detect/checked_mc.h"
+#include "detect/checker.h"
+#include "detect/parity.h"
+#include "detect/rail.h"
+#include "ft/detect_experiment.h"
+#include "noise/injection.h"
+#include "rev/simulator.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace revft {
+namespace {
+
+constexpr GateKind kAllKinds[] = {
+    GateKind::kNot,     GateKind::kCnot,    GateKind::kSwap,
+    GateKind::kToffoli, GateKind::kFredkin, GateKind::kSwap3,
+    GateKind::kMaj,     GateKind::kMajInv,  GateKind::kInit3,
+    GateKind::kF2g,     GateKind::kNft};
+
+static_assert(static_cast<int>(std::size(kAllKinds)) == kNumGateKinds,
+              "test table must cover every kind");
+
+// --- parity predicate ------------------------------------------------
+
+TEST(DetectParity, PredicateMatchesSemanticsForEveryKind) {
+  for (GateKind kind : kAllKinds) {
+    const int arity = gate_arity(kind);
+    bool conserves = true;
+    for (unsigned v = 0; v < (1u << arity); ++v) {
+      const unsigned out = gate_apply_local(kind, v);
+      if (detect::local_parity(out, arity) != detect::local_parity(v, arity))
+        conserves = false;
+    }
+    EXPECT_EQ(detect::parity_preserving(kind), conserves) << gate_name(kind);
+  }
+}
+
+// (The expected true/false table per kind lives in test_properties'
+// GateParityConservationTable; per-value F2G/NFT semantics live in
+// test_gate. This suite only checks predicate<->semantics agreement
+// and the detect-specific composition facts below.)
+
+// --- new gate kinds --------------------------------------------------
+
+TEST(DetectGates, NftIsF2gThenFredkin) {
+  Circuit composite(3);
+  composite.f2g(0, 1, 2).fredkin(0, 1, 2);
+  Circuit nft(3);
+  nft.nft(0, 1, 2);
+  EXPECT_TRUE(functionally_equal(composite, nft));
+}
+
+TEST(DetectGates, NewKindsAreSelfInverse) {
+  for (GateKind kind : {GateKind::kF2g, GateKind::kNft}) {
+    for (unsigned v = 0; v < 8; ++v)
+      EXPECT_EQ(gate_apply_local(kind, gate_apply_local(kind, v)), v)
+          << gate_name(kind);
+    const Gate g{kind, {0, 1, 2}};
+    EXPECT_EQ(g.inverse(), g);
+  }
+}
+
+// --- the rail transform's conserved invariant ------------------------
+
+/// Random circuit over ALL kinds (init3 included) for invariant tests.
+Circuit random_circuit(Xoshiro256& rng, std::uint32_t width, int ops) {
+  static_assert(kNumGateKinds == 11,
+                "new gate kind: extend the switch below");
+  Circuit c(width);
+  for (int i = 0; i < ops; ++i) {
+    const auto pick = [&] {
+      return static_cast<std::uint32_t>(rng.next_below(width));
+    };
+    std::uint32_t a = pick(), b = pick(), d = pick();
+    while (b == a) b = pick();
+    while (d == a || d == b) d = pick();
+    switch (rng.next_below(11)) {
+      case 0: c.not_(a); break;
+      case 1: c.cnot(a, b); break;
+      case 2: c.swap(a, b); break;
+      case 3: c.toffoli(a, b, d); break;
+      case 4: c.fredkin(a, b, d); break;
+      case 5: c.swap3(a, b, d); break;
+      case 6: c.maj(a, b, d); break;
+      case 7: c.majinv(a, b, d); break;
+      case 8: c.f2g(a, b, d); break;
+      case 9: c.nft(a, b, d); break;
+      default: c.init3(a, b, d); break;
+    }
+  }
+  return c;
+}
+
+// In a fault-free run the invariant I = rail ^ XOR(data) holds at
+// every checkpoint, for every input, including dense checkpoints.
+TEST(DetectRail, InvariantHoldsIdeallyOnRandomCircuits) {
+  Xoshiro256 rng(0xde7ec7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::uint32_t width = 3 + static_cast<std::uint32_t>(rng.next_below(4));
+    const Circuit c = random_circuit(rng, width, 24);
+    detect::ParityRailOptions opts;
+    opts.check_every = 1;  // checkpoint after every op group
+    const auto checked = detect::to_parity_rail(c, opts);
+    for (unsigned input = 0; input < (1u << width); ++input) {
+      const auto run = detect::checked_run(checked, StateVector(width, input));
+      EXPECT_FALSE(run.detected) << "trial " << trial << " input " << input;
+    }
+  }
+}
+
+// The railed circuit computes the original function on the data rails.
+TEST(DetectRail, DataSemanticsPreserved) {
+  Xoshiro256 rng(0x5eed);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::uint32_t width = 3 + static_cast<std::uint32_t>(rng.next_below(4));
+    const Circuit c = random_circuit(rng, width, 24);
+    const auto checked = detect::to_parity_rail(c);
+    for (unsigned input = 0; input < (1u << width); ++input) {
+      StateVector plain(width, input);
+      plain.apply(c);
+      const auto run = detect::checked_run(checked, StateVector(width, input));
+      for (std::uint32_t bit = 0; bit < width; ++bit)
+        EXPECT_EQ(run.state.bit(bit), plain.bit(bit))
+            << "trial " << trial << " input " << input << " bit " << bit;
+    }
+  }
+}
+
+// Embedded checker sub-circuits reproduce the observer checkpoints: a
+// check bit ends set exactly when I != 0 at its checkpoint.
+TEST(DetectRail, EmbeddedCheckersStayZeroIdeally) {
+  Xoshiro256 rng(0xc0de);
+  const Circuit c = random_circuit(rng, 4, 16);
+  detect::ParityRailOptions opts;
+  opts.check_every = 4;
+  opts.embed_checkers = true;
+  const auto checked = detect::to_parity_rail(c, opts);
+  EXPECT_EQ(checked.check_bits.size(), checked.checkpoints.size());
+  EXPECT_GT(checked.checker_ops, 0u);
+  for (unsigned input = 0; input < 16; ++input) {
+    const auto run = detect::checked_run(checked, StateVector(4, input));
+    EXPECT_FALSE(run.detected);
+    for (auto cb : checked.check_bits) EXPECT_EQ(run.state.bit(cb), 0);
+  }
+}
+
+// The detection guarantee of the parity-preserving gate set
+// (arXiv:1008.3340): for ops with no rail compensation, every
+// odd-weight corruption is caught — the fault flips the conserved
+// invariant and every later gate group preserves the flip.
+TEST(DetectRail, OddWeightFaultsOnParityPreservingOpsAlwaysDetected) {
+  Xoshiro256 rng(0x0dd);
+  for (int trial = 0; trial < 10; ++trial) {
+    Circuit c(4);
+    for (int i = 0; i < 16; ++i) {
+      std::uint32_t a = static_cast<std::uint32_t>(rng.next_below(4));
+      std::uint32_t b = (a + 1 + static_cast<std::uint32_t>(rng.next_below(3))) % 4;
+      std::uint32_t d = 0;
+      while (d == a || d == b) ++d;
+      switch (rng.next_below(5)) {
+        case 0: c.swap(a, b); break;
+        case 1: c.fredkin(a, b, d); break;
+        case 2: c.swap3(a, b, d); break;
+        case 3: c.f2g(a, b, d); break;
+        default: c.nft(a, b, d); break;
+      }
+    }
+    const auto checked = detect::to_parity_rail(c);
+    for (unsigned input = 0; input < 16; ++input) {
+      const StateVector data(4, input);
+      const auto wide = detect::widen_input(checked, data);
+      // Forward pass for the correct local outputs.
+      StateVector state = wide;
+      for (std::size_t op = 0; op < checked.circuit.size(); ++op) {
+        const Gate& g = checked.circuit.op(op);
+        const int n = g.arity();
+        unsigned local = 0;
+        for (int k = 0; k < n; ++k)
+          local |= static_cast<unsigned>(
+                       state.bit(g.bits[static_cast<std::size_t>(k)]))
+                   << k;
+        const unsigned correct = gate_apply_local(g.kind, local);
+        if (detect::parity_preserving(g.kind)) {
+          for (unsigned v = 0; v < (1u << n); ++v) {
+            if (detect::local_parity(v ^ correct, n) != 1u) continue;
+            const auto run =
+                detect::checked_run_with_faults(checked, data, {{op, v}});
+            EXPECT_TRUE(run.detected)
+                << "op " << op << " value " << v << " input " << input;
+          }
+        }
+        state.apply(g);
+      }
+    }
+  }
+}
+
+// --- skip_benign -----------------------------------------------------
+
+TEST(DetectInjection, SkipBenignPrunesExactlyOnePerOp) {
+  const Circuit c = DetectVsCorrectExperiment::scrambler_round();
+  std::uint64_t all_values = 0;
+  for (const Gate& g : c.ops()) all_values += 1ull << g.arity();
+  for (unsigned input = 0; input < 8; ++input) {
+    const StateVector sv(3, input);
+    const auto full = enumerate_single_faults(c, sv, /*skip_benign=*/false);
+    const auto pruned = enumerate_single_faults(c, sv, /*skip_benign=*/true);
+    EXPECT_EQ(full.size(), all_values);
+    EXPECT_EQ(full.size(), enumerate_single_faults(c).size());
+    EXPECT_EQ(pruned.size(), all_values - c.size());
+    // Every pruned fault really is non-benign: injecting it changes
+    // the final state relative to the fault-free run.
+    StateVector clean = sv;
+    clean.apply(c);
+    for (const FaultSpec& f : pruned) {
+      const StateVector out = apply_with_faults(c, sv, {f});
+      EXPECT_FALSE(out == clean)
+          << "op " << f.op_index << " value " << f.corrupted_local;
+    }
+  }
+}
+
+// --- the acceptance proof: parity-checked MAJ recovery cycle ---------
+
+// Every non-benign single fault in the checked MAJ cycle — including
+// faults on the encoder, compensation and checker gates the transform
+// added — is either detected or corrected by the majority vote.
+// (checked_maj_cycle_census is the one shared definition; bench_detect
+// prints the same census.)
+TEST(DetectCensus, CheckedMajCycleIsFaultSecure) {
+  for (bool embed : {false, true}) {
+    const auto census = checked_maj_cycle_census(embed);
+    EXPECT_GT(census.scenarios, 200u) << "embed=" << embed;
+    EXPECT_GT(census.benign_skipped, 0u) << "embed=" << embed;
+    EXPECT_GT(census.detected(), 0u) << "embed=" << embed;
+    EXPECT_EQ(census.silent_harmful, 0u) << "embed=" << embed;
+    EXPECT_TRUE(census.fault_secure()) << "embed=" << embed;
+  }
+}
+
+// Negative control: an unencoded circuit is NOT fault-secure — some
+// even-weight corruptions escape the parity check and flip outputs.
+// This is what keeps the census meaningful (and what separates
+// detection from correction).
+TEST(DetectCensus, BareToffoliChainHasSilentFailures) {
+  Circuit c(3);
+  c.toffoli(0, 1, 2).cnot(0, 1).toffoli(1, 2, 0);
+  const auto checked = detect::to_parity_rail(c);
+  std::vector<StateVector> inputs;
+  std::vector<unsigned> expected;
+  for (unsigned v = 0; v < 8; ++v) {
+    inputs.emplace_back(3, v);
+    expected.push_back(static_cast<unsigned>(simulate(c, v)));
+  }
+  const auto census = detect::single_fault_detection_census(
+      checked, inputs, [&](const StateVector& out, std::size_t input) {
+        for (std::uint32_t k = 0; k < 3; ++k)
+          if (out.bit(k) != ((expected[input] >> k) & 1u)) return true;
+        return false;
+      });
+  EXPECT_GT(census.silent_harmful, 0u);
+  EXPECT_GT(census.detected_harmful, 0u);
+  EXPECT_FALSE(census.fault_secure());
+}
+
+// --- packed checked engine -------------------------------------------
+
+// The packed ideal semantics of the new kinds match the scalar engine.
+TEST(DetectPacked, IdealSemanticsMatchScalarOnRandomCircuits) {
+  Xoshiro256 rng(0xabc);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::uint32_t width = 3 + static_cast<std::uint32_t>(rng.next_below(4));
+    const Circuit c = random_circuit(rng, width, 30);
+    PackedState ps(width);
+    std::vector<std::uint64_t> inputs(width);
+    for (std::uint32_t b = 0; b < width; ++b) {
+      inputs[b] = rng.next();
+      ps.word(b) = inputs[b];
+    }
+    PackedSimulator::apply_ideal(ps, c);
+    for (int lane = 0; lane < 64; ++lane) {
+      StateVector sv(width);
+      for (std::uint32_t b = 0; b < width; ++b)
+        sv.set_bit(b, static_cast<std::uint8_t>((inputs[b] >> lane) & 1u));
+      sv.apply(c);
+      for (std::uint32_t b = 0; b < width; ++b)
+        EXPECT_EQ(ps.bit_lane(b, lane), sv.bit(b))
+            << "trial " << trial << " lane " << lane << " bit " << b;
+    }
+  }
+}
+
+TEST(DetectPacked, ParityWordMatchesScalarParity) {
+  Xoshiro256 rng(0x9a9);
+  PackedState ps(5);
+  for (std::uint32_t b = 0; b < 5; ++b) ps.word(b) = rng.next();
+  const std::uint64_t parity = ps.parity_word(4);
+  for (int lane = 0; lane < 64; ++lane) {
+    int expect = 0;
+    for (std::uint32_t b = 0; b < 4; ++b)
+      expect ^= static_cast<int>(ps.bit_lane(b, lane));
+    EXPECT_EQ(static_cast<int>((parity >> lane) & 1u), expect) << lane;
+  }
+}
+
+detect::DetectionEstimate run_scrambler_mc(double g, int threads,
+                                           std::uint64_t trials) {
+  const Circuit round = DetectVsCorrectExperiment::scrambler_round();
+  Circuit chain(3);
+  for (int r = 0; r < 8; ++r) chain.append(round);
+  detect::ParityRailOptions rail_opts;
+  rail_opts.check_every = 3;
+  const auto checked = detect::to_parity_rail(chain, rail_opts);
+  const std::array<unsigned, 8> truth = [&] {
+    std::array<unsigned, 8> t{};
+    for (unsigned v = 0; v < 8; ++v)
+      t[v] = static_cast<unsigned>(simulate(chain, v));
+    return t;
+  }();
+
+  struct Kernel {
+    const std::array<unsigned, 8>* truth;
+    std::array<std::uint64_t, 3> lane_inputs{};
+    void prepare(PackedState& state, Xoshiro256& rng, std::uint64_t) {
+      for (std::uint32_t k = 0; k < 3; ++k) {
+        lane_inputs[k] = rng.next();
+        state.word(k) = lane_inputs[k];
+      }
+    }
+    bool classify(const PackedState& state, int lane, std::uint64_t) const {
+      unsigned input = 0;
+      for (int k = 0; k < 3; ++k)
+        input |= static_cast<unsigned>(
+                     (lane_inputs[static_cast<std::size_t>(k)] >> lane) & 1u)
+                 << k;
+      const unsigned expected = (*truth)[input];
+      for (std::uint32_t k = 0; k < 3; ++k)
+        if (state.bit_lane(k, lane) != ((expected >> k) & 1u)) return true;
+      return false;
+    }
+  };
+
+  ParallelMcOptions opts;
+  opts.trials = trials;
+  opts.seed = 0x7e57;
+  opts.threads = threads;
+  opts.batches_per_shard = 4;  // force several shards at small trial counts
+  return detect::run_parallel_checked_mc(
+      checked, NoiseModel::uniform(g), opts,
+      [&](std::uint64_t) { return Kernel{&truth}; });
+}
+
+TEST(DetectPacked, NoNoiseMeansNoDetectionsAndNoFailures) {
+  const auto est = run_scrambler_mc(0.0, 1, 10000);
+  EXPECT_EQ(est.trials, 10000u);
+  EXPECT_EQ(est.detected, 0u);
+  EXPECT_EQ(est.silent_failures, 0u);
+  EXPECT_EQ(est.detected_failures, 0u);
+  EXPECT_EQ(est.accepted(), 10000u);
+}
+
+TEST(DetectPacked, NoisyRunProducesAllOutcomeClasses) {
+  const auto est = run_scrambler_mc(0.02, 0, 40000);
+  EXPECT_EQ(est.trials, 40000u);
+  EXPECT_GT(est.detected, 0u);
+  EXPECT_GT(est.detected_failures, 0u);
+  EXPECT_GT(est.silent_failures, 0u);
+  // Post-selection must help: discarding flagged trials leaves a
+  // cleaner population than the raw failure rate.
+  EXPECT_LT(est.post_selected_error_rate(), est.raw_failure_rate());
+}
+
+// The acceptance determinism contract: detected / silent / accepted
+// counts are bit-identical at 1, 2 and 8 worker threads.
+TEST(DetectPacked, CountsBitIdenticalAcrossThreadCounts) {
+  const auto t1 = run_scrambler_mc(0.01, 1, 100000);
+  const auto t2 = run_scrambler_mc(0.01, 2, 100000);
+  const auto t8 = run_scrambler_mc(0.01, 8, 100000);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(t1, t8);
+  // Partial final batch accounting: trials not divisible by 64.
+  const auto p1 = run_scrambler_mc(0.01, 1, 1000);
+  const auto p8 = run_scrambler_mc(0.01, 8, 1000);
+  EXPECT_EQ(p1.trials, 1000u);
+  EXPECT_EQ(p1, p8);
+}
+
+// --- detection vs correction experiment ------------------------------
+
+TEST(DetectExperiment, BudgetsAreComparableAndArmsRun) {
+  DetectVsCorrectConfig config;
+  config.gate_budget = 1200;
+  config.trials = 20000;
+  config.threads = 2;
+  const DetectVsCorrectExperiment exp(config);
+  // Both arms land within one round of the budget.
+  EXPECT_LE(exp.correction_ops(), config.gate_budget);
+  EXPECT_GT(exp.detection_ops(), config.gate_budget / 2);
+  EXPECT_LE(exp.detection_ops(), config.gate_budget + 4);
+  EXPECT_GT(exp.detection_rounds(), exp.correction_rounds());
+
+  const auto point = exp.run(0.01);
+  EXPECT_EQ(point.correction.trials, config.trials);
+  EXPECT_EQ(point.detection.trials, config.trials);
+  EXPECT_GT(point.detection.detected, 0u);
+
+  // Fault-free anchor: both arms are exact at g = 0.
+  const auto clean = exp.run(0.0);
+  EXPECT_EQ(clean.correction.failures, 0u);
+  EXPECT_EQ(clean.detection.silent_failures, 0u);
+  EXPECT_EQ(clean.detection.detected, 0u);
+}
+
+}  // namespace
+}  // namespace revft

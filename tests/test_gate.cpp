@@ -12,7 +12,11 @@ namespace {
 constexpr GateKind kAllKinds[] = {
     GateKind::kNot,     GateKind::kCnot,    GateKind::kSwap,
     GateKind::kToffoli, GateKind::kFredkin, GateKind::kSwap3,
-    GateKind::kMaj,     GateKind::kMajInv,  GateKind::kInit3};
+    GateKind::kMaj,     GateKind::kMajInv,  GateKind::kInit3,
+    GateKind::kF2g,     GateKind::kNft};
+
+static_assert(static_cast<int>(std::size(kAllKinds)) == kNumGateKinds,
+              "test table must cover every kind");
 
 TEST(Gate, ArityMatchesKind) {
   EXPECT_EQ(gate_arity(GateKind::kNot), 1);
@@ -24,6 +28,8 @@ TEST(Gate, ArityMatchesKind) {
   EXPECT_EQ(gate_arity(GateKind::kMaj), 3);
   EXPECT_EQ(gate_arity(GateKind::kMajInv), 3);
   EXPECT_EQ(gate_arity(GateKind::kInit3), 3);
+  EXPECT_EQ(gate_arity(GateKind::kF2g), 3);
+  EXPECT_EQ(gate_arity(GateKind::kNft), 3);
 }
 
 TEST(Gate, NamesRoundTrip) {
@@ -132,6 +138,43 @@ TEST(GateSemantics, MajInvEncodesRepetition) {
   EXPECT_EQ(gate_apply_local(GateKind::kMajInv, 0b001), 0b111u);
 }
 
+TEST(GateSemantics, F2gIsDoubleFeynman) {
+  // (a, b, c) -> (a, a^b, a^c): two CNOTs sharing the first operand.
+  for (unsigned v = 0; v < 8; ++v) {
+    const unsigned a = v & 1u, b = (v >> 1) & 1u, c = (v >> 2) & 1u;
+    EXPECT_EQ(gate_apply_local(GateKind::kF2g, v),
+              a | ((a ^ b) << 1) | ((a ^ c) << 2));
+  }
+}
+
+TEST(GateSemantics, NftIsControlledNegateSwap) {
+  // Control clear: identity. Control set: (1, b, c) -> (1, ~c, ~b).
+  for (unsigned v = 0; v < 8; ++v) {
+    const unsigned a = v & 1u, b = (v >> 1) & 1u, c = (v >> 2) & 1u;
+    const unsigned want =
+        a ? (1u | ((c ^ 1u) << 1) | ((b ^ 1u) << 2)) : v;
+    EXPECT_EQ(gate_apply_local(GateKind::kNft, v), want);
+  }
+}
+
+TEST(GateSemantics, ParityPreservingKindsConserveTotalParity) {
+  // The detect/ subsystem's foundation: these five kinds never change
+  // the XOR of their operand bits.
+  for (GateKind kind : {GateKind::kSwap, GateKind::kFredkin, GateKind::kSwap3,
+                        GateKind::kF2g, GateKind::kNft}) {
+    const int arity = gate_arity(kind);
+    for (unsigned v = 0; v < (1u << arity); ++v) {
+      const unsigned out = gate_apply_local(kind, v);
+      unsigned pin = 0, pout = 0;
+      for (int i = 0; i < arity; ++i) {
+        pin ^= (v >> i) & 1u;
+        pout ^= (out >> i) & 1u;
+      }
+      EXPECT_EQ(pin, pout) << gate_name(kind) << " input " << v;
+    }
+  }
+}
+
 TEST(GateSemantics, Init3MapsEverythingToZero) {
   for (unsigned v = 0; v < 8; ++v)
     EXPECT_EQ(gate_apply_local(GateKind::kInit3, v), 0u);
@@ -208,6 +251,8 @@ TEST(Gate, DuplicateOperandsRejected) {
   EXPECT_THROW(make_maj(4, 4, 5), Error);
   EXPECT_THROW(make_swap3(1, 2, 2), Error);
   EXPECT_THROW(make_init3(0, 0, 0), Error);
+  EXPECT_THROW(make_f2g(0, 1, 0), Error);
+  EXPECT_THROW(make_nft(2, 2, 3), Error);
 }
 
 }  // namespace

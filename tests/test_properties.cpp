@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "code/repetition.h"
+#include "detect/parity.h"
 #include "ft/concat.h"
 #include "ft/ec_circuit.h"
 #include "ft/experiments.h"
@@ -42,6 +43,39 @@ TEST(Property, EcStageMajorityOnAllInputs) {
   }
 }
 
+// Per-gate parity conservation table, all kinds: Swap, Swap3, Fredkin,
+// F2G and NFT conserve the XOR of their operands on every local input;
+// Not, Cnot, Toffoli, Maj, MajInv and Init3 each violate it on at
+// least one. The closed-form predicate detect::parity_preserving must
+// agree with the semantics everywhere.
+TEST(Property, GateParityConservationTable) {
+  const struct {
+    GateKind kind;
+    bool conserves;
+  } table[] = {
+      {GateKind::kNot, false},     {GateKind::kCnot, false},
+      {GateKind::kSwap, true},     {GateKind::kToffoli, false},
+      {GateKind::kFredkin, true},  {GateKind::kSwap3, true},
+      {GateKind::kMaj, false},     {GateKind::kMajInv, false},
+      {GateKind::kInit3, false},   {GateKind::kF2g, true},
+      {GateKind::kNft, true},
+  };
+  static_assert(std::size(table) == kNumGateKinds,
+                "table must cover every kind");
+  for (const auto& row : table) {
+    const int arity = gate_arity(row.kind);
+    bool conserves = true;
+    for (unsigned v = 0; v < (1u << arity); ++v) {
+      const unsigned out = gate_apply_local(row.kind, v);
+      if (detect::local_parity(out, arity) != detect::local_parity(v, arity))
+        conserves = false;
+    }
+    EXPECT_EQ(conserves, row.conserves) << gate_name(row.kind);
+    EXPECT_EQ(detect::parity_preserving(row.kind), row.conserves)
+        << gate_name(row.kind);
+  }
+}
+
 // Serialization round-trips arbitrary random circuits exactly.
 TEST(Property, SerializeRoundTripRandomCircuits) {
   Xoshiro256 rng(0x5e71a11);
@@ -55,7 +89,7 @@ TEST(Property, SerializeRoundTripRandomCircuits) {
       std::uint32_t a = pick(), b = pick(), d = pick();
       while (b == a) b = pick();
       while (d == a || d == b) d = pick();
-      switch (rng.next_below(9)) {
+      switch (rng.next_below(11)) {
         case 0: c.not_(a); break;
         case 1: c.cnot(a, b); break;
         case 2: c.swap(a, b); break;
@@ -64,6 +98,8 @@ TEST(Property, SerializeRoundTripRandomCircuits) {
         case 5: c.swap3(a, b, d); break;
         case 6: c.maj(a, b, d); break;
         case 7: c.majinv(a, b, d); break;
+        case 8: c.f2g(a, b, d); break;
+        case 9: c.nft(a, b, d); break;
         default: c.init3(a, b, d); break;
       }
     }

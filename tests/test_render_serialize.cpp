@@ -67,12 +67,56 @@ TEST(Render, MajUsesLetterSymbols) {
   EXPECT_NE(art.find('0'), std::string::npos);
 }
 
+TEST(Render, F2gLooksLikeDoubleFeynman) {
+  // Control '*' on the first operand, '+' targets on the other two.
+  Circuit c(3);
+  c.f2g(1, 0, 2);
+  const std::string art = render_ascii(c);
+  const auto line_of = [&](const std::string& label) {
+    const auto start = art.find(label);
+    return art.substr(start, art.find('\n', start) - start);
+  };
+  EXPECT_NE(line_of("q1: ").find('*'), std::string::npos);
+  EXPECT_NE(line_of("q0: ").find('+'), std::string::npos);
+  EXPECT_NE(line_of("q2: ").find('+'), std::string::npos);
+}
+
+TEST(Render, NftUsesTildeRails) {
+  Circuit c(3);
+  c.nft(0, 1, 2);
+  const std::string art = render_ascii(c);
+  const auto line_of = [&](const std::string& label) {
+    const auto start = art.find(label);
+    return art.substr(start, art.find('\n', start) - start);
+  };
+  EXPECT_NE(line_of("q0: ").find('*'), std::string::npos);
+  EXPECT_NE(line_of("q1: ").find('~'), std::string::npos);
+  EXPECT_NE(line_of("q2: ").find('~'), std::string::npos);
+}
+
 TEST(Serialize, RoundTripPreservesCircuit) {
   Circuit c(9);
   c.init3(3, 4, 5).majinv(0, 3, 6).maj(0, 1, 2).swap3(2, 3, 4).cnot(7, 8)
-      .not_(0).fredkin(1, 2, 3).toffoli(4, 5, 6).swap(7, 8);
+      .not_(0).fredkin(1, 2, 3).toffoli(4, 5, 6).swap(7, 8)
+      .f2g(0, 4, 8).nft(6, 3, 1);
   const Circuit back = circuit_from_text(circuit_to_text(c));
   EXPECT_EQ(back, c);
+}
+
+TEST(Serialize, NewKindMnemonicsAreStable) {
+  Circuit c(3);
+  c.f2g(0, 1, 2).nft(2, 1, 0);
+  const std::string text = circuit_to_text(c);
+  EXPECT_NE(text.find("f2g 0 1 2\n"), std::string::npos);
+  EXPECT_NE(text.find("nft 2 1 0\n"), std::string::npos);
+  const Circuit parsed = circuit_from_text(
+      "revft-circuit v1\n"
+      "width 4\n"
+      "f2g 3 0 1   # parity-preserving double Feynman\n"
+      "nft 1 2 3\n");
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed.op(0).kind, GateKind::kF2g);
+  EXPECT_EQ(parsed.op(1).kind, GateKind::kNft);
 }
 
 TEST(Serialize, TextFormatShape) {
