@@ -91,8 +91,7 @@ void print_comparison(benchutil::JsonResultWriter& json) {
     std::snprintf(buf[0], sizeof buf[0], "%.0e", g);
     std::snprintf(buf[1], sizeof buf[1], "%.3e", point.correction.rate());
     std::snprintf(buf[2], sizeof buf[2], "%.3e",
-                  static_cast<double>(point.detection.silent_failures) /
-                      static_cast<double>(point.detection.trials));
+                  point.detection.silent_rate());
     std::snprintf(buf[3], sizeof buf[3], "%.3e",
                   point.detection.post_selected_error_rate());
     std::snprintf(buf[4], sizeof buf[4], "%.3e",

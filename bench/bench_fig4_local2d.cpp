@@ -119,7 +119,8 @@ void print_monte_carlo() {
   config.trials = trials;
   config.seed = benchutil::seed_from_env();
   const CodewordCycleExperiment local2d(cycle.circuit, cycle.data_before,
-                                        cycle.data_after, config);
+                                        cycle.data_after, config,
+                                        cycle.recovery_boundaries);
 
   LogicalGateExperimentConfig nonlocal_config;
   nonlocal_config.level = 1;
@@ -128,15 +129,23 @@ void print_monte_carlo() {
   const LogicalGateExperiment nonlocal(nonlocal_config);
 
   AsciiTable table({"g", "non-local p_L [meas]", "2D local p_L [meas]",
-                    "2D/non-local", "ordering ok?"});
+                    "2D/non-local", "2D detect", "2D silent", "ordering ok?"});
   for (double g : {2e-3, 5e-3, 1e-2, 2e-2, 4e-2}) {
     const double p_nl = nonlocal.run(g).rate();
     const double p_2d = local2d.run(g).rate();
+    // The same cycle through the checked engine: detected / silent
+    // splits from the parity rail + recovery-boundary zero checks.
+    const auto checked = local2d.run_checked(g);
+    const double silent = checked.silent_rate();
     json.add("nonlocal", AsciiTable::sci(g, 1), p_nl);
     json.add("local2d", AsciiTable::sci(g, 1), p_2d);
+    json.add("local2d_detected", AsciiTable::sci(g, 1), checked.detected_rate());
+    json.add("local2d_silent", AsciiTable::sci(g, 1), silent);
     table.add_row({AsciiTable::sci(g, 1), AsciiTable::sci(p_nl, 2),
                    AsciiTable::sci(p_2d, 2),
                    p_nl > 0 ? AsciiTable::fixed(p_2d / p_nl, 2) : "-",
+                   AsciiTable::fixed(checked.detected_rate(), 3),
+                   AsciiTable::sci(silent, 2),
                    p_2d >= p_nl * 0.8 ? "yes" : "unexpected"});
   }
   std::printf("%s", table.str().c_str());

@@ -7,15 +7,33 @@ std::uint64_t apply_noisy_checked(PackedSimulator& sim, PackedState& state,
   REVFT_CHECK_MSG(checked.circuit.width() == state.width(),
                   "apply_noisy_checked: width mismatch");
   std::uint64_t detected = 0;
-  // Run the segments between checkpoints through the simulator's span
-  // loop (hot path identical to the unchecked engine), pausing only to
-  // OR the per-lane invariant into the mask.
+  // Run the segments between checks through the simulator's span loop
+  // (hot path identical to the unchecked engine), pausing only to OR
+  // the per-lane invariant — or a zero-checked word — into the mask.
+  // Rail checkpoints and zero checks are each sorted by position; merge
+  // the two walks.
   std::size_t pos = 0;
-  for (const std::size_t cp : checked.checkpoints) {
-    sim.apply_noisy_span(state, checked.circuit, pos, cp + 1);
-    pos = cp + 1;
-    detected |=
-        state.parity_word(checked.data_width) ^ state.word(checked.parity_rail);
+  std::size_t ci = 0, zi = 0;
+  const std::size_t n_cp = checked.checkpoints.size();
+  const std::size_t n_zc = checked.zero_checks.size();
+  while (ci < n_cp || zi < n_zc) {
+    const std::size_t at_cp =
+        ci < n_cp ? checked.checkpoints[ci] : checked.circuit.size();
+    const std::size_t at_zc =
+        zi < n_zc ? checked.zero_checks[zi].op_index : checked.circuit.size();
+    const std::size_t stop = at_cp < at_zc ? at_cp : at_zc;
+    sim.apply_noisy_span(state, checked.circuit, pos, stop + 1);
+    pos = stop + 1;
+    while (zi < n_zc && checked.zero_checks[zi].op_index == stop) {
+      for (const std::uint32_t bit : checked.zero_checks[zi].bits)
+        detected |= state.word(bit);
+      ++zi;
+    }
+    while (ci < n_cp && checked.checkpoints[ci] == stop) {
+      detected |= state.parity_word(checked.data_width) ^
+                  state.word(checked.parity_rail);
+      ++ci;
+    }
   }
   sim.apply_noisy_span(state, checked.circuit, pos, checked.circuit.size());
   for (const std::uint32_t cb : checked.check_bits)

@@ -43,6 +43,12 @@ struct DetectionEstimate {
     return trials ? static_cast<double>(detected) / static_cast<double>(trials)
                   : 0.0;
   }
+  /// Silent failures per trial (no post-selection in the denominator).
+  double silent_rate() const noexcept {
+    return trials ? static_cast<double>(silent_failures) /
+                        static_cast<double>(trials)
+                  : 0.0;
+  }
   /// Failure rate with no post-selection: silent and detected failures
   /// both count (what an abort-unaware consumer would see).
   double raw_failure_rate() const noexcept {
@@ -70,10 +76,11 @@ struct DetectionEstimate {
 };
 
 /// Apply checked.circuit noisily and return the per-lane detected
-/// bitmask: bit t set means some checkpoint saw I != 0 in lane t.
-/// Embedded check bits, when present, are folded into the mask at the
-/// end. Consumes RNG identically for a fixed simulator state, so the
-/// sharded determinism contract carries over.
+/// bitmask: bit t set means some checkpoint saw I != 0 in lane t, or
+/// some ZeroCheck saw a nonzero bit there. Embedded check bits, when
+/// present, are folded into the mask at the end. Consumes RNG
+/// identically for a fixed simulator state, so the sharded determinism
+/// contract carries over.
 std::uint64_t apply_noisy_checked(PackedSimulator& sim, PackedState& state,
                                   const CheckedCircuit& checked);
 

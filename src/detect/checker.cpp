@@ -34,6 +34,7 @@ CheckedRunResult checked_run_with_faults(const CheckedCircuit& checked,
 
   CheckedRunResult result{StateVector(0), false, 0};
   std::size_t next_checkpoint = 0;
+  std::size_t next_zero_check = 0;
   for (std::size_t i = 0; i < circuit.size(); ++i) {
     const Gate& g = circuit.op(i);
     const int fi = fault_at[i];
@@ -47,6 +48,12 @@ CheckedRunResult checked_run_with_faults(const CheckedCircuit& checked,
       for (int k = 0; k < n; ++k)
         state.set_bit(g.bits[static_cast<std::size_t>(k)],
                       static_cast<std::uint8_t>((v >> k) & 1u));
+    }
+    while (next_zero_check < checked.zero_checks.size() &&
+           checked.zero_checks[next_zero_check].op_index == i) {
+      for (const std::uint32_t bit : checked.zero_checks[next_zero_check].bits)
+        if (state.bit(bit) != 0) result.detected = true;
+      ++next_zero_check;
     }
     while (next_checkpoint < checked.checkpoints.size() &&
            checked.checkpoints[next_checkpoint] == i) {
@@ -82,9 +89,12 @@ DetectionCensus single_fault_detection_census(
   REVFT_CHECK_MSG(!data_inputs.empty(),
                   "single_fault_detection_census: no inputs");
   DetectionCensus census;
-  std::uint64_t all_values = 0;
-  for (const Gate& g : checked.circuit.ops())
-    all_values += 1ull << g.arity();
+  // One accounting definition (noise/injection) for the enumerator and
+  // the census, so "scenarios + benign == inputs x Σ 2^arity" is an
+  // identity the tests can assert rather than a coincidence.
+  const FaultSites sites = count_fault_sites(checked.circuit);
+  census.fault_sites = sites.sites;
+  const std::uint64_t all_values = sites.scenarios;
 
   for (std::size_t in = 0; in < data_inputs.size(); ++in) {
     const StateVector wide = widen_input(checked, data_inputs[in]);

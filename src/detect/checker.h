@@ -48,14 +48,17 @@ CheckedRunResult checked_run(const CheckedCircuit& checked,
 
 /// Same, with deterministic fault injection (op indices refer to
 /// checked.circuit). The parity invariant I = rail ^ XOR(data) is
-/// evaluated at every checkpoint; embedded check bits are also
-/// inspected at the end when present.
+/// evaluated at every checkpoint and every registered ZeroCheck's bits
+/// are inspected at its position; embedded check bits are also
+/// inspected at the end when present. first_violation refers to rail
+/// checkpoints only (it stays 0 for a pure zero-check detection).
 CheckedRunResult checked_run_with_faults(const CheckedCircuit& checked,
                                          const StateVector& data_input,
                                          const std::vector<FaultSpec>& faults);
 
 /// Exact classification of every single-fault scenario.
 struct DetectionCensus {
+  std::uint64_t fault_sites = 0;     ///< fallible ops of the checked circuit
   std::uint64_t scenarios = 0;       ///< (op, value, input) cases simulated
   std::uint64_t benign_skipped = 0;  ///< corrupted value == correct output
   std::uint64_t harmless = 0;

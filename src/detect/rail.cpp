@@ -74,23 +74,72 @@ class CompensationEmitter {
   std::vector<Gate> pending_;
 };
 
+/// Exact known-zero dataflow: which bits are provably zero in every
+/// fault-free run, given the entry promise. The transfer is generic
+/// over the local truth table — enumerate every local input whose
+/// known-zero operands are 0, and keep an output bit's flag only when
+/// it is 0 in all of them. Swaps therefore carry flags with the moving
+/// values, init3 creates them, and XOR-ish gates meet them, with no
+/// per-kind casework to fall out of date.
+class KnownZero {
+ public:
+  KnownZero(std::uint32_t width, const std::vector<std::uint32_t>& bits)
+      : zero_(width, 0) {
+    for (const std::uint32_t b : bits) {
+      REVFT_CHECK_MSG(b < width, "known_zero bit " << b << " out of range");
+      zero_[b] = 1;
+    }
+  }
+
+  bool is_zero(std::uint32_t bit) const { return zero_[bit] != 0; }
+
+  /// Re-arm flags at a zero check: the checker asserted these cells
+  /// clean, and any state violating that is already flagged.
+  void assert_zero(const std::vector<std::uint32_t>& bits) {
+    for (const std::uint32_t b : bits) zero_[b] = 1;
+  }
+
+  void apply(const Gate& g) {
+    const int n = g.arity();
+    unsigned free_mask = 0;
+    for (int k = 0; k < n; ++k)
+      if (!zero_[g.bits[static_cast<std::size_t>(k)]])
+        free_mask |= 1u << k;
+    unsigned zero_out = (1u << n) - 1;
+    unsigned s = free_mask;
+    do {
+      zero_out &= ~gate_apply_local(g.kind, s);
+      s = (s - 1) & free_mask;
+    } while (s != free_mask);
+    for (int k = 0; k < n; ++k)
+      zero_[g.bits[static_cast<std::size_t>(k)]] =
+          static_cast<char>((zero_out >> k) & 1u);
+  }
+
+ private:
+  std::vector<char> zero_;
+};
+
 /// Compensation for gates whose parity delta must be read off the
 /// *input* values (queued before the gate; flush-on-touch emits it
-/// ahead of the gate itself).
+/// ahead of the gate itself). Compensations whose delta is provably
+/// zero on the reachable states (per the known-zero flags) are elided.
 void pre_compensation(CompensationEmitter& comp, const Gate& g,
-                      std::uint32_t rail) {
+                      std::uint32_t rail, const KnownZero& zero) {
   switch (g.kind) {
     case GateKind::kMajInv:
       // MAJ⁻¹ is Toffoli(b,c -> a) then CNOT(a -> b), CNOT(a -> c);
       // only the Toffoli moves total parity, by b & c of the inputs.
-      comp.add(make_toffoli(g.bits[1], g.bits[2], rail));
+      if (!zero.is_zero(g.bits[1]) && !zero.is_zero(g.bits[2]))
+        comp.add(make_toffoli(g.bits[1], g.bits[2], rail));
       return;
     case GateKind::kInit3:
       // The reset discards a ^ b ^ c of parity; fold the old values
-      // into the rail before they vanish.
-      comp.add(make_cnot(g.bits[0], rail));
-      comp.add(make_cnot(g.bits[1], rail));
-      comp.add(make_cnot(g.bits[2], rail));
+      // into the rail before they vanish (skipping provably-clean
+      // cells).
+      for (int k = 0; k < 3; ++k)
+        if (!zero.is_zero(g.bits[static_cast<std::size_t>(k)]))
+          comp.add(make_cnot(g.bits[static_cast<std::size_t>(k)], rail));
       return;
     default:
       return;
@@ -98,24 +147,29 @@ void pre_compensation(CompensationEmitter& comp, const Gate& g,
 }
 
 /// Compensation for gates whose parity delta is a function of values
-/// still present after the gate.
+/// still present after the gate. `zero` holds the flags BEFORE the
+/// gate; the conditions below are expressed in before-values.
 void post_compensation(CompensationEmitter& comp, const Gate& g,
-                       std::uint32_t rail) {
+                       std::uint32_t rail, const KnownZero& zero) {
   switch (g.kind) {
     case GateKind::kNot:
       comp.add(make_not(rail));
       return;
     case GateKind::kCnot:
-      comp.add(make_cnot(g.bits[0], rail));
+      if (!zero.is_zero(g.bits[0])) comp.add(make_cnot(g.bits[0], rail));
       return;
     case GateKind::kToffoli:
-      comp.add(make_toffoli(g.bits[0], g.bits[1], rail));
+      if (!zero.is_zero(g.bits[0]) && !zero.is_zero(g.bits[1]))
+        comp.add(make_toffoli(g.bits[0], g.bits[1], rail));
       return;
     case GateKind::kMaj:
       // MAJ is CNOT(a -> b), CNOT(a -> c) (two cancelling deltas) then
-      // Toffoli(b,c -> a) on the new values — which the b and c rails
-      // still hold after the gate.
-      comp.add(make_toffoli(g.bits[1], g.bits[2], rail));
+      // Toffoli(b,c -> a) on the new values b^a, c^a — which the b and
+      // c rails still hold after the gate. The delta vanishes when
+      // either is provably zero, i.e. when a and b (or a and c) are.
+      if (!(zero.is_zero(g.bits[0]) && zero.is_zero(g.bits[1])) &&
+          !(zero.is_zero(g.bits[0]) && zero.is_zero(g.bits[2])))
+        comp.add(make_toffoli(g.bits[1], g.bits[2], rail));
       return;
     default:
       return;
@@ -132,10 +186,22 @@ CheckedCircuit to_parity_rail(const Circuit& circuit,
   checked.data_width = circuit.width();
   checked.parity_rail = circuit.width();
 
-  // Checkpoint count decides the embedded width up front.
+  // The merged checkpoint schedule — periodic plus explicit positions,
+  // minus the last op (folded into the unconditional final checkpoint).
+  // Its size decides the embedded width up front.
+  std::vector<char> checkpoint_here(circuit.size(), 0);
+  if (opts.check_every > 0)
+    for (std::size_t i = opts.check_every - 1; i < circuit.size();
+         i += opts.check_every)
+      checkpoint_here[i] = 1;
+  for (const std::size_t i : opts.checkpoint_after) {
+    REVFT_CHECK_MSG(i < circuit.size(),
+                    "to_parity_rail: checkpoint_after " << i << " out of range");
+    checkpoint_here[i] = 1;
+  }
+  if (!circuit.empty()) checkpoint_here[circuit.size() - 1] = 0;
   std::size_t n_checkpoints = 1;  // final
-  if (opts.check_every > 0 && !circuit.empty())
-    n_checkpoints += (circuit.size() - 1) / opts.check_every;
+  for (const char flag : checkpoint_here) n_checkpoints += flag;
   const std::uint32_t width =
       circuit.width() + 1 +
       (opts.embed_checkers ? static_cast<std::uint32_t>(n_checkpoints) : 0);
@@ -154,25 +220,69 @@ CheckedCircuit to_parity_rail(const Circuit& circuit,
     checked.check_bits.push_back(cb);
   };
 
-  // Encoder: load the rail with the XOR of the (arbitrary) input data.
-  for (std::uint32_t d = 0; d < checked.data_width; ++d)
+  // Encoder: load the rail with the XOR of the input data (cells
+  // promised zero contribute nothing and are skipped).
+  KnownZero zero(circuit.width(), opts.known_zero);
+  for (std::uint32_t d = 0; d < checked.data_width; ++d) {
+    if (zero.is_zero(d)) continue;
     out.cnot(d, checked.parity_rail);
-  checked.rail_ops += checked.data_width;
+    ++checked.rail_ops;
+  }
 
+  std::size_t next_zero_check = 0;
+  checked.source_position.reserve(circuit.size());
   for (std::size_t i = 0; i < circuit.size(); ++i) {
     const Gate& g = circuit.op(i);
-    pre_compensation(comp, g, checked.parity_rail);
+    pre_compensation(comp, g, checked.parity_rail, zero);
     comp.flush_touching(g);
     out.push(g);
-    post_compensation(comp, g, checked.parity_rail);
-    const bool last = i + 1 == circuit.size();
-    if (!last && opts.check_every > 0 && (i + 1) % opts.check_every == 0)
-      checkpoint();
+    checked.source_position.push_back(out.size() - 1);
+    post_compensation(comp, g, checked.parity_rail, zero);
+    zero.apply(g);
+    while (next_zero_check < opts.zero_checks.size() &&
+           opts.zero_checks[next_zero_check].op_index == i) {
+      const ZeroCheck& check = opts.zero_checks[next_zero_check];
+      add_zero_check(checked, i, check.bits);
+      zero.assert_zero(check.bits);
+      ++next_zero_check;
+    }
+    if (checkpoint_here[i]) checkpoint();
   }
   checkpoint();  // final checkpoint, always present
+  REVFT_CHECK_MSG(next_zero_check == opts.zero_checks.size(),
+                  "to_parity_rail: zero_checks must be sorted by op_index "
+                  "with every index < circuit.size()");
 
   checked.circuit = std::move(out);
   return checked;
+}
+
+std::vector<std::uint32_t> known_zero_outside(
+    std::uint32_t width, const std::vector<std::uint32_t>& data_bits) {
+  std::vector<char> is_data(width, 0);
+  for (const std::uint32_t bit : data_bits) {
+    REVFT_CHECK_MSG(bit < width, "known_zero_outside: bit out of range");
+    is_data[bit] = 1;
+  }
+  std::vector<std::uint32_t> zero;
+  for (std::uint32_t bit = 0; bit < width; ++bit)
+    if (!is_data[bit]) zero.push_back(bit);
+  return zero;
+}
+
+void add_zero_check(CheckedCircuit& checked, std::size_t source_op,
+                    std::vector<std::uint32_t> bits) {
+  REVFT_CHECK_MSG(source_op < checked.source_position.size(),
+                  "add_zero_check: source op " << source_op << " out of range");
+  REVFT_CHECK_MSG(!bits.empty(), "add_zero_check: no bits");
+  for (const std::uint32_t b : bits)
+    REVFT_CHECK_MSG(b < checked.data_width,
+                    "add_zero_check: bit " << b << " is not a data rail");
+  const std::size_t pos = checked.source_position[source_op];
+  REVFT_CHECK_MSG(
+      checked.zero_checks.empty() || checked.zero_checks.back().op_index <= pos,
+      "add_zero_check: checks must be registered in source order");
+  checked.zero_checks.push_back({pos, std::move(bits)});
 }
 
 StateVector widen_input(const CheckedCircuit& checked,

@@ -25,7 +25,11 @@
 // with the corrupted values). Those escapes are exactly the
 // `silent_failures` the detection Monte-Carlo measures; for circuits
 // of parity-preserving gates every odd-weight fault is provably
-// caught (see single_fault_detection_census).
+// caught (see single_fault_detection_census). Constructions that
+// guarantee clean cells at known positions (the §3 recovery stages
+// leave every ancilla zero) can close even-weight escapes too, by
+// registering ZeroChecks — see add_zero_check and
+// local/checked_machine.h.
 #pragma once
 
 #include <cstddef>
@@ -37,11 +41,19 @@
 
 namespace revft::detect {
 
+struct ZeroCheck;
+
 struct ParityRailOptions {
   /// Record a checkpoint after every `check_every` original ops
   /// (0 = only the final checkpoint). A checkpoint always lands after
   /// the op group — never between a gate and its compensation.
   std::size_t check_every = 0;
+  /// Additional checkpoints after these ORIGINAL op indices (e.g. the
+  /// last op of every block-recovery stage of a compiled local-machine
+  /// program). Duplicates with the periodic schedule collapse to one
+  /// checkpoint; an entry naming the last op folds into the final
+  /// checkpoint. Each entry must be < circuit.size().
+  std::vector<std::size_t> checkpoint_after;
   /// Also synthesize a checker sub-circuit per checkpoint: CNOTs that
   /// fold every data rail plus the parity rail into a dedicated check
   /// bit, which ideally stays 0. Adds width and gates; the online
@@ -57,6 +69,55 @@ struct ParityRailOptions {
   /// which slightly reshapes WHAT is detectable — the census is the
   /// arbiter either way.
   bool fuse_compensation = true;
+  /// Bits promised zero at circuit entry (a §3 machine's ancilla
+  /// cells). The transform propagates zero-ness exactly through every
+  /// gate kind and elides the encoder/compensation gates whose parity
+  /// delta is provably zero in every fault-free run — the bulk of the
+  /// recovery stages' rail traffic (init3 resets of clean ancillas,
+  /// MAJ⁻¹ encoders with zero controls). Fault-free behaviour is
+  /// identical, but the conserved invariant now holds only on states
+  /// REACHABLE FROM THE PROMISE: a fault that dirties a promised-zero
+  /// cell can have its invariant flip cancelled by a later elided
+  /// compensation reading the dirty cell, so a lone elided rail
+  /// detects strictly less than the plain rail on such faults
+  /// (DetectRail.KnownZeroElisionNeedsCoveringZeroChecks pins the
+  /// counterexample). Pair elision with `zero_checks` covering the
+  /// promised cells — the check flags the dirty state before an
+  /// elided group can absorb it — and let the exhaustive census
+  /// arbitrate the combination (the checked machines do both). Inputs
+  /// that violate the promise raise false alarms — callers own the
+  /// contract (widen_input does not check it).
+  std::vector<std::uint32_t> known_zero;
+  /// Zero checks to register during the transform, with op_index
+  /// naming ORIGINAL ops (sorted). Beyond what add_zero_check does
+  /// after the fact, the transform RE-ARMS the known-zero flags at
+  /// each check: once the checker has asserted the cells clean, any
+  /// state where they are not is already flagged (detection is
+  /// sticky), so downstream compensation against those cells may be
+  /// elided as well — in a chained machine program this removes the
+  /// recovery stages' init/encode rail traffic wholesale. Faults
+  /// landing between a check and an elided group reshape what is
+  /// detectable; the exhaustive census stays the arbiter
+  /// (tests/test_local_checked.cpp proves the machine configurations
+  /// fault-secure).
+  std::vector<ZeroCheck> zero_checks;
+};
+
+/// A side-condition checkpoint: after op `op_index`, every listed bit
+/// must be zero in a fault-free run. The coordinate system of
+/// op_index depends on where the check lives: entries in
+/// ParityRailOptions::zero_checks name ORIGINAL ops (the transform
+/// maps them), entries in CheckedCircuit::zero_checks name CHECKED
+/// ops (already mapped). The parity rail only sees odd-weight
+/// corruptions; zero checks close the even-weight escapes wherever
+/// the construction guarantees clean cells — e.g. the recovery stages
+/// of the §3 local schemes leave every ancilla holding a syndrome
+/// that is zero unless some earlier fault corrupted the codeword.
+/// Like rail checkpoints they are pure observations: the online
+/// checkers read the bits, no gates are added.
+struct ZeroCheck {
+  std::size_t op_index = 0;
+  std::vector<std::uint32_t> bits;
 };
 
 /// A circuit rewritten into parity-rail form, plus the bookkeeping the
@@ -69,6 +130,12 @@ struct CheckedCircuit {
   std::vector<std::size_t> checkpoints;
   /// One check bit per checkpoint when embed_checkers was set.
   std::vector<std::uint32_t> check_bits;
+  /// For each ORIGINAL op, its position in `circuit` (compensation and
+  /// checker gates shift positions; this is the composition map layers
+  /// above need to attach checks to construction landmarks).
+  std::vector<std::size_t> source_position;
+  /// Clean-cell checkpoints, sorted by op_index (see add_zero_check).
+  std::vector<ZeroCheck> zero_checks;
   /// Added-gate accounting: encoder + compensation vs checker CNOTs.
   std::uint64_t rail_ops = 0;
   std::uint64_t checker_ops = 0;
@@ -85,5 +152,20 @@ CheckedCircuit to_parity_rail(const Circuit& circuit,
 /// and check bits zeroed).
 StateVector widen_input(const CheckedCircuit& checked,
                         const StateVector& data_input);
+
+/// The entry promise for circuits whose inputs populate only
+/// `data_bits`: every other bit of [0, width) is zero. The one
+/// derivation behind every rail-arming path (checked machines, cycle
+/// experiments) of ParityRailOptions::known_zero.
+std::vector<std::uint32_t> known_zero_outside(
+    std::uint32_t width, const std::vector<std::uint32_t>& data_bits);
+
+/// Register a zero check after ORIGINAL op `source_op`: in a fault-free
+/// run every bit of `bits` is zero once that op has executed, so a
+/// nonzero bit there is proof of a fault. Checks must be registered in
+/// nondecreasing source order; bits must be data rails (< data_width —
+/// the rail and check bits have their own invariants).
+void add_zero_check(CheckedCircuit& checked, std::size_t source_op,
+                    std::vector<std::uint32_t> bits);
 
 }  // namespace revft::detect

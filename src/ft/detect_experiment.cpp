@@ -34,6 +34,34 @@ detect::DetectionCensus checked_maj_cycle_census(bool embed_checkers) {
       });
 }
 
+detect::DetectionCensus machine_detection_census(
+    const CheckedMachineProgram& program, const Circuit& logical) {
+  const std::uint32_t bits = logical.width();
+  REVFT_CHECK_MSG(bits == program.logical_bits && bits <= 16,
+                  "machine_detection_census: program/logical mismatch");
+  std::vector<StateVector> inputs;
+  std::vector<unsigned> expected;
+  for (unsigned input = 0; input < (1u << bits); ++input) {
+    StateVector sv(program.checked.data_width);
+    for (std::uint32_t i = 0; i < bits; ++i)
+      for (const auto bit : program.input_cells[i])
+        sv.set_bit(bit, static_cast<std::uint8_t>((input >> i) & 1u));
+    inputs.push_back(std::move(sv));
+    expected.push_back(static_cast<unsigned>(simulate(logical, input)));
+  }
+  return detect::single_fault_detection_census(
+      program.checked, inputs, [&](const StateVector& out, std::size_t in) {
+        for (std::uint32_t i = 0; i < bits; ++i) {
+          const auto& cw = program.output_cells[i];
+          const int decoded =
+              majority3(out.bit(cw[0]), out.bit(cw[1]), out.bit(cw[2]));
+          if (decoded != static_cast<int>((expected[in] >> i) & 1u))
+            return true;
+        }
+        return false;
+      });
+}
+
 Circuit DetectVsCorrectExperiment::scrambler_round() {
   // MAJ for nonlinear mixing, a rotation so every line visits every
   // role, and a CNOT so corruption crosses lines linearly too. The

@@ -31,6 +31,7 @@
 #include "detect/checked_mc.h"
 #include "detect/checker.h"
 #include "ft/concat.h"
+#include "local/checked_machine.h"
 #include "noise/parallel_mc.h"
 #include "support/stats.h"
 
@@ -67,6 +68,16 @@ struct DetectVsCorrectPoint {
 /// logical inputs, where "error" means the recovered codeword
 /// majority-decodes wrong. fault_secure() must hold.
 detect::DetectionCensus checked_maj_cycle_census(bool embed_checkers);
+
+/// The machine-level analogue, likewise shared by
+/// tests/test_local_checked.cpp (the ctest gate) and
+/// bench_local_checked (the printed table): exhaustive single-fault
+/// detection census of a checked local-machine program over every
+/// logical input, where "error" means some logical bit
+/// majority-decodes wrong at its final slot. `logical` must be the
+/// circuit the program was compiled from (width <= 16).
+detect::DetectionCensus machine_detection_census(
+    const CheckedMachineProgram& program, const Circuit& logical);
 
 /// Compile both arms once, then sweep g with run().
 class DetectVsCorrectExperiment {

@@ -1,6 +1,7 @@
 #include "ft/experiments.h"
 
 #include "ft/ec_circuit.h"
+#include "rev/simulator.h"
 #include "support/error.h"
 
 namespace revft {
@@ -154,13 +155,25 @@ BernoulliEstimate MemoryExperiment::run(double g) const {
 
 CodewordCycleExperiment::CodewordCycleExperiment(
     Circuit circuit, std::array<std::array<std::uint32_t, 3>, 3> data_before,
-    std::array<std::array<std::uint32_t, 3>, 3> data_after, const Config& config)
+    std::array<std::array<std::uint32_t, 3>, 3> data_after, const Config& config,
+    std::vector<RecoveryBoundary> boundaries)
     : circuit_(std::move(circuit)),
       before_(data_before),
       after_(data_after),
       config_(config) {
   REVFT_CHECK_MSG(gate_arity(config.gate) == 3,
                   "CodewordCycleExperiment: need a 3-bit gate");
+  // Rail the cycle exactly as the checked machines arm theirs: a zero
+  // check per recovery boundary plus the entry known-zero promise
+  // (the kernels prepare only the data_before cells), coupled per the
+  // known_zero contract. No boundaries = plain rail, final checkpoint
+  // only.
+  std::vector<std::uint32_t> data_bits;
+  for (const auto& cw : before_)
+    data_bits.insert(data_bits.end(), cw.begin(), cw.end());
+  checked_ = detect::to_parity_rail(
+      circuit_, boundary_rail_options(boundaries, data_bits, circuit_.width(),
+                                      CheckedMachineOptions{}));
 }
 
 namespace {
@@ -214,6 +227,88 @@ BernoulliEstimate CodewordCycleExperiment::run(double g) const {
   return run_parallel_mc(circuit_, model, opts, [&](std::uint64_t) {
     return CodewordCycleKernel{&before_, &after_, config_.gate, {}};
   });
+}
+
+detect::DetectionEstimate CodewordCycleExperiment::run_checked(
+    double g, int threads) const {
+  NoiseModel model = NoiseModel::uniform(g);
+  if (!config_.noisy_init) model.with_perfect_init();
+
+  ParallelMcOptions opts;
+  opts.trials = config_.trials;
+  opts.threads = threads < 0 ? config_.threads : threads;
+  // Decorrelate from the unchecked arm (the railed circuit consumes a
+  // different op stream anyway, but keep the seeds visibly distinct).
+  opts.seed = config_.seed ^ 0x9e3779b97f4a7c15ULL;
+
+  return detect::run_parallel_checked_mc(
+      checked_, model, opts, [&](std::uint64_t) {
+        return CodewordCycleKernel{&before_, &after_, config_.gate, {}};
+      });
+}
+
+CheckedMachineExperiment::CheckedMachineExperiment(CheckedMachineProgram program,
+                                                   const Circuit& logical,
+                                                   const Config& config)
+    : program_(std::move(program)), config_(config) {
+  REVFT_CHECK_MSG(logical.width() == program_.logical_bits,
+                  "CheckedMachineExperiment: program/logical width mismatch");
+  REVFT_CHECK_MSG(logical.width() <= 16,
+                  "CheckedMachineExperiment: truth table capped at 16 bits");
+  truth_.reserve(1u << logical.width());
+  for (unsigned v = 0; v < (1u << logical.width()); ++v)
+    truth_.push_back(static_cast<unsigned>(simulate(logical, v)));
+}
+
+namespace {
+
+struct CheckedMachineKernel {
+  const CheckedMachineProgram* program;
+  const std::vector<unsigned>* truth;
+  std::vector<std::uint64_t> lane_inputs;
+
+  void prepare(PackedState& state, Xoshiro256& rng, std::uint64_t) {
+    for (std::uint32_t k = 0; k < program->logical_bits; ++k) {
+      lane_inputs[k] = rng.next();
+      for (const auto bit : program->input_cells[k])
+        state.word(bit) = lane_inputs[k];
+    }
+  }
+
+  bool classify(const PackedState& state, int lane, std::uint64_t) const {
+    unsigned input = 0;
+    for (std::uint32_t k = 0; k < program->logical_bits; ++k)
+      input |= static_cast<unsigned>((lane_inputs[k] >> lane) & 1u) << k;
+    const unsigned expected = (*truth)[input];
+    for (std::uint32_t k = 0; k < program->logical_bits; ++k) {
+      const auto& cw = program->output_cells[k];
+      const int votes = static_cast<int>(state.bit_lane(cw[0], lane)) +
+                        static_cast<int>(state.bit_lane(cw[1], lane)) +
+                        static_cast<int>(state.bit_lane(cw[2], lane));
+      if ((votes >= 2 ? 1u : 0u) != ((expected >> k) & 1u)) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+detect::DetectionEstimate CheckedMachineExperiment::run(double g,
+                                                        int threads) const {
+  NoiseModel model = NoiseModel::uniform(g);
+  if (!config_.noisy_init) model.with_perfect_init();
+
+  ParallelMcOptions opts;
+  opts.trials = config_.trials;
+  opts.seed = config_.seed;
+  opts.threads = threads < 0 ? config_.threads : threads;
+
+  return detect::run_parallel_checked_mc(
+      program_.checked, model, opts, [&](std::uint64_t) {
+        return CheckedMachineKernel{
+            &program_, &truth_,
+            std::vector<std::uint64_t>(program_.logical_bits, 0)};
+      });
 }
 
 }  // namespace revft

@@ -17,7 +17,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "detect/checked_mc.h"
 #include "ft/concat.h"
+#include "local/checked_machine.h"
+#include "local/recovery_meta.h"
 #include "noise/parallel_mc.h"
 #include "support/stats.h"
 
@@ -103,7 +106,10 @@ class MemoryExperiment {
 /// scheme2d): one transversal 3-bit logical gate on three flat
 /// codewords, with the cycle's own routing and recovery. The caller
 /// provides the concrete cycle circuit and where each codeword's three
-/// bits sit before and after.
+/// bits sit before and after; passing the cycle's recovery boundaries
+/// additionally arms the detection rail, so the same workload also
+/// reports detected / silent / accepted splits through the checked
+/// packed engine (run_checked).
 class CodewordCycleExperiment {
  public:
   struct Config {
@@ -117,19 +123,62 @@ class CodewordCycleExperiment {
   CodewordCycleExperiment(Circuit circuit,
                           std::array<std::array<std::uint32_t, 3>, 3> data_before,
                           std::array<std::array<std::uint32_t, 3>, 3> data_after,
-                          const Config& config);
+                          const Config& config,
+                          std::vector<RecoveryBoundary> boundaries = {});
 
   /// P[any of the three codewords majority-decodes to the wrong
   /// logical value] at gate error rate g, over random logical inputs.
   BernoulliEstimate run(double g) const;
 
+  /// The same workload in parity-rail form under the checked packed
+  /// engine: detected / silent / accepted outcome counts,
+  /// bit-identical for a fixed seed at any worker count. Pass an
+  /// explicit worker count for determinism checks (-1 = the config's).
+  detect::DetectionEstimate run_checked(double g, int threads = -1) const;
+
   const Circuit& circuit() const noexcept { return circuit_; }
+  const detect::CheckedCircuit& checked() const noexcept { return checked_; }
 
  private:
   Circuit circuit_;
   std::array<std::array<std::uint32_t, 3>, 3> before_;
   std::array<std::array<std::uint32_t, 3>, 3> after_;
   Config config_;
+  detect::CheckedCircuit checked_;  ///< railed cycle (boundary checkpoints)
+};
+
+/// Monte-Carlo driver for whole checked local machines: a compiled
+/// CheckedMachineProgram (1D or 2D) run under the checked packed
+/// engine on uniformly random logical inputs. Failure = any logical
+/// bit majority-decodes wrong at its final slot; detection = rail
+/// checkpoint or recovery-boundary zero check fired. This is the
+/// "checked packed engine everywhere" driver: the local-machine
+/// workload family reports the same detected / silent / accepted
+/// splits as ft/detect_experiment, with the same thread-count
+/// determinism contract.
+class CheckedMachineExperiment {
+ public:
+  struct Config {
+    bool noisy_init = true;
+    std::uint64_t trials = 100000;
+    std::uint64_t seed = 0xc8ec2edULL;
+    int threads = 0;  ///< see LogicalGateExperimentConfig::threads
+  };
+
+  /// `logical` must be the circuit `program` was compiled from (its
+  /// truth table judges the outputs); width is capped at 16 logical
+  /// bits — the table is exhaustive.
+  CheckedMachineExperiment(CheckedMachineProgram program,
+                           const Circuit& logical, const Config& config);
+
+  detect::DetectionEstimate run(double g, int threads = -1) const;
+
+  const CheckedMachineProgram& program() const noexcept { return program_; }
+
+ private:
+  CheckedMachineProgram program_;
+  Config config_;
+  std::vector<unsigned> truth_;  ///< 2^B logical outputs
 };
 
 }  // namespace revft

@@ -1,0 +1,180 @@
+// revft/local/checked_machine.h
+//
+// Detection-aware local machines: the §3 block machines with the
+// detect/ parity rail threaded through their compiled physical
+// programs. The synthesis is nearly free because of a structural
+// coincidence the paper never exploits: every routing primitive of the
+// locally-connected schemes is a SWAP/SWAP3 chain, and swaps are
+// parity-preserving — so the entire routing fabric (81 cell swaps per
+// 1D block transposition, 27 per 2D) is self-checking at ZERO extra
+// gate cost. Only the recovery/gate kernels (MAJ, MAJ⁻¹, Toffoli-like
+// transversal gates, init3) need rail compensation.
+//
+// The transform registers a checkpoint at every recovery boundary the
+// machine compiler recorded (local/recovery_meta.h): the boundary's
+// clean cells become a detect::ZeroCheck, and the global rail
+// invariant is evaluated at the always-present final checkpoint (per
+// boundary too, optionally — violations persist, so the final
+// evaluation already sees every single-fault flip). The pairing
+// matters: the global rail catches every odd-weight corruption, while
+// the zero checks catch exactly the even-weight escapes that defeat a
+// lone rail — a cross-codeword swap fault in the
+// 1D interleave damages one bit of two different codewords (global
+// parity unchanged!) but leaves both codewords non-uniform, so their
+// next recovery decodes a nonzero syndrome. The exhaustive census
+// (tests/test_local_checked.cpp) proves the combination fault-secure:
+// no single fault of a checked 1D or 2D single-cycle program is both
+// silent and harmful. Without the zero checks the 1D machine has
+// exactly such faults — the interleave finding of bench_fig7 in
+// detection clothing.
+//
+// Composition (cf. arXiv:0812.3871's invariant relationships): the
+// boundary list is recorded while cycles chain, so a B-bit program of
+// any length carries checkpoints at every block recovery, and the 2D
+// machine's re-orientation stages keep decode positions fixed — the
+// rail metadata composes with no per-workload bookkeeping.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "detect/rail.h"
+#include "local/machine1d.h"
+#include "local/machine2d.h"
+
+namespace revft {
+
+struct CheckedMachineOptions {
+  /// Register each recovery boundary's clean cells as a ZeroCheck (the
+  /// even-weight net; disable to measure what the rail alone catches).
+  bool zero_checks = true;
+  /// Also evaluate the GLOBAL rail invariant at every recovery
+  /// boundary (on top of the boundary zero checks, which always sit
+  /// there). Off by default: for the un-elided rail an invariant
+  /// violation persists (every op group conserves I on every state),
+  /// so the always-present final checkpoint sees it, and for the
+  /// shipped elided-plus-zero-checks configuration the exhaustive
+  /// census proves fault security without them — while each costs one
+  /// data_width-word parity reduction, the dominant term of the
+  /// checked kernel on wide machines. Turn on for denser multi-fault
+  /// observation (cancellations between boundaries are an O(g^2)
+  /// effect) or for violation localization in the scalar checker.
+  bool rail_check_every_boundary = false;
+  /// Extra periodic rail checkpoints every N original ops on top of
+  /// the boundary checkpoints (0 = boundaries + final only).
+  std::size_t check_every = 0;
+  /// Passed through to detect::to_parity_rail.
+  bool fuse_compensation = true;
+  /// Promise the rail transform that every non-data cell is zero at
+  /// program entry (true for every census/Monte-Carlo preparation in
+  /// this repo). The known-zero dataflow then elides the encoder and
+  /// compensation gates that are provably no-ops fault-free — most of
+  /// the recovery stages' rail traffic — cutting the checked overhead
+  /// sharply. Elision narrows the rail's guarantee to states reachable
+  /// from the promise (see ParityRailOptions::known_zero), so it only
+  /// takes effect together with `zero_checks`, whose boundary checks
+  /// cover the promised cells; the census proves the combination
+  /// fault-secure. Disable when feeding inputs with nonzero ancillas.
+  bool trust_entry_zeros = true;
+};
+
+/// Self-checking accounting of one compiled program.
+struct CheckingStats {
+  std::uint64_t total_ops = 0;        ///< original physical ops
+  std::uint64_t free_ops = 0;         ///< parity-preserving: checked for free
+  std::uint64_t compensated_ops = 0;  ///< need a rail-compensation gate
+  std::uint64_t routing_ops = 0;      ///< block-transposition swaps (all free)
+  std::uint64_t rail_ops = 0;         ///< encoder + compensation gates added
+  std::uint64_t checkpoints = 0;
+  std::uint64_t zero_checks = 0;
+
+  /// Fraction of original ops that are self-checking at zero cost.
+  double free_fraction() const noexcept {
+    return total_ops ? static_cast<double>(free_ops) /
+                           static_cast<double>(total_ops)
+                     : 0.0;
+  }
+  /// Checked ops per original op (gate-count overhead of the rail).
+  double gate_overhead() const noexcept {
+    return total_ops ? static_cast<double>(total_ops + rail_ops) /
+                           static_cast<double>(total_ops)
+                     : 0.0;
+  }
+};
+
+/// A machine program in parity-rail form plus everything a checked
+/// Monte-Carlo or census needs to prepare, decode and audit it.
+struct CheckedMachineProgram {
+  detect::CheckedCircuit checked;
+  std::uint32_t logical_bits = 0;
+  std::vector<std::uint32_t> slot_of_logical;
+  /// Data cells of logical bit i at program entry (initial slots).
+  std::vector<std::array<std::uint32_t, 3>> input_cells;
+  /// Data cells of logical bit i at program exit (final slots).
+  std::vector<std::array<std::uint32_t, 3>> output_cells;
+  CheckingStats stats;
+  // Cost accounting carried over from the unchecked program.
+  std::uint64_t block_transpositions = 0;
+  std::uint64_t routing_cell_swaps = 0;
+  std::uint64_t gate_cycles = 0;
+  std::uint64_t recovery_stages = 0;
+};
+
+/// Build the rail options every boundary-armed workload (checked
+/// machines, cycle experiments) shares: one zero check per boundary,
+/// optional per-boundary rail checkpoints, and the entry known-zero
+/// promise — armed only together with the zero-check net, the
+/// coupling the known_zero contract in detect/rail.h requires.
+detect::ParityRailOptions boundary_rail_options(
+    const std::vector<RecoveryBoundary>& boundaries,
+    const std::vector<std::uint32_t>& entry_data_bits, std::uint32_t width,
+    const CheckedMachineOptions& opts);
+
+/// Rail-transform an already-compiled machine program. The generic
+/// core shared by both machines: checkpoint + zero check per recovery
+/// boundary, stats from the routing spans. `input_cells` supplies the
+/// entry-arrangement data cells (9*i + {0,3,6} for 1D, 9*i + {0,1,2}
+/// for 2D).
+CheckedMachineProgram check_machine_program(
+    const Circuit& physical, const std::vector<std::uint32_t>& slot_of_logical,
+    const std::vector<std::array<std::uint32_t, 3>>& input_cells,
+    const std::vector<std::array<std::uint32_t, 3>>& output_cells,
+    const std::vector<RecoveryBoundary>& boundaries,
+    const std::vector<std::pair<std::size_t, std::size_t>>& routing_spans,
+    const CheckedMachineOptions& opts);
+
+/// Compile-and-check conveniences: the 1D / 2D machine compilers with
+/// the rail threaded through every program they emit.
+class CheckedMachine1d {
+ public:
+  explicit CheckedMachine1d(std::uint32_t logical_bits, bool with_init = true,
+                            CheckedMachineOptions opts = {});
+
+  std::uint32_t logical_bits() const noexcept { return base_.logical_bits(); }
+  std::uint32_t cells() const noexcept { return base_.cells(); }
+  const Machine1d& base() const noexcept { return base_; }
+
+  CheckedMachineProgram compile(const Circuit& logical) const;
+
+ private:
+  Machine1d base_;
+  CheckedMachineOptions opts_;
+};
+
+class CheckedMachine2d {
+ public:
+  explicit CheckedMachine2d(std::uint32_t logical_bits, bool with_init = true,
+                            CheckedMachineOptions opts = {});
+
+  std::uint32_t logical_bits() const noexcept { return base_.logical_bits(); }
+  const Machine2d& base() const noexcept { return base_; }
+
+  CheckedMachineProgram compile(const Circuit& logical) const;
+
+ private:
+  Machine2d base_;
+  CheckedMachineOptions opts_;
+};
+
+}  // namespace revft

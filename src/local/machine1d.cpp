@@ -43,6 +43,11 @@ class Compiler {
 
   void finish() {
     program_.slot_of_logical = slot_of_;
+    program_.data_cells.reserve(bits_);
+    for (std::uint32_t i = 0; i < bits_; ++i) {
+      const std::uint32_t base = 9 * slot_of_[i];
+      program_.data_cells.push_back({base, base + 3, base + 6});
+    }
   }
 
  private:
@@ -64,7 +69,9 @@ class Compiler {
     std::vector<SwapOp> absolute;
     absolute.reserve(swaps.size());
     for (const auto& sw : swaps) absolute.push_back({base + sw.a, base + sw.b});
+    const std::size_t span_first = program_.physical.size();
     for (const Gate& g : pack_swap3(absolute)) program_.physical.push(g);
+    program_.routing_spans.push_back({span_first, program_.physical.size() - 1});
     ++program_.block_transpositions;
     // Bookkeeping.
     std::swap(logical_at_[s], logical_at_[s + 1]);
@@ -83,7 +90,11 @@ class Compiler {
     REVFT_CHECK(slot_of_[p] + 1 == slot_of_[q] && slot_of_[q] + 1 == slot_of_[r]);
 
     const Cycle1d cycle = make_cycle_1d(g.kind, with_init_);
+    const std::size_t op_offset = program_.physical.size();
     program_.physical.append_shifted(cycle.circuit, 9 * slot_of_[p]);
+    for (const RecoveryBoundary& boundary : cycle.recovery_boundaries)
+      program_.recovery_boundaries.push_back(
+          boundary.shifted(op_offset, 9 * slot_of_[p]));
     ++program_.gate_cycles;
     program_.recovery_stages += 3;
   }
@@ -95,6 +106,8 @@ class Compiler {
       program_.physical.not_(base + offset);
     const Ec1d ec = make_ec_1d(with_init_);
     program_.physical.append_shifted(ec.circuit, base);
+    program_.recovery_boundaries.push_back(
+        make_boundary(program_.physical.size() - 1, ec.clean_after, base));
     ++program_.recovery_stages;
   }
 
@@ -103,6 +116,10 @@ class Compiler {
       const std::uint32_t base = 9 * slot_of_[g.bits[static_cast<std::size_t>(k)]];
       for (std::uint32_t t = 0; t < 9; t += 3)
         program_.physical.init3(base + t, base + t + 1, base + t + 2);
+      // A freshly initialized block is all-zero — a boundary too.
+      const std::uint32_t all_cells[9] = {0, 1, 2, 3, 4, 5, 6, 7, 8};
+      program_.recovery_boundaries.push_back(
+          make_boundary(program_.physical.size() - 1, all_cells, base));
     }
   }
 

@@ -21,9 +21,12 @@
 // neighbour throughout (init3 exempt, as §3.2 counts it).
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "local/recovery_meta.h"
 #include "local/scheme1d.h"
 #include "rev/circuit.h"
 
@@ -35,6 +38,18 @@ struct Machine1dProgram {
   /// slot_of_logical[i] = final block slot of logical bit i; its data
   /// cells are 9*slot + {0, 3, 6}.
   std::vector<std::uint32_t> slot_of_logical;
+  /// Final data cells of each logical bit (== 9*slot + {0,3,6}; kept
+  /// explicit so 1D and 2D programs decode uniformly).
+  std::vector<std::array<std::uint32_t, 3>> data_cells;
+  /// Rail metadata: every block-recovery stage (and block init) the
+  /// program contains, in op order, with the cells it leaves zero — a
+  /// checked machine turns each into a checkpoint + zero check, and
+  /// because the compiler records them while chaining cycles, the
+  /// checks compose across any program length.
+  std::vector<RecoveryBoundary> recovery_boundaries;
+  /// [first, last] op ranges of block-transposition routing — all
+  /// SWAP3/SWAP, i.e. self-checking for free under a parity rail.
+  std::vector<std::pair<std::size_t, std::size_t>> routing_spans;
   // Cost accounting.
   std::uint64_t block_transpositions = 0;  ///< block-level moves
   std::uint64_t routing_cell_swaps = 0;    ///< 81 per transposition

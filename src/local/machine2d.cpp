@@ -39,7 +39,14 @@ class Compiler {
     }
   }
 
-  void finish() { program_.slot_of_logical = slot_of_; }
+  void finish() {
+    program_.slot_of_logical = slot_of_;
+    program_.data_cells.reserve(bits_);
+    for (std::uint32_t i = 0; i < bits_; ++i) {
+      const std::uint32_t s = slot_of_[i];
+      program_.data_cells.push_back({cell(s, 0, 0), cell(s, 0, 1), cell(s, 0, 2)});
+    }
+  }
 
  private:
   /// Block-local bit (r, c) of the block in slot s -> global bit.
@@ -58,6 +65,7 @@ class Compiler {
       target[3 + i] = i;
     }
     const auto swaps = route_line(window, target);
+    const std::size_t span_first = program_.physical.size();
     for (std::uint32_t c = 0; c < Machine2d::kCols; ++c) {
       std::vector<SwapOp> absolute;
       absolute.reserve(swaps.size());
@@ -66,6 +74,7 @@ class Compiler {
       program_.routing_cell_swaps += absolute.size();
       for (const Gate& g : pack_swap3(absolute)) program_.physical.push(g);
     }
+    program_.routing_spans.push_back({span_first, program_.physical.size() - 1});
     ++program_.block_transpositions;
     std::swap(logical_at_[s], logical_at_[s + 1]);
     slot_of_[logical_at_[s]] = s;
@@ -83,7 +92,11 @@ class Compiler {
     // The §3.1 cycle operates on three stacked blocks with row-
     // oriented data and leaves each block column-oriented.
     const Cycle2d cycle = make_cycle_2d(g.kind, with_init_);
+    const std::size_t op_offset = program_.physical.size();
     program_.physical.append_shifted(cycle.circuit, 9 * slot_of_[p]);
+    for (const RecoveryBoundary& boundary : cycle.recovery_boundaries)
+      program_.recovery_boundaries.push_back(
+          boundary.shifted(op_offset, 9 * slot_of_[p]));
     ++program_.gate_cycles;
     program_.recovery_stages += 3;
 
@@ -91,6 +104,9 @@ class Compiler {
     const Ec2d reorient = make_ec_2d(Orientation2d::kColumn, with_init_);
     for (std::uint32_t l : {p, q, r}) {
       program_.physical.append_shifted(reorient.circuit, 9 * slot_of_[l]);
+      program_.recovery_boundaries.push_back(
+          make_boundary(program_.physical.size() - 1, reorient.clean_after,
+                        9 * slot_of_[l]));
       ++program_.recovery_stages;
     }
   }
@@ -103,7 +119,11 @@ class Compiler {
     const Ec2d row_stage = make_ec_2d(Orientation2d::kRow, with_init_);
     const Ec2d col_stage = make_ec_2d(Orientation2d::kColumn, with_init_);
     program_.physical.append_shifted(row_stage.circuit, 9 * s);
+    program_.recovery_boundaries.push_back(make_boundary(
+        program_.physical.size() - 1, row_stage.clean_after, 9 * s));
     program_.physical.append_shifted(col_stage.circuit, 9 * s);
+    program_.recovery_boundaries.push_back(make_boundary(
+        program_.physical.size() - 1, col_stage.clean_after, 9 * s));
     program_.recovery_stages += 2;
   }
 
@@ -113,6 +133,10 @@ class Compiler {
       // Reset the block row by row (rows are local triples).
       for (std::uint32_t r = 0; r < 3; ++r)
         program_.physical.init3(cell(s, r, 0), cell(s, r, 1), cell(s, r, 2));
+      // A freshly initialized block is all-zero — a boundary too.
+      const std::uint32_t all_cells[9] = {0, 1, 2, 3, 4, 5, 6, 7, 8};
+      program_.recovery_boundaries.push_back(
+          make_boundary(program_.physical.size() - 1, all_cells, 9 * s));
     }
   }
 

@@ -18,9 +18,12 @@
 // its cost is reported separately.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "local/recovery_meta.h"
 #include "rev/circuit.h"
 
 namespace revft {
@@ -28,6 +31,16 @@ namespace revft {
 struct Machine2dProgram {
   Circuit physical;  ///< width 9B on a 3B x 3 grid, fully local
   std::vector<std::uint32_t> slot_of_logical;
+  /// Final data cells of each logical bit. The compiler restores row
+  /// orientation after every cycle, so these are the block's top row
+  /// (9*slot + {0,1,2}) — the orientation tracking that makes chained
+  /// cycles and checked decoding compose.
+  std::vector<std::array<std::uint32_t, 3>> data_cells;
+  /// Rail metadata (see Machine1dProgram): recovery/init boundaries in
+  /// op order, with the cells each leaves zero fault-free.
+  std::vector<RecoveryBoundary> recovery_boundaries;
+  /// [first, last] op ranges of block-transposition routing.
+  std::vector<std::pair<std::size_t, std::size_t>> routing_spans;
   std::uint64_t block_transpositions = 0;
   std::uint64_t routing_cell_swaps = 0;  ///< 27 per transposition
   std::uint64_t gate_cycles = 0;

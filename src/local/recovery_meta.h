@@ -1,0 +1,57 @@
+// revft/local/recovery_meta.h
+//
+// Rail metadata shared by the §3 local schemes and the block machines:
+// a *recovery boundary* marks the last op of a block-recovery stage
+// (or a block initialization) together with the cells the construction
+// guarantees are zero there in a fault-free run — after a recovery the
+// six ancillas of the block hold syndromes, which vanish exactly when
+// the incoming codeword was uniform. The checked-machine layer
+// (local/checked_machine.h) turns every boundary into a parity-rail
+// checkpoint plus a detect::ZeroCheck, which is what closes the
+// even-weight detection escapes of the routing fabric: a cross-
+// codeword swap fault is invisible to a single global rail but always
+// leaves a non-uniform codeword, and therefore a nonzero syndrome, at
+// the next boundary.
+//
+// Boundaries compose across chained cycles by plain offsetting:
+// `shifted` relocates one into a larger program (op offset for the
+// appended position, cell offset for the block's base cell).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace revft {
+
+struct RecoveryBoundary {
+  /// Index of the stage's last op, relative to the circuit the
+  /// boundary was recorded against.
+  std::size_t op_index = 0;
+  /// Cells that are zero here in a fault-free run.
+  std::vector<std::uint32_t> clean_cells;
+
+  RecoveryBoundary shifted(std::size_t op_offset,
+                           std::uint32_t cell_offset) const {
+    RecoveryBoundary out;
+    out.op_index = op_index + op_offset;
+    out.clean_cells.reserve(clean_cells.size());
+    for (const std::uint32_t c : clean_cells)
+      out.clean_cells.push_back(c + cell_offset);
+    return out;
+  }
+};
+
+/// Build a boundary at `op_index` from block-relative clean cells
+/// shifted onto the block's base cell — the one idiom every scheme
+/// and machine compiler uses to record a stage's end.
+template <typename Cells>
+RecoveryBoundary make_boundary(std::size_t op_index, const Cells& cells,
+                               std::uint32_t cell_offset) {
+  RecoveryBoundary out;
+  out.op_index = op_index;
+  for (const std::uint32_t c : cells) out.clean_cells.push_back(c + cell_offset);
+  return out;
+}
+
+}  // namespace revft

@@ -147,11 +147,15 @@ Cycle1d make_cycle_1d(GateKind gate, bool with_init, bool pack_swaps) {
   std::reverse(reversed.begin(), reversed.end());
   emit_swaps(reversed);
 
-  // One recovery stage per block.
+  // One recovery stage per block, each ending at a recovery boundary
+  // (its block's ancillas hold all-zero syndromes there fault-free).
   const Ec1d ec = make_ec_1d(with_init);
   cycle.ec_ops_per_block = ec.circuit.size();
-  for (std::uint32_t b = 0; b < 3; ++b)
+  for (std::uint32_t b = 0; b < 3; ++b) {
     cycle.circuit.append_shifted(ec.circuit, 9 * b);
+    cycle.recovery_boundaries.push_back(
+        make_boundary(cycle.circuit.size() - 1, ec.clean_after, 9 * b));
+  }
 
   for (std::uint32_t b = 0; b < 3; ++b)
     cycle.data[b] = {9 * b + 0, 9 * b + 3, 9 * b + 6};

@@ -22,6 +22,7 @@
 #include <array>
 #include <cstdint>
 
+#include "local/recovery_meta.h"
 #include "local/router.h"
 #include "rev/circuit.h"
 
@@ -32,6 +33,12 @@ struct Ec1d {
   Circuit circuit;  ///< width 9, nearest-neighbour (init exempt)
   std::array<std::uint32_t, 3> data_before{{0, 3, 6}};
   std::array<std::uint32_t, 3> data_after{{0, 3, 6}};
+  /// Ancilla cells, zero after the stage in a fault-free run: the
+  /// final decoders leave the syndrome of each majority block there,
+  /// which vanishes when the incoming codeword was uniform. This is
+  /// the rail metadata a checked machine turns into a recovery-
+  /// boundary checkpoint (local/recovery_meta.h).
+  std::array<std::uint32_t, 6> clean_after{{1, 2, 4, 5, 7, 8}};
   std::uint64_t raw_swaps = 0;   ///< adjacent SWAPs before packing (9)
   std::uint64_t swap3_ops = 0;   ///< packed SWAP3 count (4)
   std::uint64_t swap_ops = 0;    ///< residual SWAP count (1)
@@ -62,6 +69,9 @@ struct Cycle1d {
   /// Data cells of logical bit b, before == after (self-similar).
   std::array<std::array<std::uint32_t, 3>, 3> data{};
   Interleave1d interleave;  ///< schedule stats (45 / 24,6,24)
+  /// One boundary per trailing recovery stage (cycle-relative ops and
+  /// cells) — the checkpoints a checked run evaluates.
+  std::vector<RecoveryBoundary> recovery_boundaries;
   std::uint64_t ec_ops_per_block = 0;  ///< 13 or 11
 };
 

@@ -48,6 +48,15 @@ Ec2d make_ec_2d(Orientation2d orientation, bool with_init) {
   ec.data_after = {data_cell(0), par1_cell(0), par2_cell(0)};
   ec.after = orientation == Orientation2d::kRow ? Orientation2d::kColumn
                                                 : Orientation2d::kRow;
+  // Everything but the output line holds decoder syndromes — zero in a
+  // fault-free run.
+  std::size_t k = 0;
+  for (std::uint32_t cell = 0; cell < 9; ++cell) {
+    if (cell == ec.data_after[0] || cell == ec.data_after[1] ||
+        cell == ec.data_after[2])
+      continue;
+    ec.clean_after[k++] = cell;
+  }
   return ec;
 }
 
@@ -94,11 +103,15 @@ Cycle2d make_cycle_2d(GateKind gate, bool with_init) {
     cycle.circuit.swap3(grid_bit(4, c, kCols), grid_bit(5, c, kCols),
                         grid_bit(6, c, kCols));
 
-  // Zero-swap recovery per block (row-oriented data).
+  // Zero-swap recovery per block (row-oriented data), each ending at a
+  // recovery boundary (clean ancillas, fault-free).
   const Ec2d ec = make_ec_2d(Orientation2d::kRow, with_init);
   cycle.ec_ops_per_block = ec.circuit.size();
-  for (std::uint32_t b = 0; b < 3; ++b)
+  for (std::uint32_t b = 0; b < 3; ++b) {
     cycle.circuit.append_shifted(ec.circuit, 9 * b);
+    cycle.recovery_boundaries.push_back(
+        make_boundary(cycle.circuit.size() - 1, ec.clean_after, 9 * b));
+  }
 
   for (std::uint32_t b = 0; b < 3; ++b)
     for (std::uint32_t j = 0; j < 3; ++j)

@@ -19,6 +19,7 @@
 #include <array>
 #include <cstdint>
 
+#include "local/recovery_meta.h"
 #include "rev/circuit.h"
 
 namespace revft {
@@ -36,6 +37,12 @@ struct Ec2d {
   Orientation2d after;
   std::array<std::uint32_t, 3> data_before{};
   std::array<std::uint32_t, 3> data_after{};
+  /// The six non-data cells after the stage — zero in a fault-free run
+  /// (decoder syndromes), i.e. the block's recovery-boundary rail
+  /// metadata (local/recovery_meta.h). Tracks the orientation
+  /// rotation: a kRow stage leaves {1,2,4,5,7,8} clean, a kColumn
+  /// stage {3,4,5,6,7,8}.
+  std::array<std::uint32_t, 6> clean_after{};
 };
 
 /// Build the zero-swap recovery for a block whose data lies along
@@ -54,6 +61,8 @@ struct Cycle2d {
   static constexpr std::uint32_t kCols = 3;
   std::array<std::array<std::uint32_t, 3>, 3> data_before{};
   std::array<std::array<std::uint32_t, 3>, 3> data_after{};
+  /// One boundary per trailing recovery stage (cycle-relative).
+  std::vector<RecoveryBoundary> recovery_boundaries;
   std::uint64_t interleave_swap3 = 0;  ///< 6 (12 raw SWAPs, §3.1)
   std::uint64_t ec_ops_per_block = 0;  ///< 8 or 6
 };

@@ -37,8 +37,18 @@ StateVector apply_with_faults(const Circuit& circuit, StateVector input,
   return input;
 }
 
+FaultSites count_fault_sites(const Circuit& circuit) {
+  FaultSites sites;
+  for (const Gate& g : circuit.ops()) {
+    ++sites.sites;
+    sites.scenarios += 1ull << g.arity();
+  }
+  return sites;
+}
+
 std::vector<FaultSpec> enumerate_single_faults(const Circuit& circuit) {
   std::vector<FaultSpec> out;
+  out.reserve(count_fault_sites(circuit).scenarios);
   for (std::size_t i = 0; i < circuit.size(); ++i) {
     const unsigned values = 1u << circuit.op(i).arity();
     for (unsigned v = 0; v < values; ++v) out.push_back({i, v});

@@ -33,8 +33,21 @@ struct FaultSpec {
 StateVector apply_with_faults(const Circuit& circuit, StateVector input,
                               const std::vector<FaultSpec>& faults);
 
+/// Single-fault-site accounting, the one definition shared by the
+/// enumerators below and the detection census (detect/checker.h):
+/// `sites` is the number of fallible ops and `scenarios` the
+/// input-independent scenario count Σ over ops of 2^arity. Keeping
+/// both derived from the same walk is what lets exhaustive proofs
+/// assert they covered everything — see test_local_checked's
+/// accounting test.
+struct FaultSites {
+  std::uint64_t sites = 0;
+  std::uint64_t scenarios = 0;
+};
+FaultSites count_fault_sites(const Circuit& circuit);
+
 /// All single-fault scenarios of a circuit: for every op, every
-/// possible corrupted output value. Size = sum over ops of 2^arity.
+/// possible corrupted output value. Size = count_fault_sites().scenarios.
 std::vector<FaultSpec> enumerate_single_faults(const Circuit& circuit);
 
 /// Single-fault scenarios pruned for one concrete input: a fault-free

@@ -205,6 +205,47 @@ TEST(DetectRail, OddWeightFaultsOnParityPreservingOpsAlwaysDetected) {
   }
 }
 
+// known_zero elision narrows the rail's guarantee to states reachable
+// from the promise: a fault that dirties a promised-zero cell can have
+// its invariant flip cancelled by a later elided compensation that
+// reads the dirty cell — detection is then strictly WEAKER than the
+// plain rail's, which is why elision must be paired with zero checks
+// covering the promised cells (the checked machines do both; the
+// census arbitrates). This pins the counterexample so the contract
+// stays documented.
+TEST(DetectRail, KnownZeroElisionNeedsCoveringZeroChecks) {
+  Circuit c(3);
+  c.swap(1, 2).cnot(1, 0);
+  const StateVector input(3, 1);  // data bit 0 = 1; cells 1, 2 clean
+  // The single fault: the swap dirties cell 1 (odd-weight corruption).
+  const auto dirty_swap = [](const detect::CheckedCircuit& checked) {
+    return std::vector<FaultSpec>{{checked.source_position[0], 1u}};
+  };
+
+  // Plain rail: caught at the final checkpoint.
+  const auto plain = detect::to_parity_rail(c);
+  EXPECT_TRUE(
+      detect::checked_run_with_faults(plain, input, dirty_swap(plain))
+          .detected);
+
+  // Elision without zero checks: the cnot's elided compensation
+  // cancels the flip — silent, and bit 0 ends corrupted.
+  detect::ParityRailOptions opts;
+  opts.known_zero = {1, 2};
+  const auto elided = detect::to_parity_rail(c, opts);
+  const auto elided_run =
+      detect::checked_run_with_faults(elided, input, dirty_swap(elided));
+  EXPECT_FALSE(elided_run.detected);
+  EXPECT_EQ(elided_run.state.bit(0), 0);
+
+  // A zero check covering the promised cells closes the hole.
+  opts.zero_checks = {{0, {1, 2}}};
+  const auto guarded = detect::to_parity_rail(c, opts);
+  EXPECT_TRUE(
+      detect::checked_run_with_faults(guarded, input, dirty_swap(guarded))
+          .detected);
+}
+
 // --- skip_benign -----------------------------------------------------
 
 TEST(DetectInjection, SkipBenignPrunesExactlyOnePerOp) {

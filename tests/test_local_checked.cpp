@@ -1,0 +1,343 @@
+// Tests for the detection-aware local machines (local/checked_machine):
+// the exhaustive single-fault detection census proving the checked 1D
+// and 2D single-cycle programs fault-secure (silent_harmful == 0, the
+// local-machine analogue of the checked-MAJ-cycle proof), the
+// routing-is-parity-preserving property over every logical gate kind,
+// fault-site accounting shared between the enumerator and the census,
+// and the checked engine's thread-count determinism on 1D/2D
+// workloads.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "code/repetition.h"
+#include "detect/checker.h"
+#include "detect/parity.h"
+#include "ft/detect_experiment.h"
+#include "ft/experiments.h"
+#include "local/checked_machine.h"
+#include "local/scheme1d.h"
+#include "local/scheme2d.h"
+#include "noise/injection.h"
+#include "rev/simulator.h"
+#include "support/error.h"
+
+namespace revft {
+namespace {
+
+constexpr GateKind kAllKinds[] = {
+    GateKind::kNot,     GateKind::kCnot,    GateKind::kSwap,
+    GateKind::kToffoli, GateKind::kFredkin, GateKind::kSwap3,
+    GateKind::kMaj,     GateKind::kMajInv,  GateKind::kInit3,
+    GateKind::kF2g,     GateKind::kNft};
+
+static_assert(static_cast<int>(std::size(kAllKinds)) == kNumGateKinds,
+              "test table must cover every kind");
+
+// The census itself is the one shared definition in
+// ft/detect_experiment (machine_detection_census), so this ctest gate
+// and bench_local_checked's printed table cannot drift apart.
+
+// --- fault-free behaviour --------------------------------------------
+
+// The checked program computes the logical function and never raises a
+// false alarm: every rail checkpoint and every recovery-boundary zero
+// check passes on every input when nothing fails.
+template <typename Machine>
+void expect_clean_and_correct(const Machine& machine, const Circuit& logical) {
+  const auto program = machine.compile(logical);
+  EXPECT_GT(program.stats.checkpoints, 0u);
+  EXPECT_GT(program.stats.zero_checks, 0u);
+  for (unsigned input = 0; input < (1u << logical.width()); ++input) {
+    StateVector sv(program.checked.data_width);
+    for (std::uint32_t i = 0; i < logical.width(); ++i)
+      for (const auto bit : program.input_cells[i])
+        sv.set_bit(bit, static_cast<std::uint8_t>((input >> i) & 1u));
+    const auto run = detect::checked_run(program.checked, sv);
+    EXPECT_FALSE(run.detected) << "false alarm on input " << input;
+    const unsigned expected = static_cast<unsigned>(simulate(logical, input));
+    for (std::uint32_t i = 0; i < logical.width(); ++i) {
+      const auto& cw = program.output_cells[i];
+      EXPECT_EQ(majority3(run.state.bit(cw[0]), run.state.bit(cw[1]),
+                          run.state.bit(cw[2])),
+                static_cast<int>((expected >> i) & 1u))
+          << "input " << input << " logical bit " << i;
+    }
+  }
+}
+
+TEST(CheckedMachine, FaultFreeRunsAreCleanAndCorrect1d) {
+  Circuit logical(3);
+  logical.toffoli(2, 1, 0);  // routed
+  expect_clean_and_correct(CheckedMachine1d(3), logical);
+}
+
+TEST(CheckedMachine, FaultFreeRunsAreCleanAndCorrect2d) {
+  Circuit logical(4);
+  logical.maj(3, 0, 2).not_(1).fredkin(0, 1, 3);
+  expect_clean_and_correct(CheckedMachine2d(4), logical);
+}
+
+// --- the acceptance proof: single-fault census, 1D and 2D ------------
+
+// Every non-benign single fault of the checked single-cycle programs —
+// routing, interleave, transversal gate, recovery, rail compensation
+// and encoder gates included — is detected or harmless. This is the
+// machine-level analogue of the PR 2 MAJ-cycle fault-security proof,
+// and it is exactly the property a lone parity rail cannot deliver in
+// 1D (see RailAloneIsNotEnoughIn1d below).
+TEST(CheckedMachineCensus, SingleCycle1dIsFaultSecure) {
+  for (const bool routed : {false, true}) {
+    Circuit logical(3);
+    if (routed)
+      logical.toffoli(2, 1, 0);
+    else
+      logical.toffoli(0, 1, 2);
+    const CheckedMachine1d machine(3);
+    const auto program = machine.compile(logical);
+    const auto census = machine_detection_census(program, logical);
+    EXPECT_GT(census.scenarios, 4000u) << "routed=" << routed;
+    EXPECT_GT(census.detected(), 0u) << "routed=" << routed;
+    EXPECT_GT(census.detected_harmful, 0u)
+        << "1D has fatal interleave faults; they must all be caught";
+    EXPECT_EQ(census.silent_harmful, 0u) << "routed=" << routed;
+    EXPECT_TRUE(census.fault_secure()) << "routed=" << routed;
+  }
+}
+
+TEST(CheckedMachineCensus, SingleCycle2dIsFaultSecure) {
+  for (const bool routed : {false, true}) {
+    Circuit logical(3);
+    if (routed)
+      logical.toffoli(2, 1, 0);
+    else
+      logical.toffoli(0, 1, 2);
+    const CheckedMachine2d machine(3);
+    const auto program = machine.compile(logical);
+    const auto census = machine_detection_census(program, logical);
+    EXPECT_GT(census.scenarios, 4000u) << "routed=" << routed;
+    EXPECT_GT(census.detected(), 0u) << "routed=" << routed;
+    EXPECT_EQ(census.silent_harmful, 0u) << "routed=" << routed;
+    EXPECT_TRUE(census.fault_secure()) << "routed=" << routed;
+  }
+}
+
+// Logical NOT and initialization emit their own recovery/init
+// boundaries; they must be fault-secure too.
+TEST(CheckedMachineCensus, NotAndInitProgramsAreFaultSecure) {
+  Circuit logical(3);
+  logical.not_(1).init3(0, 1, 2).not_(0);
+  for (const auto census :
+       {machine_detection_census(CheckedMachine1d(3).compile(logical), logical),
+        machine_detection_census(CheckedMachine2d(3).compile(logical), logical)}) {
+    EXPECT_GT(census.detected(), 0u);
+    EXPECT_EQ(census.silent_harmful, 0u);
+  }
+}
+
+// Negative control — the finding that motivates the zero checks: with
+// the recovery-boundary zero checks disabled, the checked 1D machine
+// is NOT fault-secure. An even-weight fault on an interleave SWAP3
+// damages one bit of two different codewords: the global rail parity
+// is unchanged, yet the transversal gate propagates both control
+// damages onto a single target codeword, which then majority-decodes
+// wrong. The recovery-boundary syndromes (nonzero because both control
+// codewords arrive non-uniform) are what close this hole.
+TEST(CheckedMachineCensus, RailAloneIsNotEnoughIn1d) {
+  Circuit logical(3);
+  logical.toffoli(0, 1, 2);
+  CheckedMachineOptions opts;
+  opts.zero_checks = false;
+  opts.check_every = 1;  // even per-op rail checkpoints cannot help
+  const CheckedMachine1d machine(3, /*with_init=*/true, opts);
+  const auto census = machine_detection_census(machine.compile(logical), logical);
+  EXPECT_GT(census.silent_harmful, 0u)
+      << "if this starts passing, the rail alone became sufficient and "
+         "the zero-check machinery deserves a second look";
+  EXPECT_FALSE(census.fault_secure());
+}
+
+// --- routing is parity-preserving for every gate kind ----------------
+
+// Machine2d::compile of a one-gate logical circuit (operands reversed
+// to force routing) produces routing segments that are 100%
+// parity-preserving — the structural fact that makes the routing
+// fabric self-checking for free. Guards against any future routing
+// primitive that silently breaks free checking. 2-bit kinds are not
+// §3-compilable and must be rejected instead.
+void expect_routing_parity_preserving(
+    const Circuit& physical,
+    const std::vector<std::pair<std::size_t, std::size_t>>& spans,
+    std::uint64_t routing_cell_swaps, GateKind kind, bool expect_routing) {
+  if (expect_routing) {
+    EXPECT_FALSE(spans.empty()) << gate_name(kind);
+  }
+  // Every routing op must conserve parity, and the spans must account
+  // for the raw cell-swap count exactly (a SWAP3 packs two adjacent
+  // swaps) — no routing primitive escapes the free-checking claim.
+  std::uint64_t raw = 0;
+  for (const auto& [first, last] : spans) {
+    ASSERT_LE(first, last) << gate_name(kind);
+    ASSERT_LT(last, physical.size()) << gate_name(kind);
+    for (std::size_t i = first; i <= last; ++i) {
+      EXPECT_TRUE(detect::parity_preserving(physical.op(i).kind))
+          << gate_name(kind) << " routing op " << i << " is "
+          << gate_name(physical.op(i).kind);
+      raw += physical.op(i).kind == GateKind::kSwap3 ? 2 : 1;
+    }
+  }
+  EXPECT_EQ(raw, routing_cell_swaps) << gate_name(kind);
+}
+
+TEST(CheckedMachineProperty, RoutingSegmentsParityPreservingForAllKinds) {
+  for (const GateKind kind : kAllKinds) {
+    const int arity = gate_arity(kind);
+    Circuit logical(4);
+    Gate g{kind, {0, 0, 0}};
+    // Reversed / scattered operands so 3-bit gates must route.
+    if (arity == 1)
+      g.bits = {3, 0, 0};
+    else if (arity == 2)
+      g.bits = {3, 0, 0};
+    else
+      g.bits = {3, 1, 0};
+    logical.push(g);
+    if (arity == 2) {
+      // 2-bit logical gates are not in the §3 constructions.
+      EXPECT_THROW(Machine2d(4).compile(logical), Error) << gate_name(kind);
+      EXPECT_THROW(Machine1d(4).compile(logical), Error) << gate_name(kind);
+      continue;
+    }
+    // NOT is transversal and init resets in place — only 3-bit
+    // reversible gates route.
+    const bool routes = arity == 3 && gate_is_reversible(kind);
+    const auto p2 = Machine2d(4).compile(logical);
+    expect_routing_parity_preserving(p2.physical, p2.routing_spans,
+                                     p2.routing_cell_swaps, kind, routes);
+    const auto p1 = Machine1d(4).compile(logical);
+    expect_routing_parity_preserving(p1.physical, p1.routing_spans,
+                                     p1.routing_cell_swaps, kind, routes);
+  }
+}
+
+// The machine stats agree with the predicate: free + compensated =
+// total, and every routing op is counted free.
+TEST(CheckedMachineProperty, StatsPartitionOps) {
+  Circuit logical(5);
+  logical.maj(4, 2, 0).toffoli(0, 3, 4).swap3(1, 2, 3);
+  for (const auto& program : {CheckedMachine1d(5).compile(logical),
+                              CheckedMachine2d(5).compile(logical)}) {
+    EXPECT_EQ(program.stats.free_ops + program.stats.compensated_ops,
+              program.stats.total_ops);
+    EXPECT_GT(program.stats.routing_ops, 0u);
+    EXPECT_LE(program.stats.routing_ops, program.stats.free_ops);
+    EXPECT_GT(program.stats.free_fraction(), 0.5)
+        << "routing-dominated programs are mostly self-checking";
+    EXPECT_EQ(program.stats.rail_ops, program.checked.rail_ops);
+  }
+}
+
+// --- fault-site accounting -------------------------------------------
+
+// The enumerator and the census must agree on fault-site counts for
+// the width-27+ machine circuits: sites == fallible gate count,
+// scenarios == Σ 2^arity (the per-gate width contribution), and the
+// census partition must tile scenarios exactly. One shared definition
+// (noise/injection's count_fault_sites) backs all three.
+TEST(CheckedMachineAccounting, CensusAndEnumeratorAgreeOnFaultSites) {
+  Circuit logical(3);
+  logical.toffoli(2, 1, 0);
+  for (const auto& program : {CheckedMachine1d(3).compile(logical),
+                              CheckedMachine2d(3).compile(logical)}) {
+    const Circuit& c = program.checked.circuit;
+    ASSERT_GE(c.width(), 27u);
+
+    const FaultSites sites = count_fault_sites(c);
+    EXPECT_EQ(sites.sites, c.size());
+    EXPECT_EQ(enumerate_single_faults(c).size(), sites.scenarios);
+
+    // Per input: skip_benign prunes exactly one (the correct value)
+    // per op.
+    StateVector input(c.width());
+    for (std::uint32_t i = 0; i < 3; ++i)
+      for (const auto bit : program.input_cells[i]) input.set_bit(bit, 1);
+    EXPECT_EQ(enumerate_single_faults(c, input, /*skip_benign=*/false).size(),
+              sites.scenarios);
+    EXPECT_EQ(enumerate_single_faults(c, input, /*skip_benign=*/true).size(),
+              sites.scenarios - sites.sites);
+
+    // The census over all 8 logical inputs covers every scenario:
+    // simulated + benign == 8 * Σ 2^arity, and the outcome classes
+    // tile the simulated count.
+    const auto census = machine_detection_census(program, logical);
+    EXPECT_EQ(census.fault_sites, sites.sites);
+    EXPECT_EQ(census.scenarios + census.benign_skipped, 8 * sites.scenarios);
+    EXPECT_EQ(census.benign_skipped, 8 * sites.sites);
+    EXPECT_EQ(census.harmless + census.detected_harmless +
+                  census.detected_harmful + census.silent_harmful,
+              census.scenarios);
+  }
+}
+
+// --- thread-count determinism ----------------------------------------
+
+// Checked 1D/2D cycle experiments produce byte-identical
+// DetectionEstimate fields for 1, 3 and 8 worker threads (the
+// REVFT_THREADS regression of the checked engine on local workloads).
+TEST(CheckedMachineDeterminism, CycleExperimentsBitIdenticalAcrossThreads) {
+  const Cycle1d c1 = make_cycle_1d(GateKind::kToffoli, true);
+  const Cycle2d c2 = make_cycle_2d(GateKind::kToffoli, true);
+  CodewordCycleExperiment::Config config;
+  config.trials = 30000;
+  const CodewordCycleExperiment exp1d(c1.circuit, c1.data, c1.data, config,
+                                      c1.recovery_boundaries);
+  const CodewordCycleExperiment exp2d(c2.circuit, c2.data_before,
+                                      c2.data_after, config,
+                                      c2.recovery_boundaries);
+  for (const auto* exp : {&exp1d, &exp2d}) {
+    const auto t1 = exp->run_checked(0.01, 1);
+    const auto t3 = exp->run_checked(0.01, 3);
+    const auto t8 = exp->run_checked(0.01, 8);
+    EXPECT_EQ(t1, t3);
+    EXPECT_EQ(t1, t8);
+    EXPECT_EQ(t1.trials, config.trials);
+    EXPECT_GT(t1.detected, 0u);
+  }
+}
+
+TEST(CheckedMachineDeterminism, MachineExperimentBitIdenticalAcrossThreads) {
+  Circuit logical(4);
+  logical.toffoli(3, 1, 0).maj(0, 2, 3);
+  CheckedMachineExperiment::Config config;
+  config.trials = 20000;
+  const CheckedMachineExperiment exp(CheckedMachine1d(4).compile(logical),
+                                     logical, config);
+  const auto t1 = exp.run(0.005, 1);
+  const auto t3 = exp.run(0.005, 3);
+  const auto t8 = exp.run(0.005, 8);
+  EXPECT_EQ(t1, t3);
+  EXPECT_EQ(t1, t8);
+  // Sanity: at g = 0 nothing fires.
+  const auto clean = exp.run(0.0, 2);
+  EXPECT_EQ(clean.detected, 0u);
+  EXPECT_EQ(clean.silent_failures, 0u);
+}
+
+// The checked engine's detection behaviour on local machines: under
+// noise the recovery-boundary checks fire on most corrupted trials, so
+// post-selection leaves a far cleaner accepted population.
+TEST(CheckedMachineDeterminism, PostSelectionHelpsOnMachineWorkloads) {
+  Circuit logical(4);
+  logical.toffoli(3, 1, 0).maj(0, 2, 3);
+  CheckedMachineExperiment::Config config;
+  config.trials = 40000;
+  const CheckedMachineExperiment exp(CheckedMachine1d(4).compile(logical),
+                                     logical, config);
+  const auto est = exp.run(0.01, 0);
+  EXPECT_GT(est.detected, 0u);
+  EXPECT_LT(est.post_selected_error_rate(), est.raw_failure_rate());
+}
+
+}  // namespace
+}  // namespace revft
