@@ -1,5 +1,7 @@
 #include "bench_common.h"
 
+#include <cmath>
+
 #include <cstdio>
 #include <cstdlib>
 
@@ -67,6 +69,9 @@ JsonResultWriter::~JsonResultWriter() { write(); }
 
 namespace {
 std::string number_token(double value) {
+  // JSON has no inf/nan tokens; retry-cost columns are infinite when
+  // every trial aborts, so map non-finite values to null.
+  if (!std::isfinite(value)) return "null";
   char buffer[64];
   std::snprintf(buffer, sizeof buffer, "%.17g", value);
   return buffer;

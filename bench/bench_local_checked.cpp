@@ -16,6 +16,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <string>
 
 #include "bench_common.h"
@@ -59,6 +60,7 @@ void add_stats_row(AsciiTable& table, benchutil::JsonResultWriter& json,
   table.add_row({label, AsciiTable::cell(stats.total_ops),
                  AsciiTable::cell(stats.routing_ops),
                  AsciiTable::fixed(100.0 * stats.free_fraction(), 1) + "%",
+                 AsciiTable::cell(stats.rails),
                  AsciiTable::cell(stats.rail_ops),
                  AsciiTable::fixed(stats.gate_overhead(), 3) + "x",
                  AsciiTable::cell(stats.checkpoints) + " / " +
@@ -66,6 +68,7 @@ void add_stats_row(AsciiTable& table, benchutil::JsonResultWriter& json,
   json.add(label, "total_ops", stats.total_ops);
   json.add(label, "routing_ops", stats.routing_ops);
   json.add(label, "free_fraction", stats.free_fraction());
+  json.add(label, "rails", stats.rails);
   json.add(label, "rail_ops", stats.rail_ops);
   json.add(label, "gate_overhead", stats.gate_overhead());
   json.add(label, "checkpoints", stats.checkpoints);
@@ -79,23 +82,31 @@ void print_free_checking(benchutil::JsonResultWriter& json) {
 
   const Circuit scattered = scattered_workload();
   const Circuit adjacent = adjacent_workload();
+  CheckedMachineOptions global;
+  global.rails = RailGranularity::kGlobal;
 
   AsciiTable table({"machine / workload", "ops", "routing ops", "free",
-                    "rail ops", "gate ovh", "ckpt / zero"});
+                    "rails", "rail ops", "gate ovh", "ckpt / zero"});
   add_stats_row(table, json, "1d_scattered",
                 CheckedMachine1d(10).compile(scattered));
+  add_stats_row(table, json, "1d_scattered_global",
+                CheckedMachine1d(10, true, global).compile(scattered));
   add_stats_row(table, json, "1d_adjacent",
                 CheckedMachine1d(10).compile(adjacent));
   add_stats_row(table, json, "2d_scattered",
                 CheckedMachine2d(10).compile(scattered));
+  add_stats_row(table, json, "2d_scattered_global",
+                CheckedMachine2d(10, true, global).compile(scattered));
   add_stats_row(table, json, "2d_adjacent",
                 CheckedMachine2d(10).compile(adjacent));
   std::printf("%s", table.str().c_str());
   std::printf(
-      "every routing op is SWAP/SWAP3 (parity-preserving) — the 81 cell\n"
-      "swaps per 1D transposition / 27 per 2D are self-checking for free;\n"
-      "only the cycle kernels (MAJ, MAJ⁻¹, transversal gates, init3) pay a\n"
-      "rail-compensation gate each.\n");
+      "every routing op is SWAP/SWAP3 — self-checking for free at ANY rail\n"
+      "granularity, because swaps migrate rail membership with the moving\n"
+      "values instead of compensating; the per-block partition (default,\n"
+      "one rail per 9-cell block) only adds compensation for kernel gates\n"
+      "straddling a gathered triple, so its rail traffic stays within a\n"
+      "few dozen gates of the single global rail.\n");
 }
 
 // --- the census proof ------------------------------------------------
@@ -145,6 +156,55 @@ void print_census(benchutil::JsonResultWriter& json) {
   json.add("census_2d", "fault_secure", census2.fault_secure() ? 1.0 : 0.0);
 }
 
+// --- the ROADMAP comparison: per-block rails vs global+zero-checks ----
+
+void print_partition_comparison(benchutil::JsonResultWriter& json) {
+  benchutil::print_header(
+      "Rail granularity x zero checks: what each detection net catches",
+      "ROADMAP multi-rail item — per-block rails vs the global-rail"
+      "+zero-check design");
+
+  Circuit logical(3);
+  logical.toffoli(0, 1, 2);  // single 1D cycle: the interleave regime
+
+  struct Config {
+    const char* label;
+    RailGranularity rails;
+    bool zero_checks;
+  };
+  const Config configs[] = {
+      {"global_rail_only", RailGranularity::kGlobal, false},
+      {"per_block_rails_only", RailGranularity::kPerBlock, false},
+      {"global_rail_plus_zero", RailGranularity::kGlobal, true},
+      {"per_block_plus_zero", RailGranularity::kPerBlock, true},
+  };
+  AsciiTable table({"configuration", "checked ops", "detected harmful",
+                    "SILENT harmful", "fault-secure"});
+  for (const Config& config : configs) {
+    CheckedMachineOptions opts;
+    opts.rails = config.rails;
+    opts.zero_checks = config.zero_checks;
+    opts.check_every = config.zero_checks ? 0 : 1;  // equal observation density
+    const auto program = CheckedMachine1d(3, true, opts).compile(logical);
+    const auto census = machine_detection_census(program, logical);
+    table.add_row({config.label, AsciiTable::cell(program.checked.circuit.size()),
+                   AsciiTable::cell(census.detected_harmful),
+                   AsciiTable::cell(census.silent_harmful),
+                   census.fault_secure() ? "yes" : "NO"});
+    json.add(config.label, "checked_ops", program.checked.circuit.size());
+    json.add(config.label, "detected_harmful", census.detected_harmful);
+    json.add(config.label, "silent_harmful", census.silent_harmful);
+    json.add(config.label, "fault_secure", census.fault_secure() ? 1.0 : 0.0);
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf(
+      "the global rail alone leaks the cross-codeword interleave faults\n"
+      "(even global weight, odd per block); refining it into per-block\n"
+      "rails closes them at nearly identical checked-op overhead — the\n"
+      "partition buys with geometry what the zero checks buy with the\n"
+      "construction's clean-cell promises, and it localizes the damage.\n");
+}
+
 // --- g sweep: detected vs silent -------------------------------------
 
 void print_g_sweep(benchutil::JsonResultWriter& json) {
@@ -167,34 +227,80 @@ void print_g_sweep(benchutil::JsonResultWriter& json) {
   json.meta("trials", trials);
   json.meta("seed", config.seed);
 
-  AsciiTable table({"g", "1D detect", "1D silent", "1D post-sel", "2D detect",
-                    "2D silent", "2D post-sel"});
+  const std::uint64_t ops1 = exp1d.program().checked.circuit.size();
+  const std::uint64_t ops2 = exp2d.program().checked.circuit.size();
+  AsciiTable table({"g", "1D detect", "1D silent", "1D post-sel",
+                    "1D E[ops/accept]", "2D detect", "2D silent",
+                    "2D post-sel", "2D E[ops/accept]"});
+  std::map<double, detect::DetectionEstimate> sweep1d;  // reused below
   for (const double g : {1e-4, 3e-4, 1e-3, 3e-3, 1e-2}) {
-    const auto e1 = exp1d.run(g);
+    const auto e1 = sweep1d.emplace(g, exp1d.run(g)).first->second;
     const auto e2 = exp2d.run(g);
     table.add_row(
         {AsciiTable::sci(g, 1), AsciiTable::fixed(e1.detected_rate(), 4),
          AsciiTable::sci(e1.silent_rate(), 2),
          AsciiTable::sci(e1.post_selected_error_rate(), 2),
+         AsciiTable::sci(e1.expected_ops_to_accept(ops1), 2),
          AsciiTable::fixed(e2.detected_rate(), 4),
          AsciiTable::sci(e2.silent_rate(), 2),
-         AsciiTable::sci(e2.post_selected_error_rate(), 2)});
+         AsciiTable::sci(e2.post_selected_error_rate(), 2),
+         AsciiTable::sci(e2.expected_ops_to_accept(ops2), 2)});
     char section[32];
     std::snprintf(section, sizeof section, "g_%.0e", g);
     json.add(section, "detected_1d", e1.detected);
     json.add(section, "silent_1d", e1.silent_failures);
     json.add(section, "accepted_1d", e1.accepted());
     json.add(section, "post_selected_1d", e1.post_selected_error_rate());
+    json.add(section, "expected_ops_to_accept_1d", e1.expected_ops_to_accept(ops1));
+    json.add(section, "zero_check_detected_1d", e1.zero_check_detected);
     json.add(section, "detected_2d", e2.detected);
     json.add(section, "silent_2d", e2.silent_failures);
     json.add(section, "accepted_2d", e2.accepted());
     json.add(section, "post_selected_2d", e2.post_selected_error_rate());
+    json.add(section, "expected_ops_to_accept_2d", e2.expected_ops_to_accept(ops2));
+    json.add(section, "zero_check_detected_2d", e2.zero_check_detected);
   }
   std::printf("%s", table.str().c_str());
   std::printf(
       "the recovery-boundary zero checks flag every corrupted codeword,\n"
       "including ones the majority vote would have fixed, so the abort rate\n"
-      "rises quickly with g while the accepted population stays clean.\n");
+      "rises quickly with g while the accepted population stays clean;\n"
+      "E[ops/accept] = checked_ops / acceptance prices those geometric\n"
+      "retries (the post-selection economics column).\n");
+
+  // The retry economics of localization: per-block rails vs the global
+  // rail on the same 1D workload. Whole-program retry costs are nearly
+  // identical (the partition adds a handful of rail ops); the per-rail
+  // counts are what a BLOCK-local retry protocol would act on.
+  CheckedMachineOptions global;
+  global.rails = RailGranularity::kGlobal;
+  const CheckedMachineExperiment exp_global(
+      CheckedMachine1d(10, true, global).compile(logical), logical, config);
+  const std::uint64_t ops_global = exp_global.program().checked.circuit.size();
+  AsciiTable retry({"g", "abort global", "abort per-block", "silent global",
+                    "silent per-block", "E[ops/accept] global",
+                    "E[ops/accept] per-block"});
+  for (const double g : {1e-3, 3e-3, 1e-2}) {
+    const auto eg = exp_global.run(g);
+    const auto& eb = sweep1d.at(g);  // deterministic: same run as above
+    retry.add_row({AsciiTable::sci(g, 1), AsciiTable::fixed(eg.detected_rate(), 4),
+                   AsciiTable::fixed(eb.detected_rate(), 4),
+                   AsciiTable::sci(eg.silent_rate(), 2),
+                   AsciiTable::sci(eb.silent_rate(), 2),
+                   AsciiTable::sci(eg.expected_ops_to_accept(ops_global), 2),
+                   AsciiTable::sci(eb.expected_ops_to_accept(ops1), 2)});
+    char section[40];
+    std::snprintf(section, sizeof section, "retry_g_%.0e", g);
+    json.add(section, "abort_rate_global", eg.detected_rate());
+    json.add(section, "abort_rate_per_block", eb.detected_rate());
+    json.add(section, "silent_global", eg.silent_failures);
+    json.add(section, "silent_per_block", eb.silent_failures);
+    json.add(section, "expected_ops_to_accept_global",
+             eg.expected_ops_to_accept(ops_global));
+    json.add(section, "expected_ops_to_accept_per_block",
+             eb.expected_ops_to_accept(ops1));
+  }
+  std::printf("%s", retry.str().c_str());
 }
 
 // --- determinism across thread counts --------------------------------
@@ -230,6 +336,13 @@ void print_determinism(benchutil::JsonResultWriter& json) {
   json.add("determinism", "threads_bit_identical", identical ? 1.0 : 0.0);
   json.add("determinism", "detected", results[0].detected);
   json.add("determinism", "silent_failures", results[0].silent_failures);
+  // operator== above covers the per-rail counts; record their sum so
+  // the JSON trajectory notices a partition regression too.
+  std::uint64_t rail_sum = 0;
+  for (const auto count : results[0].rail_detected) rail_sum += count;
+  json.add("determinism", "rail_detected_sum", rail_sum);
+  json.add("determinism", "zero_check_detected",
+           results[0].zero_check_detected);
 }
 
 // --- kernel overhead vs the unchecked machine ------------------------
@@ -299,18 +412,27 @@ void print_overhead(benchutil::JsonResultWriter& json) {
   const Machine2dProgram p2 = Machine2d(10).compile(logical);
   const CheckedMachineProgram c1 = CheckedMachine1d(10).compile(logical);
   const CheckedMachineProgram c2 = CheckedMachine2d(10).compile(logical);
+  CheckedMachineOptions global;
+  global.rails = RailGranularity::kGlobal;
+  const CheckedMachineProgram g1 =
+      CheckedMachine1d(10, true, global).compile(logical);
+  const CheckedMachineProgram g2 =
+      CheckedMachine2d(10, true, global).compile(logical);
   std::printf("workload: %zu scattered gates, 10 encoded bits; 1D %zu ops "
-              "-> %zu checked, 2D %zu ops -> %zu checked\n",
+              "-> %zu checked (10 rails), 2D %zu ops -> %zu checked\n",
               logical.size(), p1.physical.size(), c1.checked.circuit.size(),
               p2.physical.size(), c2.checked.circuit.size());
 
   measure_overhead(p1.physical, c1, "1D", json);
   measure_overhead(p2.physical, c2, "2D", json);
+  measure_overhead(p1.physical, g1, "1D-global", json);
+  measure_overhead(p2.physical, g2, "2D-global", json);
   std::printf(
-      "the routing fabric adds no rail gates, so the checked machine's\n"
-      "overhead is the per-cycle compensation (amortized over routing) plus\n"
-      "checkpoint evaluation — far below the generic workload's cost in\n"
-      "bench_detect.\n");
+      "the routing fabric adds no rail gates at either granularity (swaps\n"
+      "migrate membership), and a full partition's checkpoint costs the\n"
+      "same word work as the single rail (the groups tile the cells), so\n"
+      "the default per-block rails ride within the same 1.5x bar as the\n"
+      "global rail.\n");
 }
 
 // --- google-benchmark kernels ---------------------------------------
@@ -360,6 +482,7 @@ int main(int argc, char** argv) {
   benchutil::JsonResultWriter json("local_checked");
   print_free_checking(json);
   print_census(json);
+  print_partition_comparison(json);
   print_g_sweep(json);
   print_determinism(json);
   print_overhead(json);

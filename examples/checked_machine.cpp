@@ -47,16 +47,19 @@ int main(int argc, char** argv) {
     CheckedMachineExperiment::Config config;
     config.trials = trials;
     const CheckedMachineExperiment exp(std::move(program), logical, config);
+    const std::uint64_t checked_ops = exp.program().checked.circuit.size();
 
-    AsciiTable table(
-        {"g", "detected", "silent fail", "accepted", "post-sel error"});
+    AsciiTable table({"g", "detected", "silent fail", "accepted",
+                      "post-sel error", "E[ops/accept]"});
     for (const double g : {1e-4, 1e-3, 3e-3, 1e-2}) {
       const auto est = exp.run(g);
       table.add_row({AsciiTable::sci(g, 1),
                      AsciiTable::fixed(est.detected_rate(), 4),
                      AsciiTable::cell(est.silent_failures),
                      AsciiTable::cell(est.accepted()),
-                     AsciiTable::sci(est.post_selected_error_rate(), 2)});
+                     AsciiTable::sci(est.post_selected_error_rate(), 2),
+                     AsciiTable::sci(est.expected_ops_to_accept(checked_ops),
+                                     2)});
     }
     std::printf("%s\n", table.str().c_str());
   }

@@ -1,17 +1,23 @@
 #include "detect/checked_mc.h"
 
+#include <algorithm>
+
 namespace revft::detect {
 
 std::uint64_t apply_noisy_checked(PackedSimulator& sim, PackedState& state,
-                                  const CheckedCircuit& checked) {
+                                  const CheckedCircuit& checked,
+                                  std::uint64_t* fired_masks) {
   REVFT_CHECK_MSG(checked.circuit.width() == state.width(),
                   "apply_noisy_checked: width mismatch");
+  const std::size_t n_rails = checked.rails.size();
+  if (fired_masks != nullptr)
+    std::fill(fired_masks, fired_masks + n_rails + 1, 0);
   std::uint64_t detected = 0;
   // Run the segments between checks through the simulator's span loop
   // (hot path identical to the unchecked engine), pausing only to OR
-  // the per-lane invariant — or a zero-checked word — into the mask.
-  // Rail checkpoints and zero checks are each sorted by position; merge
-  // the two walks.
+  // the per-lane rail invariants — or a zero-checked word — into the
+  // masks. Rail checkpoints and zero checks are each sorted by
+  // position; merge the two walks.
   std::size_t pos = 0;
   std::size_t ci = 0, zi = 0;
   const std::size_t n_cp = checked.checkpoints.size();
@@ -25,13 +31,21 @@ std::uint64_t apply_noisy_checked(PackedSimulator& sim, PackedState& state,
     sim.apply_noisy_span(state, checked.circuit, pos, stop + 1);
     pos = stop + 1;
     while (zi < n_zc && checked.zero_checks[zi].op_index == stop) {
+      std::uint64_t zero_mask = 0;
       for (const std::uint32_t bit : checked.zero_checks[zi].bits)
-        detected |= state.word(bit);
+        zero_mask |= state.word(bit);
+      detected |= zero_mask;
+      if (fired_masks != nullptr) fired_masks[n_rails] |= zero_mask;
       ++zi;
     }
     while (ci < n_cp && checked.checkpoints[ci] == stop) {
-      detected |= state.parity_word(checked.data_width) ^
-                  state.word(checked.parity_rail);
+      const auto& groups = checked.checkpoint_groups[ci];
+      for (std::size_t r = 0; r < n_rails; ++r) {
+        const std::uint64_t violated = state.parity_word_over(groups[r]) ^
+                                       state.word(checked.rails[r].rail_bit);
+        detected |= violated;
+        if (fired_masks != nullptr) fired_masks[r] |= violated;
+      }
       ++ci;
     }
   }

@@ -2,26 +2,35 @@
 //
 // Online error detection inside the 64-lane packed Monte-Carlo engine.
 // A checked circuit is applied noisily gate by gate; at every recorded
-// checkpoint the parity-rail invariant I = rail ^ XOR(data) is
-// evaluated for all 64 lanes at once — one XOR per data rail plus one
-// OR into the running `detected` bitmask, so detection costs a handful
-// of word ops per checkpoint regardless of trial count.
+// checkpoint every rail invariant I_r = rail_r ^ XOR(group_r) is
+// evaluated for all 64 lanes at once — one XOR per group member plus
+// one OR into the running `detected` bitmask, so a full partition's
+// checkpoint costs the same word work as the classic single rail
+// (the groups tile the data bits), and the per-rail fired masks come
+// out as a byproduct.
 //
-// The detected mask is threaded through the thread-sharded engine
+// The detected masks are threaded through the thread-sharded engine
 // (noise/parallel_mc.h): every trial is classified into one of four
 // outcomes and the per-shard DetectionEstimates merge by exact integer
 // sums, so — exactly like the plain engine — the detected / silent /
-// accepted counts are bit-identical for a fixed seed regardless of
-// REVFT_THREADS.
+// accepted counts AND the per-rail detected counts are bit-identical
+// for a fixed seed regardless of REVFT_THREADS.
 //
 // The headline statistics model an abort-and-retry (post-selection)
 // protocol: trials whose checker fired are discarded, and the quality
 // of the survivors is post_selected_error_rate() = silent_failures /
-// accepted().
+// accepted(). The retry-cost model prices the aborts: with acceptance
+// rate a, a detect-and-retry consumer runs a geometric number of
+// trials (mean 1/a) per accepted result, so detection's true cost is
+// expected_ops_to_accept(ops_per_trial) = ops_per_trial / a — the
+// number detection-vs-correction comparisons should use.
 #pragma once
 
+#include <bit>
 #include <cstdint>
+#include <limits>
 #include <utility>
+#include <vector>
 
 #include "detect/rail.h"
 #include "noise/parallel_mc.h"
@@ -34,6 +43,14 @@ struct DetectionEstimate {
   std::uint64_t detected = 0;           ///< checker fired (trial aborted)
   std::uint64_t detected_failures = 0;  ///< ... and the output was wrong
   std::uint64_t silent_failures = 0;    ///< accepted, but the output was wrong
+  /// Trials in which rail r's invariant fired at some checkpoint, one
+  /// entry per CheckedCircuit rail. A trial can fire several rails (a
+  /// routing fault on a group boundary flips two), so the entries can
+  /// sum past `detected`; under the checked machines' per-block
+  /// partition entry r localizes damage to block r.
+  std::vector<std::uint64_t> rail_detected;
+  /// Trials in which some registered ZeroCheck fired.
+  std::uint64_t zero_check_detected = 0;
 
   std::uint64_t accepted() const noexcept { return trials - detected; }
   std::uint64_t false_alarms() const noexcept {
@@ -62,13 +79,40 @@ struct DetectionEstimate {
     return a ? static_cast<double>(silent_failures) / static_cast<double>(a)
              : 0.0;
   }
+  /// Fraction of trials the post-selection keeps.
+  double acceptance_rate() const noexcept {
+    return trials ? static_cast<double>(accepted()) /
+                        static_cast<double>(trials)
+                  : 0.0;
+  }
+  /// Retry-cost model: a detect-and-retry consumer reruns until a
+  /// trial is accepted, a geometric number of attempts with mean
+  /// 1 / acceptance_rate(). Infinite when every trial aborted.
+  double expected_trials_to_accept() const noexcept {
+    const double a = acceptance_rate();
+    return a > 0.0 ? 1.0 / a : std::numeric_limits<double>::infinity();
+  }
+  /// Expected checked ops spent per ACCEPTED result when each trial
+  /// costs `ops_per_trial` ops — the currency that makes detection
+  /// (cheap pass, pricey aborts) comparable to correction (pricey
+  /// pass, no aborts).
+  double expected_ops_to_accept(std::uint64_t ops_per_trial) const noexcept {
+    return static_cast<double>(ops_per_trial) * expected_trials_to_accept();
+  }
 
-  /// Exact integer merge (shard combination).
-  DetectionEstimate& operator+=(const DetectionEstimate& other) noexcept {
+  /// Exact integer merge (shard combination). Per-rail counts merge
+  /// element-wise; an empty vector (a default-constructed
+  /// accumulator) adopts the other side's shape.
+  DetectionEstimate& operator+=(const DetectionEstimate& other) {
     trials += other.trials;
     detected += other.detected;
     detected_failures += other.detected_failures;
     silent_failures += other.silent_failures;
+    zero_check_detected += other.zero_check_detected;
+    if (rail_detected.size() < other.rail_detected.size())
+      rail_detected.resize(other.rail_detected.size(), 0);
+    for (std::size_t r = 0; r < other.rail_detected.size(); ++r)
+      rail_detected[r] += other.rail_detected[r];
     return *this;
   }
 
@@ -76,13 +120,18 @@ struct DetectionEstimate {
 };
 
 /// Apply checked.circuit noisily and return the per-lane detected
-/// bitmask: bit t set means some checkpoint saw I != 0 in lane t, or
-/// some ZeroCheck saw a nonzero bit there. Embedded check bits, when
-/// present, are folded into the mask at the end. Consumes RNG
-/// identically for a fixed simulator state, so the sharded determinism
-/// contract carries over.
+/// bitmask: bit t set means some checkpoint saw a rail invariant
+/// violated in lane t, or some ZeroCheck saw a nonzero bit there.
+/// Embedded check bits, when present, are folded into the mask at the
+/// end. When `fired_masks` is non-null it must point at
+/// checked.rails.size() + 1 words, which are overwritten with the
+/// per-lane fired mask of each rail ([0, rails.size())) and of the
+/// zero checks (last slot); embedded check-bit detections appear only
+/// in the combined mask. Consumes RNG identically for a fixed
+/// simulator state, so the sharded determinism contract carries over.
 std::uint64_t apply_noisy_checked(PackedSimulator& sim, PackedState& state,
-                                  const CheckedCircuit& checked);
+                                  const CheckedCircuit& checked,
+                                  std::uint64_t* fired_masks = nullptr);
 
 namespace detail {
 
@@ -96,6 +145,8 @@ DetectionEstimate run_checked_mc_span(PackedSimulator& sim, PackedState& state,
                                       std::uint64_t trials, PrepareFn&& prepare,
                                       ClassifyFn&& classify) {
   DetectionEstimate est;
+  est.rail_detected.assign(checked.rails.size(), 0);
+  std::vector<std::uint64_t> fired(checked.rails.size() + 1, 0);
   const std::uint64_t batches = (trials + 63) / 64;
   for (std::uint64_t b = 0; b < batches; ++b) {
     const std::uint64_t batch = first_batch + b;
@@ -104,7 +155,8 @@ DetectionEstimate run_checked_mc_span(PackedSimulator& sim, PackedState& state,
                                                : 64;
     state.clear();
     prepare(state, sim.rng(), batch);
-    const std::uint64_t detected_mask = apply_noisy_checked(sim, state, checked);
+    const std::uint64_t detected_mask =
+        apply_noisy_checked(sim, state, checked, fired.data());
     for (int lane = 0; lane < lanes_this_batch; ++lane) {
       ++est.trials;
       const bool wrong = classify(state, lane, batch);
@@ -114,6 +166,16 @@ DetectionEstimate run_checked_mc_span(PackedSimulator& sim, PackedState& state,
       } else if (wrong) {
         ++est.silent_failures;
       }
+    }
+    if (detected_mask != 0) {
+      const std::uint64_t live = lanes_this_batch == 64
+                                     ? ~0ULL
+                                     : (1ULL << lanes_this_batch) - 1;
+      for (std::size_t r = 0; r < checked.rails.size(); ++r)
+        est.rail_detected[r] += static_cast<std::uint64_t>(
+            std::popcount(fired[r] & live));
+      est.zero_check_detected += static_cast<std::uint64_t>(
+          std::popcount(fired[checked.rails.size()] & live));
     }
   }
   return est;

@@ -1,16 +1,20 @@
 #include "detect/checker.h"
 
-#include "detect/parity.h"
 #include "support/error.h"
 
 namespace revft::detect {
 
 namespace {
 
-/// Parity invariant I at the current state: rail XOR all data bits.
-int invariant(const CheckedCircuit& checked, const StateVector& state) {
-  return total_parity(state, 0, checked.data_width) ^
-         static_cast<int>(state.bit(checked.parity_rail));
+/// Rail r's invariant I_r at the current state: the rail bit XOR the
+/// parity of the data bits the rail covers at this checkpoint
+/// (membership migrates through SWAP/SWAP3 — see rail.h).
+int rail_invariant(const StateVector& state, std::uint32_t rail_bit,
+                   const std::vector<std::uint32_t>& group) {
+  int parity = static_cast<int>(state.bit(rail_bit));
+  for (const std::uint32_t bit : group)
+    parity ^= static_cast<int>(state.bit(bit));
+  return parity;
 }
 
 }  // namespace
@@ -32,7 +36,9 @@ CheckedRunResult checked_run_with_faults(const CheckedCircuit& checked,
     fault_at[f.op_index] = static_cast<int>(i);
   }
 
-  CheckedRunResult result{StateVector(0), false, 0};
+  CheckedRunResult result{StateVector(0), false, 0, {}, 0, false};
+  result.rail_fired.assign(checked.rails.size(), 0);
+  bool any_rail_fired = false;
   std::size_t next_checkpoint = 0;
   std::size_t next_zero_check = 0;
   for (std::size_t i = 0; i < circuit.size(); ++i) {
@@ -52,14 +58,25 @@ CheckedRunResult checked_run_with_faults(const CheckedCircuit& checked,
     while (next_zero_check < checked.zero_checks.size() &&
            checked.zero_checks[next_zero_check].op_index == i) {
       for (const std::uint32_t bit : checked.zero_checks[next_zero_check].bits)
-        if (state.bit(bit) != 0) result.detected = true;
+        if (state.bit(bit) != 0) {
+          result.detected = true;
+          result.zero_check_fired = true;
+        }
       ++next_zero_check;
     }
     while (next_checkpoint < checked.checkpoints.size() &&
            checked.checkpoints[next_checkpoint] == i) {
-      if (invariant(checked, state) != 0 && !result.detected) {
+      const auto& groups = checked.checkpoint_groups[next_checkpoint];
+      for (std::size_t r = 0; r < checked.rails.size(); ++r) {
+        if (rail_invariant(state, checked.rails[r].rail_bit, groups[r]) == 0)
+          continue;
+        if (!any_rail_fired) {
+          result.first_violation = next_checkpoint;
+          result.first_violated_rail = r;
+          any_rail_fired = true;
+        }
+        result.rail_fired[r] = 1;
         result.detected = true;
-        result.first_violation = next_checkpoint;
       }
       ++next_checkpoint;
     }

@@ -39,6 +39,17 @@ struct CheckedRunResult {
   /// Index into CheckedCircuit::checkpoints of the first violated
   /// checkpoint (meaningful only when detected).
   std::size_t first_violation = 0;
+  /// Per-rail alarm flags, sized rails.size(): rail_fired[r] != 0 when
+  /// rail r's invariant I_r was violated at some checkpoint. This is
+  /// the localization payoff of a rail partition — under the checked
+  /// machines' per-block partition the fired rail names the suspect
+  /// block, so a retry can re-run one block instead of the program.
+  std::vector<std::uint8_t> rail_fired;
+  /// Rail index of the first rail violation (meaningful only when some
+  /// rail fired; zero-check-only detections leave it 0).
+  std::size_t first_violated_rail = 0;
+  /// True when some registered ZeroCheck saw a nonzero bit.
+  bool zero_check_fired = false;
 };
 
 /// Run the checked circuit fault-free on a data-width input (rail and
@@ -47,11 +58,12 @@ CheckedRunResult checked_run(const CheckedCircuit& checked,
                              const StateVector& data_input);
 
 /// Same, with deterministic fault injection (op indices refer to
-/// checked.circuit). The parity invariant I = rail ^ XOR(data) is
-/// evaluated at every checkpoint and every registered ZeroCheck's bits
-/// are inspected at its position; embedded check bits are also
-/// inspected at the end when present. first_violation refers to rail
-/// checkpoints only (it stays 0 for a pure zero-check detection).
+/// checked.circuit). Every rail invariant I_r = rail_r ^ XOR(group_r)
+/// is evaluated at every checkpoint (recording which rails fired) and
+/// every registered ZeroCheck's bits are inspected at its position;
+/// embedded check bits are also inspected at the end when present.
+/// first_violation refers to rail checkpoints only (it stays 0 for a
+/// pure zero-check detection).
 CheckedRunResult checked_run_with_faults(const CheckedCircuit& checked,
                                          const StateVector& data_input,
                                          const std::vector<FaultSpec>& faults);

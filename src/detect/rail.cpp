@@ -13,15 +13,28 @@ namespace {
 /// compensation is an "XOR f(controls) into rail" involution, so two
 /// identical ones cancel as long as no intervening op wrote a control
 /// (enforced by flushing on touch) and no checkpoint read the rail in
-/// between (enforced by flushing at checkpoints).
+/// between (enforced by flushing at checkpoints). Emitted gates are
+/// attributed to their rail (the target operand) for the per-rail
+/// accounting.
 class CompensationEmitter {
  public:
-  CompensationEmitter(Circuit& out, std::uint64_t& rail_ops, bool fuse)
-      : out_(out), rail_ops_(rail_ops), fuse_(fuse) {}
+  CompensationEmitter(Circuit& out, std::uint32_t data_width,
+                      std::uint64_t& rail_ops,
+                      std::vector<std::uint64_t>& per_rail_ops, bool fuse)
+      : out_(out),
+        data_width_(data_width),
+        rail_ops_(rail_ops),
+        per_rail_ops_(per_rail_ops),
+        fuse_(fuse) {}
+
+  /// Number of add() calls so far (fusion cancellations included) —
+  /// the transform's "this op needed compensation" signal.
+  std::uint64_t adds() const noexcept { return adds_; }
 
   /// Queue (or directly emit) one compensation gate. `controls` is how
   /// many leading operands are reads; the last operand is the rail.
   void add(const Gate& comp) {
+    ++adds_;
     if (!fuse_) {
       emit(comp);
       return;
@@ -66,11 +79,17 @@ class CompensationEmitter {
   void emit(const Gate& comp) {
     out_.push(comp);
     ++rail_ops_;
+    const std::uint32_t target =
+        comp.bits[static_cast<std::size_t>(comp.arity() - 1)];
+    ++per_rail_ops_[target - data_width_];
   }
 
   Circuit& out_;
+  std::uint32_t data_width_;
   std::uint64_t& rail_ops_;
+  std::vector<std::uint64_t>& per_rail_ops_;
   bool fuse_;
+  std::uint64_t adds_ = 0;
   std::vector<Gate> pending_;
 };
 
@@ -124,6 +143,10 @@ class KnownZero {
 /// *input* values (queued before the gate; flush-on-touch emits it
 /// ahead of the gate itself). Compensations whose delta is provably
 /// zero on the reachable states (per the known-zero flags) are elided.
+/// This is the single-rail casework, used whenever ALL of a gate's
+/// operands belong to one rail's group (always, under the default
+/// partition) — it picks the cheapest reading (pre or post values) per
+/// kind and so pairs with the fuser's MAJ ... MAJ⁻¹ cancellation.
 void pre_compensation(CompensationEmitter& comp, const Gate& g,
                       std::uint32_t rail, const KnownZero& zero) {
   switch (g.kind) {
@@ -176,6 +199,67 @@ void post_compensation(CompensationEmitter& comp, const Gate& g,
   }
 }
 
+/// Exact per-rail compensation for gates whose operands straddle
+/// groups (or touch unwatched bits): the parity delta of the rail's
+/// operand subset, as a Boolean function of the gate's INPUT values,
+/// reduced to its algebraic normal form over the not-known-zero
+/// variables and emitted as NOT / CNOT / Toffoli terms onto the rail
+/// (queued before the gate so the reads see pre-gate values). Every
+/// primitive kind has component functions of degree <= 2, so subset
+/// deltas never need a cubic term — checked, so a future gate kind
+/// cannot silently break the rails.
+void subset_compensation(CompensationEmitter& comp, const Gate& g,
+                         std::uint32_t rail, unsigned subset,
+                         const KnownZero& zero) {
+  const int n = g.arity();
+  unsigned free_mask = 0;
+  for (int k = 0; k < n; ++k)
+    if (!zero.is_zero(g.bits[static_cast<std::size_t>(k)]))
+      free_mask |= 1u << k;
+
+  // delta(x) = parity of the subset's bits after the gate XOR before,
+  // with known-zero inputs fixed to 0.
+  const auto delta = [&](unsigned x) -> unsigned {
+    return local_parity(gate_apply_local(g.kind, x) & subset, n) ^
+           local_parity(x & subset, n);
+  };
+  // Möbius transform over the free-variable subset lattice: the ANF
+  // coefficient of monomial m is the XOR of delta over all x ⊆ m.
+  unsigned m = free_mask;
+  for (;;) {
+    unsigned coeff = 0;
+    unsigned x = m;
+    for (;;) {
+      coeff ^= delta(x);
+      if (x == 0) break;
+      x = (x - 1) & m;
+    }
+    if (coeff) {
+      std::uint32_t operand[3];
+      int terms = 0;
+      for (int k = 0; k < n; ++k)
+        if ((m >> k) & 1u) operand[terms++] = g.bits[static_cast<std::size_t>(k)];
+      switch (terms) {
+        case 0:
+          comp.add(make_not(rail));
+          break;
+        case 1:
+          comp.add(make_cnot(operand[0], rail));
+          break;
+        case 2:
+          comp.add(make_toffoli(operand[0], operand[1], rail));
+          break;
+        default:
+          REVFT_CHECK_MSG(false, "subset_compensation: gate kind "
+                                     << gate_name(g.kind)
+                                     << " needs a cubic rail term");
+      }
+    }
+    if (m == 0) break;
+    m = (m - 1) & free_mask;
+  }
+}
+
 }  // namespace
 
 CheckedCircuit to_parity_rail(const Circuit& circuit,
@@ -185,6 +269,39 @@ CheckedCircuit to_parity_rail(const Circuit& circuit,
   CheckedCircuit checked;
   checked.data_width = circuit.width();
   checked.parity_rail = circuit.width();
+
+  // Resolve the partition: explicit groups, or the classic single
+  // group over every data bit. rail_of[bit] = rail index or -1.
+  std::vector<int> rail_of(circuit.width(), -1);
+  if (opts.rail_partition.empty()) {
+    RailInfo rail;
+    rail.rail_bit = checked.parity_rail;
+    rail.group.reserve(circuit.width());
+    for (std::uint32_t d = 0; d < circuit.width(); ++d) rail.group.push_back(d);
+    checked.rails.push_back(std::move(rail));
+    std::fill(rail_of.begin(), rail_of.end(), 0);
+  } else {
+    for (const auto& group : opts.rail_partition) {
+      REVFT_CHECK_MSG(!group.empty(), "to_parity_rail: empty rail group");
+      RailInfo rail;
+      rail.rail_bit = checked.parity_rail +
+                      static_cast<std::uint32_t>(checked.rails.size());
+      rail.group = group;
+      std::sort(rail.group.begin(), rail.group.end());
+      for (const std::uint32_t bit : rail.group) {
+        REVFT_CHECK_MSG(bit < circuit.width(),
+                        "to_parity_rail: rail group bit " << bit
+                                                          << " out of range");
+        REVFT_CHECK_MSG(rail_of[bit] < 0, "to_parity_rail: bit "
+                                              << bit
+                                              << " in two rail groups");
+        rail_of[bit] = static_cast<int>(checked.rails.size());
+      }
+      checked.rails.push_back(std::move(rail));
+    }
+  }
+  const std::uint32_t n_rails = static_cast<std::uint32_t>(checked.rails.size());
+  std::vector<std::uint64_t> per_rail_ops(n_rails, 0);
 
   // The merged checkpoint schedule — periodic plus explicit positions,
   // minus the last op (folded into the unconditional final checkpoint).
@@ -203,41 +320,116 @@ CheckedCircuit to_parity_rail(const Circuit& circuit,
   std::size_t n_checkpoints = 1;  // final
   for (const char flag : checkpoint_here) n_checkpoints += flag;
   const std::uint32_t width =
-      circuit.width() + 1 +
+      circuit.width() + n_rails +
       (opts.embed_checkers ? static_cast<std::uint32_t>(n_checkpoints) : 0);
   Circuit out(width);
-  CompensationEmitter comp(out, checked.rail_ops, opts.fuse_compensation);
+  CompensationEmitter comp(out, checked.data_width, checked.rail_ops,
+                           per_rail_ops, opts.fuse_compensation);
 
-  std::uint32_t next_check_bit = checked.parity_rail + 1;
+  std::uint32_t next_check_bit = checked.parity_rail + n_rails;
   auto checkpoint = [&] {
-    comp.flush_all();  // the invariant must be current where checked
-    if (!out.empty()) checked.checkpoints.push_back(out.size() - 1);
+    comp.flush_all();  // the invariants must be current where checked
+    if (!out.empty()) {
+      checked.checkpoints.push_back(out.size() - 1);
+      // Snapshot the membership in force here: the groups the online
+      // checkers must evaluate (SWAP/SWAP3 migrate rail_of below).
+      std::vector<std::vector<std::uint32_t>> groups(n_rails);
+      for (std::uint32_t d = 0; d < checked.data_width; ++d)
+        if (rail_of[d] >= 0)
+          groups[static_cast<std::size_t>(rail_of[d])].push_back(d);
+      checked.checkpoint_groups.push_back(std::move(groups));
+    }
     if (!opts.embed_checkers) return;
     const std::uint32_t cb = next_check_bit++;
-    for (std::uint32_t d = 0; d < checked.data_width; ++d) out.cnot(d, cb);
-    out.cnot(checked.parity_rail, cb);
-    checked.checker_ops += checked.data_width + 1;
+    // Fold the XOR of the rail invariants: every WATCHED data bit plus
+    // every rail bit. Unwatched bits carry no invariant — folding them
+    // would alarm on their honest nonzero values.
+    for (std::uint32_t d = 0; d < checked.data_width; ++d) {
+      if (rail_of[d] < 0) continue;
+      out.cnot(d, cb);
+      ++checked.checker_ops;
+    }
+    for (const RailInfo& rail : checked.rails) out.cnot(rail.rail_bit, cb);
+    checked.checker_ops += n_rails;
     checked.check_bits.push_back(cb);
   };
 
-  // Encoder: load the rail with the XOR of the input data (cells
-  // promised zero contribute nothing and are skipped).
+  // Encoders: load each rail with the XOR of its group's input data
+  // (cells promised zero contribute nothing and are skipped).
   KnownZero zero(circuit.width(), opts.known_zero);
-  for (std::uint32_t d = 0; d < checked.data_width; ++d) {
-    if (zero.is_zero(d)) continue;
-    out.cnot(d, checked.parity_rail);
-    ++checked.rail_ops;
+  for (std::size_t r = 0; r < checked.rails.size(); ++r) {
+    for (const std::uint32_t d : checked.rails[r].group) {
+      if (zero.is_zero(d)) continue;
+      out.cnot(d, checked.rails[r].rail_bit);
+      ++checked.rail_ops;
+      ++per_rail_ops[r];
+    }
   }
 
   std::size_t next_zero_check = 0;
   checked.source_position.reserve(circuit.size());
   for (std::size_t i = 0; i < circuit.size(); ++i) {
     const Gate& g = circuit.op(i);
-    pre_compensation(comp, g, checked.parity_rail, zero);
-    comp.flush_touching(g);
-    out.push(g);
-    checked.source_position.push_back(out.size() - 1);
-    post_compensation(comp, g, checked.parity_rail, zero);
+    const std::uint64_t adds_before = comp.adds();
+    const int n = g.arity();
+    if (g.kind == GateKind::kSwap || g.kind == GateKind::kSwap3) {
+      // Unconditional permutation: the values move, their membership
+      // moves with them — every rail's invariant is conserved with no
+      // compensation at any partition granularity. Pending comps that
+      // read a moved cell still flush first (the values they were
+      // queued against are about to relocate).
+      comp.flush_touching(g);
+      out.push(g);
+      checked.source_position.push_back(out.size() - 1);
+      if (g.kind == GateKind::kSwap) {
+        std::swap(rail_of[g.bits[0]], rail_of[g.bits[1]]);
+      } else {
+        // (a,b,c) -> (b,c,a): the value (and membership) at b lands
+        // on a, c's on b, a's on c.
+        const int at_a = rail_of[g.bits[0]];
+        rail_of[g.bits[0]] = rail_of[g.bits[1]];
+        rail_of[g.bits[1]] = rail_of[g.bits[2]];
+        rail_of[g.bits[2]] = at_a;
+      }
+    } else {
+      // Which rails can this gate's action touch, and does it stay
+      // inside one group? Inside one group the subset is the full
+      // operand set, so the hand-tuned single-rail casework applies
+      // (post-value readings, MAJ/MAJ⁻¹ fusion); across groups each
+      // affected rail gets the exact subset delta. All-unwatched
+      // operands need no rail at all.
+      int single_rail = rail_of[g.bits[0]];
+      bool one_group = true;
+      for (int k = 1; k < n; ++k)
+        if (rail_of[g.bits[static_cast<std::size_t>(k)]] != single_rail)
+          one_group = false;
+      if (one_group && single_rail >= 0) {
+        const std::uint32_t rail_bit =
+            checked.rails[static_cast<std::size_t>(single_rail)].rail_bit;
+        pre_compensation(comp, g, rail_bit, zero);
+        comp.flush_touching(g);
+        out.push(g);
+        checked.source_position.push_back(out.size() - 1);
+        post_compensation(comp, g, rail_bit, zero);
+      } else {
+        if (!one_group) {
+          for (std::uint32_t r = 0; r < n_rails; ++r) {
+            unsigned subset = 0;
+            for (int k = 0; k < n; ++k)
+              if (rail_of[g.bits[static_cast<std::size_t>(k)]] ==
+                  static_cast<int>(r))
+                subset |= 1u << k;
+            if (subset)
+              subset_compensation(comp, g, checked.rails[r].rail_bit, subset,
+                                  zero);
+          }
+        }
+        comp.flush_touching(g);
+        out.push(g);
+        checked.source_position.push_back(out.size() - 1);
+      }
+    }
+    if (comp.adds() != adds_before) ++checked.compensated_ops;
     zero.apply(g);
     while (next_zero_check < opts.zero_checks.size() &&
            opts.zero_checks[next_zero_check].op_index == i) {
@@ -253,6 +445,8 @@ CheckedCircuit to_parity_rail(const Circuit& circuit,
                   "to_parity_rail: zero_checks must be sorted by op_index "
                   "with every index < circuit.size()");
 
+  for (std::uint32_t r = 0; r < n_rails; ++r)
+    checked.rails[r].rail_ops = per_rail_ops[r];
   checked.circuit = std::move(out);
   return checked;
 }
@@ -268,6 +462,21 @@ std::vector<std::uint32_t> known_zero_outside(
   for (std::uint32_t bit = 0; bit < width; ++bit)
     if (!is_data[bit]) zero.push_back(bit);
   return zero;
+}
+
+std::vector<std::vector<std::uint32_t>> partition_into_blocks(
+    std::uint32_t width, std::uint32_t block_size) {
+  REVFT_CHECK_MSG(block_size >= 1, "partition_into_blocks: empty blocks");
+  REVFT_CHECK_MSG(width >= 1, "partition_into_blocks: empty width");
+  std::vector<std::vector<std::uint32_t>> groups;
+  for (std::uint32_t base = 0; base < width; base += block_size) {
+    std::vector<std::uint32_t> group;
+    for (std::uint32_t bit = base; bit < width && bit < base + block_size;
+         ++bit)
+      group.push_back(bit);
+    groups.push_back(std::move(group));
+  }
+  return groups;
 }
 
 void add_zero_check(CheckedCircuit& checked, std::size_t source_op,

@@ -1,33 +1,65 @@
 // revft/detect/rail.h
 //
-// Parity-rail form of an arbitrary circuit: the data rails are joined
-// by one extra *parity rail* that carries the running XOR of all data
-// bits. An encoder (one CNOT per data rail) loads the rail; every
-// parity-non-conserving gate is followed (or, where its inputs are
-// consumed, preceded) by a compensation gate that applies the same
-// parity delta to the rail. The quantity
+// Parity-rail form of an arbitrary circuit, generalized to a *rail
+// partition*: the data bits are split into disjoint groups, and each
+// group gets its own parity rail carrying the running XOR of the
+// group's bits. An encoder (one CNOT per group member) loads each
+// rail; every gate whose action can change a group's parity is
+// followed (or, where its inputs are consumed, preceded) by a
+// compensation gate that applies the same parity delta to that
+// group's rail. For every rail r the quantity
 //
-//   I  =  rail XOR (XOR of all data bits)
+//   I_r  =  rail_r XOR (XOR of the bits in group r)
 //
 // is then conserved by every emitted op *group* on every state — not
-// just reachable ones — so I != 0 at a checkpoint is proof that some
-// fault corrupted the state. Checkpoints are recorded op positions;
-// the online checkers (detect/checker.h for the scalar engine,
-// detect/checked_mc.h for the 64-lane packed engine) evaluate I there
-// without adding gates. Optionally the transform also *embeds* checker
-// sub-circuits built from the existing CNOT primitive, which copy I
-// into dedicated check bits so detection is visible in the circuit's
-// own outputs (the gate-level construction of arXiv:1008.3340).
+// just reachable ones — so I_r != 0 at a checkpoint is proof that some
+// fault corrupted the state, and it names WHICH group's bits (or
+// rail) took the damage: a partition both detects and localizes.
+//
+// The default partition is a single group covering all data bits —
+// exactly the classic single parity rail, and the transform emits a
+// bit-for-bit identical circuit for it. A finer partition detects a
+// strict superset of the single rail's faults: the XOR of all rail
+// invariants is the single rail's invariant, so any corruption the
+// coarse rail sees is odd in some group — and corruptions that are
+// even globally but odd per group (a cross-codeword interleave fault)
+// become visible at all.
+//
+// Group membership is not static: an unconditional permutation gate
+// (SWAP, SWAP3) MIGRATES membership with the moving values instead of
+// paying compensation — the values carry their group along, so every
+// rail invariant is conserved with zero added gates, and a machine's
+// entire routing fabric stays free at any partition granularity. The
+// groups therefore follow the *data*: under the checked machines'
+// per-block partition each rail tracks one logical block wherever
+// routing carries it, which is exactly the localization a
+// block-granular retry wants. Each checkpoint records the membership
+// in force there (CheckedCircuit::checkpoint_groups) so the online
+// checkers evaluate the right cells. Gates that are not unconditional
+// permutations and straddle groups (a transversal gate on a gathered
+// triple, a conditional Fredkin swap) are compensated per rail with
+// the exact parity delta of each group's operand subset.
+//
+// Checkpoints are recorded op positions; the online checkers
+// (detect/checker.h for the scalar engine, detect/checked_mc.h for
+// the 64-lane packed engine) evaluate every I_r there without adding
+// gates, and report which rail fired. Optionally the transform also
+// *embeds* checker sub-circuits built from the existing CNOT
+// primitive, which copy the XOR of all rail invariants into dedicated
+// check bits so detection is visible in the circuit's own outputs
+// (the gate-level construction of arXiv:1008.3340; the embedded bits
+// observe the combined invariant, not the per-rail split).
 //
 // Detection is weaker than correction: a corruption of even weight
-// leaves I unchanged, and a fault inside a compensated group can be
-// absorbed by its own compensation gate (the checker hardware computes
-// with the corrupted values). Those escapes are exactly the
-// `silent_failures` the detection Monte-Carlo measures; for circuits
-// of parity-preserving gates every odd-weight fault is provably
-// caught (see single_fault_detection_census). Constructions that
-// guarantee clean cells at known positions (the §3 recovery stages
-// leave every ancilla zero) can close even-weight escapes too, by
+// *within every group* leaves all I_r unchanged, and a fault inside a
+// compensated group of ops can be absorbed by its own compensation
+// gate (the checker hardware computes with the corrupted values).
+// Those escapes are exactly the `silent_failures` the detection
+// Monte-Carlo measures; for circuits of parity-preserving gates every
+// corruption that is odd in some group is provably caught (see
+// single_fault_detection_census). Constructions that guarantee clean
+// cells at known positions (the §3 recovery stages leave every
+// ancilla zero) can close the remaining even-weight escapes too, by
 // registering ZeroChecks — see add_zero_check and
 // local/checked_machine.h.
 #pragma once
@@ -54,10 +86,23 @@ struct ParityRailOptions {
   /// checkpoint; an entry naming the last op folds into the final
   /// checkpoint. Each entry must be < circuit.size().
   std::vector<std::size_t> checkpoint_after;
+  /// Partition of the data bits into disjoint rail groups — the ENTRY
+  /// membership; SWAP/SWAP3 migrate it with the moving values (see the
+  /// file comment). Empty = one group covering every data bit (the
+  /// classic single rail; the emitted circuit is bit-for-bit the
+  /// single-rail one). Groups must be non-empty, within [0, width) and
+  /// pairwise disjoint; bits left out of every group are simply
+  /// unwatched by the rails (their corruption is only visible through
+  /// zero checks or propagation). Non-permutation gates whose operands
+  /// span several groups — or touch unwatched bits — are compensated
+  /// per rail from the exact parity delta of each group's operand
+  /// subset, so every rail invariant holds on every state regardless
+  /// of the partition's geometry.
+  std::vector<std::vector<std::uint32_t>> rail_partition;
   /// Also synthesize a checker sub-circuit per checkpoint: CNOTs that
-  /// fold every data rail plus the parity rail into a dedicated check
-  /// bit, which ideally stays 0. Adds width and gates; the online
-  /// checkers need only the recorded checkpoint positions.
+  /// fold every data rail plus every parity rail into a dedicated
+  /// check bit, which ideally stays 0 (the combined invariant — the
+  /// per-rail split is an online-checker refinement).
   bool embed_checkers = false;
   /// Cancel compensation pairs between checkpoints: rail updates are
   /// XOR terms, so two identical ones with unchanged controls are the
@@ -75,7 +120,7 @@ struct ParityRailOptions {
   /// delta is provably zero in every fault-free run — the bulk of the
   /// recovery stages' rail traffic (init3 resets of clean ancillas,
   /// MAJ⁻¹ encoders with zero controls). Fault-free behaviour is
-  /// identical, but the conserved invariant now holds only on states
+  /// identical, but the conserved invariants now hold only on states
   /// REACHABLE FROM THE PROMISE: a fault that dirties a promised-zero
   /// cell can have its invariant flip cancelled by a later elided
   /// compensation reading the dirty cell, so a lone elided rail
@@ -108,16 +153,33 @@ struct ParityRailOptions {
 /// op_index depends on where the check lives: entries in
 /// ParityRailOptions::zero_checks name ORIGINAL ops (the transform
 /// maps them), entries in CheckedCircuit::zero_checks name CHECKED
-/// ops (already mapped). The parity rail only sees odd-weight
-/// corruptions; zero checks close the even-weight escapes wherever
-/// the construction guarantees clean cells — e.g. the recovery stages
-/// of the §3 local schemes leave every ancilla holding a syndrome
-/// that is zero unless some earlier fault corrupted the codeword.
-/// Like rail checkpoints they are pure observations: the online
-/// checkers read the bits, no gates are added.
+/// ops (already mapped). The parity rails only see corruptions that
+/// are odd in some group; zero checks close the remaining even-weight
+/// escapes wherever the construction guarantees clean cells — e.g.
+/// the recovery stages of the §3 local schemes leave every ancilla
+/// holding a syndrome that is zero unless some earlier fault
+/// corrupted the codeword. Like rail checkpoints they are pure
+/// observations: the online checkers read the bits, no gates are
+/// added.
 struct ZeroCheck {
   std::size_t op_index = 0;
   std::vector<std::uint32_t> bits;
+};
+
+/// One parity rail of a checked circuit: the data bits whose XOR it
+/// carries at ENTRY (membership migrates through SWAP/SWAP3 — the
+/// per-checkpoint truth lives in CheckedCircuit::checkpoint_groups),
+/// the circuit bit holding the running parity, and the
+/// encoder/compensation gates attributed to it.
+struct RailInfo {
+  /// Data bits of the rail's group at circuit entry, ascending.
+  /// Disjoint across rails.
+  std::vector<std::uint32_t> group;
+  /// Circuit bit carrying the group's running parity
+  /// (data_width + rail index).
+  std::uint32_t rail_bit = 0;
+  /// Encoder + compensation gates emitted for this rail.
+  std::uint64_t rail_ops = 0;
 };
 
 /// A circuit rewritten into parity-rail form, plus the bookkeeping the
@@ -125,9 +187,27 @@ struct ZeroCheck {
 struct CheckedCircuit {
   Circuit circuit;
   std::uint32_t data_width = 0;   ///< original width; data rails are [0, data_width)
-  std::uint32_t parity_rail = 0;  ///< rail index (== data_width)
-  /// Op indices after which I == 0 must hold in a fault-free run.
+  /// First rail's bit (== data_width). With the default one-group
+  /// partition this is THE parity rail; rails[] is the general story.
+  std::uint32_t parity_rail = 0;
+  /// The rail partition: one entry per group, rail bits at
+  /// [data_width, data_width + rails.size()).
+  std::vector<RailInfo> rails;
+  /// Op indices after which every I_r == 0 must hold in a fault-free
+  /// run.
   std::vector<std::size_t> checkpoints;
+  /// checkpoint_groups[k][r] = the data bits rail r covers at
+  /// checkpoint k (SWAP/SWAP3 migrate membership with the data, so
+  /// the groups a checker must evaluate depend on where the
+  /// checkpoint sits). One entry per checkpoint, aligned with
+  /// `checkpoints`; the last entry is the exit membership — under the
+  /// checked machines' per-block partition, rail r's exit group is
+  /// wherever routing left block r.
+  std::vector<std::vector<std::vector<std::uint32_t>>> checkpoint_groups;
+  /// Original ops that queued at least one rail-compensation gate
+  /// (before fusion; the transform's exact "not free" count — SWAPs
+  /// never compensate, elided deltas don't count).
+  std::uint64_t compensated_ops = 0;
   /// One check bit per checkpoint when embed_checkers was set.
   std::vector<std::uint32_t> check_bits;
   /// For each ORIGINAL op, its position in `circuit` (compensation and
@@ -136,19 +216,21 @@ struct CheckedCircuit {
   std::vector<std::size_t> source_position;
   /// Clean-cell checkpoints, sorted by op_index (see add_zero_check).
   std::vector<ZeroCheck> zero_checks;
-  /// Added-gate accounting: encoder + compensation vs checker CNOTs.
+  /// Added-gate accounting: encoder + compensation (summed over
+  /// rails[].rail_ops) vs checker CNOTs.
   std::uint64_t rail_ops = 0;
   std::uint64_t checker_ops = 0;
 };
 
 /// Rewrite `circuit` into parity-rail form. The input must have
-/// width >= 1; its gates keep their bit positions, the rail is
-/// appended at index width, check bits (if any) after it. Inputs
-/// enter with the rail and check bits zero — see widen_input.
+/// width >= 1; its gates keep their bit positions, the rails are
+/// appended at index width (one per partition group, partition order),
+/// check bits (if any) after them. Inputs enter with the rails and
+/// check bits zero — see widen_input.
 CheckedCircuit to_parity_rail(const Circuit& circuit,
                               const ParityRailOptions& opts = {});
 
-/// Lift a data-width input state to the checked circuit's width (rail
+/// Lift a data-width input state to the checked circuit's width (rails
 /// and check bits zeroed).
 StateVector widen_input(const CheckedCircuit& checked,
                         const StateVector& data_input);
@@ -160,11 +242,17 @@ StateVector widen_input(const CheckedCircuit& checked,
 std::vector<std::uint32_t> known_zero_outside(
     std::uint32_t width, const std::vector<std::uint32_t>& data_bits);
 
+/// Partition [0, width) into consecutive `block_size`-bit groups (the
+/// last group takes the remainder) — the §3 machines' block layout as
+/// a rail partition: block s of a 9-cell-per-block machine is group s.
+std::vector<std::vector<std::uint32_t>> partition_into_blocks(
+    std::uint32_t width, std::uint32_t block_size);
+
 /// Register a zero check after ORIGINAL op `source_op`: in a fault-free
 /// run every bit of `bits` is zero once that op has executed, so a
 /// nonzero bit there is proof of a fault. Checks must be registered in
 /// nondecreasing source order; bits must be data rails (< data_width —
-/// the rail and check bits have their own invariants).
+/// the rails and check bits have their own invariants).
 void add_zero_check(CheckedCircuit& checked, std::size_t source_op,
                     std::vector<std::uint32_t> bits);
 

@@ -11,11 +11,14 @@
 
 namespace revft {
 
-detect::DetectionCensus checked_maj_cycle_census(bool embed_checkers) {
+detect::DetectionCensus checked_maj_cycle_census(
+    bool embed_checkers,
+    const std::vector<std::vector<std::uint32_t>>& rail_partition) {
   const EcStage stage = make_fig2_ec(/*with_init=*/true);
   detect::ParityRailOptions opts;
   opts.check_every = 1;
   opts.embed_checkers = embed_checkers;
+  opts.rail_partition = rail_partition;
   const auto checked = detect::to_parity_rail(stage.circuit, opts);
 
   std::vector<StateVector> inputs;

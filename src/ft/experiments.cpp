@@ -173,7 +173,7 @@ CodewordCycleExperiment::CodewordCycleExperiment(
     data_bits.insert(data_bits.end(), cw.begin(), cw.end());
   checked_ = detect::to_parity_rail(
       circuit_, boundary_rail_options(boundaries, data_bits, circuit_.width(),
-                                      CheckedMachineOptions{}));
+                                      config.check));
 }
 
 namespace {

@@ -118,6 +118,10 @@ class CodewordCycleExperiment {
     std::uint64_t trials = 100000;
     std::uint64_t seed = 0x10ca1ULL;
     int threads = 0;  ///< see LogicalGateExperimentConfig::threads
+    /// How run_checked arms the rails (granularity, zero checks,
+    /// elision) — the same knobs as the checked machines, applied to
+    /// the bare cycle. Per-block = one rail per 9-cell block.
+    CheckedMachineOptions check;
   };
 
   CodewordCycleExperiment(Circuit circuit,

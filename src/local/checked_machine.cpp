@@ -12,6 +12,10 @@ detect::ParityRailOptions boundary_rail_options(
   detect::ParityRailOptions rail;
   rail.check_every = opts.check_every;
   rail.fuse_compensation = opts.fuse_compensation;
+  // The §3 block layout as a rail partition: one group per 9-cell
+  // block (a 3x3 patch in 2D, a 9-cell line segment in 1D).
+  if (opts.rails == RailGranularity::kPerBlock)
+    rail.rail_partition = detect::partition_into_blocks(width, 9);
   for (const RecoveryBoundary& boundary : boundaries) {
     if (opts.rail_check_every_boundary)
       rail.checkpoint_after.push_back(boundary.op_index);
@@ -54,22 +58,23 @@ CheckedMachineProgram check_machine_program(
       physical,
       boundary_rail_options(boundaries, data_bits, physical.width(), opts));
 
-  // Free-checking accounting: the routing fabric is all SWAP/SWAP3 and
-  // therefore all free; the cycle kernels split by the parity
-  // predicate.
+  // Free-checking accounting: a gate is self-checking for free when it
+  // queued no rail compensation — the routing fabric always (SWAP and
+  // SWAP3 migrate rail membership instead of compensating, at any
+  // granularity), plus every kernel gate whose parity delta the
+  // known-zero dataflow elided. The transform itself is the one source
+  // of truth, so the split cannot drift from what was actually
+  // emitted.
   out.stats.total_ops = physical.size();
-  for (const Gate& g : physical.ops()) {
-    if (detect::parity_preserving(g.kind))
-      ++out.stats.free_ops;
-    else
-      ++out.stats.compensated_ops;
-  }
+  out.stats.compensated_ops = out.checked.compensated_ops;
+  out.stats.free_ops = physical.size() - out.checked.compensated_ops;
   for (const auto& [first, last] : routing_spans) {
     REVFT_CHECK_MSG(first <= last && last < physical.size(),
                     "check_machine_program: bad routing span");
     out.stats.routing_ops += last - first + 1;
   }
   out.stats.rail_ops = out.checked.rail_ops;
+  out.stats.rails = out.checked.rails.size();
   out.stats.checkpoints = out.checked.checkpoints.size();
   out.stats.zero_checks = out.checked.zero_checks.size();
   return out;

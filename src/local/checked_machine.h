@@ -1,32 +1,47 @@
 // revft/local/checked_machine.h
 //
 // Detection-aware local machines: the §3 block machines with the
-// detect/ parity rail threaded through their compiled physical
+// detect/ parity rails threaded through their compiled physical
 // programs. The synthesis is nearly free because of a structural
 // coincidence the paper never exploits: every routing primitive of the
 // locally-connected schemes is a SWAP/SWAP3 chain, and swaps are
-// parity-preserving — so the entire routing fabric (81 cell swaps per
-// 1D block transposition, 27 per 2D) is self-checking at ZERO extra
-// gate cost. Only the recovery/gate kernels (MAJ, MAJ⁻¹, Toffoli-like
-// transversal gates, init3) need rail compensation.
+// parity-preserving — so the routing fabric (81 cell swaps per 1D
+// block transposition, 27 per 2D) is self-checking at ZERO extra gate
+// cost wherever it stays inside one rail group. Only the recovery/gate
+// kernels (MAJ, MAJ⁻¹, Toffoli-like transversal gates, init3) and —
+// under per-block rails — the few swaps crossing a block-territory
+// boundary need rail compensation.
+//
+// The machines arm a rail PARTITION derived from their block layout
+// (RailGranularity::kPerBlock, the default): one rail per 9-cell block
+// territory, so each rail carries the running parity of one logical
+// bit's patch. A partition detects a strict superset of the single
+// global rail (any corruption odd in some block fires that block's
+// rail even when the total weight is even) and LOCALIZES the damage:
+// the fired rail names the block to re-run, turning whole-program
+// aborts into block-sized retries (see examples/multi_rail.cpp for the
+// economics). The classic single rail remains available as
+// RailGranularity::kGlobal — bit-for-bit the PR 2/3 configuration.
 //
 // The transform registers a checkpoint at every recovery boundary the
 // machine compiler recorded (local/recovery_meta.h): the boundary's
-// clean cells become a detect::ZeroCheck, and the global rail
-// invariant is evaluated at the always-present final checkpoint (per
-// boundary too, optionally — violations persist, so the final
-// evaluation already sees every single-fault flip). The pairing
-// matters: the global rail catches every odd-weight corruption, while
-// the zero checks catch exactly the even-weight escapes that defeat a
-// lone rail — a cross-codeword swap fault in the
-// 1D interleave damages one bit of two different codewords (global
+// clean cells become a detect::ZeroCheck, and the rail invariants are
+// evaluated at the always-present final checkpoint (per boundary too,
+// optionally — violations persist, so the final evaluation already
+// sees every single-fault flip). The pairing matters: the rails catch
+// every corruption that is odd in some group, while the zero checks
+// catch the even-per-group escapes — a cross-codeword swap fault in
+// the 1D interleave damages one bit of two different codewords (total
 // parity unchanged!) but leaves both codewords non-uniform, so their
-// next recovery decodes a nonzero syndrome. The exhaustive census
-// (tests/test_local_checked.cpp) proves the combination fault-secure:
-// no single fault of a checked 1D or 2D single-cycle program is both
-// silent and harmful. Without the zero checks the 1D machine has
-// exactly such faults — the interleave finding of bench_fig7 in
-// detection clothing.
+// next recovery decodes a nonzero syndrome. Per-block rails see the
+// odd-per-block half of those interleave faults directly (the half
+// that straddles a territory boundary — the pinned census test), but
+// both-in-one-territory damage still needs the boundary checks. The
+// exhaustive census (tests/test_local_checked.cpp) proves the
+// combination fault-secure at either granularity: no single fault of a
+// checked 1D or 2D single-cycle program is both silent and harmful.
+// Without the zero checks the 1D machine has exactly such faults — the
+// interleave finding of bench_fig7 in detection clothing.
 //
 // Composition (cf. arXiv:0812.3871's invariant relationships): the
 // boundary list is recorded while cycles chain, so a B-bit program of
@@ -45,9 +60,32 @@
 
 namespace revft {
 
+/// Rail-partition granularity of a checked machine (see
+/// detect::ParityRailOptions::rail_partition).
+enum class RailGranularity {
+  /// One rail over every cell — the classic single parity rail (the
+  /// PR 2/3 configuration, bit-for-bit).
+  kGlobal,
+  /// One rail per 9-cell block (a logical bit's 3x3 patch in 2D, its
+  /// 9-cell line segment in 1D), derived from the machines' block
+  /// layout; any cells outside the blocks would form one residual
+  /// routing-ancilla rail (the current machines have none). Catches
+  /// even-weight corruptions that are odd per block — the
+  /// cross-codeword interleave faults a global rail cannot see — and
+  /// localizes which block's rail fired, at the cost of compensating
+  /// the few routing swaps that cross block territory.
+  kPerBlock,
+};
+
 struct CheckedMachineOptions {
+  /// Rail partition granularity. Per-block is the shipped default:
+  /// the routing fabric stays parity-preserving *within* each block's
+  /// territory, so only territory-boundary crossings pay compensation,
+  /// and the census (tests/test_local_checked.cpp) proves the
+  /// combination with the boundary zero checks fault-secure.
+  RailGranularity rails = RailGranularity::kPerBlock;
   /// Register each recovery boundary's clean cells as a ZeroCheck (the
-  /// even-weight net; disable to measure what the rail alone catches).
+  /// even-weight net; disable to measure what the rails alone catch).
   bool zero_checks = true;
   /// Also evaluate the GLOBAL rail invariant at every recovery
   /// boundary (on top of the boundary zero checks, which always sit
@@ -86,6 +124,7 @@ struct CheckingStats {
   std::uint64_t compensated_ops = 0;  ///< need a rail-compensation gate
   std::uint64_t routing_ops = 0;      ///< block-transposition swaps (all free)
   std::uint64_t rail_ops = 0;         ///< encoder + compensation gates added
+  std::uint64_t rails = 1;            ///< parity rails armed (partition size)
   std::uint64_t checkpoints = 0;
   std::uint64_t zero_checks = 0;
 
@@ -123,9 +162,13 @@ struct CheckedMachineProgram {
 
 /// Build the rail options every boundary-armed workload (checked
 /// machines, cycle experiments) shares: one zero check per boundary,
-/// optional per-boundary rail checkpoints, and the entry known-zero
-/// promise — armed only together with the zero-check net, the
-/// coupling the known_zero contract in detect/rail.h requires.
+/// optional per-boundary rail checkpoints, the rail partition derived
+/// from the block layout (one 9-cell group per block under
+/// RailGranularity::kPerBlock; leftover cells — a machine's routing
+/// ancillas, none on the current 9B-cell machines — fall into one
+/// residual group), and the entry known-zero promise — armed only
+/// together with the zero-check net, the coupling the known_zero
+/// contract in detect/rail.h requires.
 detect::ParityRailOptions boundary_rail_options(
     const std::vector<RecoveryBoundary>& boundaries,
     const std::vector<std::uint32_t>& entry_data_bits, std::uint32_t width,

@@ -23,6 +23,16 @@ std::uint64_t PackedState::parity_word(std::uint32_t count) const {
   return acc;
 }
 
+std::uint64_t PackedState::parity_word_over(
+    const std::vector<std::uint32_t>& bits) const {
+  std::uint64_t acc = 0;
+  for (const std::uint32_t b : bits) {
+    REVFT_DASSERT(b < words_.size());
+    acc ^= words_[b];
+  }
+  return acc;
+}
+
 BernoulliMaskStream::BernoulliMaskStream(double p, Xoshiro256* rng)
     : p_(p), rng_(rng) {
   REVFT_CHECK_MSG(p >= 0.0 && p <= 1.0, "BernoulliMaskStream: p=" << p);

@@ -66,6 +66,13 @@ class PackedState {
   /// invariant for all 64 lanes at once.
   std::uint64_t parity_word(std::uint32_t count) const;
 
+  /// Masked variant for a rail partition: per-lane XOR of the words of
+  /// the listed bits (a rail group). Evaluating every group of a
+  /// disjoint partition costs the same word work as one parity_word
+  /// over their union — the per-rail refinement is free at the
+  /// checkpoint.
+  std::uint64_t parity_word_over(const std::vector<std::uint32_t>& bits) const;
+
   /// All bits of all lanes to zero.
   void clear() { std::fill(words_.begin(), words_.end(), 0); }
 

@@ -5,6 +5,9 @@
 // checked Monte-Carlo engine's determinism contract.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -13,6 +16,7 @@
 #include "detect/parity.h"
 #include "detect/rail.h"
 #include "ft/detect_experiment.h"
+#include "ft/ec_circuit.h"
 #include "noise/injection.h"
 #include "rev/simulator.h"
 #include "support/error.h"
@@ -244,6 +248,278 @@ TEST(DetectRail, KnownZeroElisionNeedsCoveringZeroChecks) {
   EXPECT_TRUE(
       detect::checked_run_with_faults(guarded, input, dirty_swap(guarded))
           .detected);
+}
+
+// --- rail partitions -------------------------------------------------
+
+// The default (empty) partition and an explicit one-group-over-all
+// partition emit bit-for-bit identical circuits and bookkeeping — the
+// refactor's compatibility contract: a single global rail is just the
+// trivial partition.
+TEST(DetectRailPartition, DefaultEqualsExplicitSingleGroup) {
+  Xoshiro256 rng(0x9a27);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::uint32_t width = 3 + static_cast<std::uint32_t>(rng.next_below(4));
+    const Circuit c = random_circuit(rng, width, 24);
+    detect::ParityRailOptions explicit_opts;
+    explicit_opts.check_every = 2;
+    explicit_opts.rail_partition.emplace_back();
+    for (std::uint32_t b = 0; b < width; ++b)
+      explicit_opts.rail_partition[0].push_back(b);
+    detect::ParityRailOptions default_opts;
+    default_opts.check_every = 2;
+    const auto one = detect::to_parity_rail(c, default_opts);
+    const auto two = detect::to_parity_rail(c, explicit_opts);
+    ASSERT_EQ(one.circuit.size(), two.circuit.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < one.circuit.size(); ++i)
+      EXPECT_EQ(one.circuit.op(i), two.circuit.op(i)) << "op " << i;
+    EXPECT_EQ(one.checkpoints, two.checkpoints);
+    EXPECT_EQ(one.rail_ops, two.rail_ops);
+    EXPECT_EQ(one.compensated_ops, two.compensated_ops);
+    ASSERT_EQ(one.rails.size(), 1u);
+    ASSERT_EQ(two.rails.size(), 1u);
+    EXPECT_EQ(one.rails[0].group, two.rails[0].group);
+  }
+}
+
+/// A random partition of [0, width) into 1-3 nonempty groups.
+std::vector<std::vector<std::uint32_t>> random_partition(Xoshiro256& rng,
+                                                         std::uint32_t width) {
+  const std::size_t n_groups = 1 + rng.next_below(3);
+  std::vector<std::vector<std::uint32_t>> groups(n_groups);
+  for (std::uint32_t b = 0; b < width; ++b)
+    groups[rng.next_below(n_groups)].push_back(b);
+  groups.erase(std::remove_if(groups.begin(), groups.end(),
+                              [](const auto& g) { return g.empty(); }),
+               groups.end());
+  return groups;
+}
+
+// Under any partition, every rail invariant holds at every checkpoint
+// of a fault-free run (no false alarms), the data semantics are
+// preserved, and the checkpoint membership snapshots tile the data
+// bits (SWAP/SWAP3 migrate membership, never lose or duplicate it).
+TEST(DetectRailPartition, InvariantsHoldIdeallyOnRandomCircuits) {
+  Xoshiro256 rng(0x2a17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::uint32_t width = 4 + static_cast<std::uint32_t>(rng.next_below(4));
+    const Circuit c = random_circuit(rng, width, 30);
+    detect::ParityRailOptions opts;
+    opts.check_every = 1;
+    opts.rail_partition = random_partition(rng, width);
+    const auto checked = detect::to_parity_rail(c, opts);
+    EXPECT_EQ(checked.rails.size(), opts.rail_partition.size());
+    ASSERT_EQ(checked.checkpoint_groups.size(), checked.checkpoints.size());
+    for (const auto& groups : checked.checkpoint_groups) {
+      std::vector<char> seen(width, 0);
+      ASSERT_EQ(groups.size(), checked.rails.size());
+      std::size_t covered = 0;
+      for (const auto& group : groups)
+        for (const std::uint32_t bit : group) {
+          ASSERT_LT(bit, width);
+          EXPECT_EQ(seen[bit], 0) << "bit in two groups at a checkpoint";
+          seen[bit] = 1;
+          ++covered;
+        }
+      EXPECT_EQ(covered, width) << "full partition must stay full";
+    }
+    for (unsigned input = 0; input < (1u << width); ++input) {
+      StateVector plain(width, input);
+      plain.apply(c);
+      const auto run = detect::checked_run(checked, StateVector(width, input));
+      EXPECT_FALSE(run.detected) << "trial " << trial << " input " << input;
+      for (std::uint32_t bit = 0; bit < width; ++bit)
+        EXPECT_EQ(run.state.bit(bit), plain.bit(bit))
+            << "trial " << trial << " input " << input << " bit " << bit;
+    }
+  }
+}
+
+// Embedded checkers under a PARTIAL partition fold only the watched
+// bits: an unwatched bit's honest nonzero value must not trip the
+// check bit (regression — the checker once folded every data bit).
+TEST(DetectRailPartition, EmbeddedCheckersIgnoreUnwatchedBits) {
+  Circuit c(2);
+  c.cnot(0, 1);
+  detect::ParityRailOptions opts;
+  opts.rail_partition = {{0}};  // bit 1 unwatched
+  opts.embed_checkers = true;
+  const auto checked = detect::to_parity_rail(c, opts);
+  for (unsigned input = 0; input < 4; ++input) {
+    const auto run = detect::checked_run(checked, StateVector(2, input));
+    EXPECT_FALSE(run.detected) << "false alarm on fault-free input " << input;
+    for (const auto cb : checked.check_bits)
+      EXPECT_EQ(run.state.bit(cb), 0) << "input " << input;
+  }
+}
+
+TEST(DetectRailPartition, RejectsMalformedPartitions) {
+  Circuit c(3);
+  c.cnot(0, 1);
+  detect::ParityRailOptions opts;
+  opts.rail_partition = {{0, 1}, {1, 2}};  // overlap
+  EXPECT_THROW(detect::to_parity_rail(c, opts), Error);
+  opts.rail_partition = {{0}, {7}};  // out of range
+  EXPECT_THROW(detect::to_parity_rail(c, opts), Error);
+  opts.rail_partition = {{0, 1, 2}, {}};  // empty group
+  EXPECT_THROW(detect::to_parity_rail(c, opts), Error);
+}
+
+TEST(DetectRailPartition, PartitionIntoBlocksCoversEveryBit) {
+  const auto groups = detect::partition_into_blocks(27, 9);
+  ASSERT_EQ(groups.size(), 3u);
+  for (std::size_t s = 0; s < 3; ++s) {
+    ASSERT_EQ(groups[s].size(), 9u);
+    for (std::uint32_t k = 0; k < 9; ++k)
+      EXPECT_EQ(groups[s][k], 9 * s + k);
+  }
+  // Remainder cells land in one short trailing group (a machine's
+  // residual routing-ancilla rail).
+  const auto ragged = detect::partition_into_blocks(21, 9);
+  ASSERT_EQ(ragged.size(), 3u);
+  EXPECT_EQ(ragged[2].size(), 3u);
+}
+
+// The partition-refinement property on the MAJ-cycle census, per
+// SCENARIO: every single-fault scenario the global rail detects is
+// also detected under the finer per-majority-block partition (the XOR
+// of the per-rail invariants is the global invariant), and the finer
+// partition detects strictly more in total. Faults are compared at
+// ORIGINAL op coordinates via source_position, so the two differently
+// compensated circuits see the same corruption.
+TEST(DetectRailPartition, RefinementDetectsSupersetOnMajCycle) {
+  const EcStage stage = make_fig2_ec(/*with_init=*/true);
+  detect::ParityRailOptions global_opts;
+  global_opts.check_every = 1;
+  detect::ParityRailOptions fine_opts;
+  fine_opts.check_every = 1;
+  fine_opts.rail_partition = detect::partition_into_blocks(9, 3);
+  const auto global_rail = detect::to_parity_rail(stage.circuit, global_opts);
+  const auto fine = detect::to_parity_rail(stage.circuit, fine_opts);
+
+  std::uint64_t global_detected = 0, fine_detected = 0;
+  for (int logical = 0; logical <= 1; ++logical) {
+    StateVector input(9);
+    for (const auto bit : stage.before.data)
+      input.set_bit(bit, static_cast<std::uint8_t>(logical));
+    for (std::size_t op = 0; op < stage.circuit.size(); ++op) {
+      const unsigned values = 1u << stage.circuit.op(op).arity();
+      for (unsigned v = 0; v < values; ++v) {
+        const auto g_run = detect::checked_run_with_faults(
+            global_rail, input, {{global_rail.source_position[op], v}});
+        const auto f_run = detect::checked_run_with_faults(
+            fine, input, {{fine.source_position[op], v}});
+        if (g_run.detected) {
+          ++global_detected;
+          EXPECT_TRUE(f_run.detected)
+              << "refinement lost a detection: op " << op << " value " << v
+              << " logical " << logical;
+        }
+        if (f_run.detected) ++fine_detected;
+      }
+    }
+  }
+  EXPECT_GE(fine_detected, global_detected);
+  EXPECT_GT(global_detected, 0u);
+}
+
+// The one-group default reproduces the PR 2 MAJ-cycle census counts
+// bit-for-bit (the values bench_detect has emitted since PR 2), and
+// the per-majority-block refinement stays fault-secure while
+// detecting at least as much.
+TEST(DetectRailPartition, MajCycleCensusCountsPinned) {
+  const auto census = checked_maj_cycle_census(/*embed_checkers=*/false);
+  EXPECT_EQ(census.scenarios, 244u);
+  EXPECT_EQ(census.benign_skipped, 52u);
+  EXPECT_EQ(census.harmless, 96u);
+  EXPECT_EQ(census.detected_harmless, 148u);
+  EXPECT_EQ(census.detected_harmful, 0u);
+  EXPECT_EQ(census.silent_harmful, 0u);
+
+  const auto fine = checked_maj_cycle_census(
+      /*embed_checkers=*/false, detect::partition_into_blocks(9, 3));
+  EXPECT_TRUE(fine.fault_secure());
+  EXPECT_GE(fine.detected(), census.detected());
+}
+
+// Retry-cost model (post-selection economics): geometric retries at
+// acceptance rate a cost 1/a trials and ops/a checked ops per
+// accepted result.
+TEST(DetectRailPartition, RetryCostModel) {
+  detect::DetectionEstimate est;
+  est.trials = 1000;
+  est.detected = 250;
+  EXPECT_DOUBLE_EQ(est.acceptance_rate(), 0.75);
+  EXPECT_DOUBLE_EQ(est.expected_trials_to_accept(), 1.0 / 0.75);
+  EXPECT_DOUBLE_EQ(est.expected_ops_to_accept(300), 400.0);
+  detect::DetectionEstimate none;
+  none.trials = 10;
+  none.detected = 10;
+  EXPECT_TRUE(std::isinf(none.expected_trials_to_accept()));
+  // Exact merge covers the per-rail counts too.
+  detect::DetectionEstimate a, b;
+  a.trials = 5;
+  a.rail_detected = {1, 2};
+  a.zero_check_detected = 3;
+  b.trials = 7;
+  b.rail_detected = {10, 20};
+  b.zero_check_detected = 1;
+  a += b;
+  EXPECT_EQ(a.trials, 12u);
+  EXPECT_EQ(a.rail_detected, (std::vector<std::uint64_t>{11, 22}));
+  EXPECT_EQ(a.zero_check_detected, 4u);
+}
+
+// Per-rail detected counts through the packed sharded engine: present,
+// consistent with the combined count, and bit-identical across thread
+// counts (the determinism contract extended to the partition).
+TEST(DetectRailPartition, PerRailCountsDeterministicAcrossThreads) {
+  const Circuit round = DetectVsCorrectExperiment::scrambler_round();
+  Circuit chain(3);
+  for (int r = 0; r < 8; ++r) chain.append(round);
+  detect::ParityRailOptions rail_opts;
+  rail_opts.check_every = 3;
+  rail_opts.rail_partition = {{0}, {1, 2}};
+  const auto checked = detect::to_parity_rail(chain, rail_opts);
+  ASSERT_EQ(checked.rails.size(), 2u);
+
+  struct Kernel {
+    std::array<std::uint64_t, 3> lane_inputs{};
+    void prepare(PackedState& state, Xoshiro256& rng, std::uint64_t) {
+      for (std::uint32_t k = 0; k < 3; ++k) {
+        lane_inputs[k] = rng.next();
+        state.word(k) = lane_inputs[k];
+      }
+    }
+    bool classify(const PackedState&, int, std::uint64_t) const {
+      return false;  // only the detection split matters here
+    }
+  };
+
+  ParallelMcOptions opts;
+  opts.trials = 50000;
+  opts.seed = 0x7e57;
+  opts.batches_per_shard = 4;
+  detect::DetectionEstimate runs[3];
+  const int threads[3] = {1, 3, 8};
+  for (int t = 0; t < 3; ++t) {
+    opts.threads = threads[t];
+    runs[t] = detect::run_parallel_checked_mc(
+        checked, NoiseModel::uniform(0.01), opts,
+        [&](std::uint64_t) { return Kernel{}; });
+  }
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[0], runs[2]);
+  ASSERT_EQ(runs[0].rail_detected.size(), 2u);
+  EXPECT_GT(runs[0].detected, 0u);
+  // Each trial that fired some rail is counted in `detected`, so no
+  // rail can exceed it, and together the rails (plus zero checks,
+  // none here) must account for at least every detection.
+  EXPECT_LE(runs[0].rail_detected[0], runs[0].detected);
+  EXPECT_LE(runs[0].rail_detected[1], runs[0].detected);
+  EXPECT_GE(runs[0].rail_detected[0] + runs[0].rail_detected[1],
+            runs[0].detected);
+  EXPECT_EQ(runs[0].zero_check_detected, 0u);
 }
 
 // --- skip_benign -----------------------------------------------------

@@ -8,6 +8,7 @@
 // workloads.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -136,26 +137,144 @@ TEST(CheckedMachineCensus, NotAndInitProgramsAreFaultSecure) {
   }
 }
 
-// Negative control — the finding that motivates the zero checks: with
-// the recovery-boundary zero checks disabled, the checked 1D machine
-// is NOT fault-secure. An even-weight fault on an interleave SWAP3
-// damages one bit of two different codewords: the global rail parity
-// is unchanged, yet the transversal gate propagates both control
-// damages onto a single target codeword, which then majority-decodes
-// wrong. The recovery-boundary syndromes (nonzero because both control
-// codewords arrive non-uniform) are what close this hole.
-TEST(CheckedMachineCensus, RailAloneIsNotEnoughIn1d) {
+// Negative control — the finding that motivates both the zero checks
+// and the rail partition: with the recovery-boundary zero checks
+// disabled, the GLOBAL-rail 1D machine is NOT fault-secure. An
+// even-weight fault on an interleave SWAP3 damages one bit of two
+// different codewords: the global rail parity is unchanged, yet the
+// transversal gate propagates both control damages onto a single
+// target codeword, which then majority-decodes wrong. The
+// recovery-boundary syndromes (nonzero because both control codewords
+// arrive non-uniform) close this hole — and so does refining the rail
+// into one per block (the next test): the same fault is odd in BOTH
+// damaged blocks' groups.
+TEST(CheckedMachineCensus, GlobalRailAloneIsNotEnoughIn1d) {
   Circuit logical(3);
   logical.toffoli(0, 1, 2);
   CheckedMachineOptions opts;
+  opts.rails = RailGranularity::kGlobal;
   opts.zero_checks = false;
   opts.check_every = 1;  // even per-op rail checkpoints cannot help
   const CheckedMachine1d machine(3, /*with_init=*/true, opts);
   const auto census = machine_detection_census(machine.compile(logical), logical);
   EXPECT_GT(census.silent_harmful, 0u)
-      << "if this starts passing, the rail alone became sufficient and "
-         "the zero-check machinery deserves a second look";
+      << "if this starts passing, the global rail alone became sufficient "
+         "and the zero-check machinery deserves a second look";
   EXPECT_FALSE(census.fault_secure());
+}
+
+// The partition payoff, pinned: the SAME configuration with per-block
+// rails instead of the global one — zero checks still disabled — IS
+// fault-secure. Every cross-codeword interleave fault that defeats
+// the global rail damages two different blocks' values, so it is odd
+// in two groups and both rails fire. (The shipped default keeps the
+// boundary zero checks anyway: they abort earlier and they are what
+// licenses the known-zero elision.)
+TEST(CheckedMachineCensus, PerBlockRailsAloneAreFaultSecureIn1d) {
+  Circuit logical(3);
+  logical.toffoli(0, 1, 2);
+  CheckedMachineOptions opts;
+  opts.rails = RailGranularity::kPerBlock;
+  opts.zero_checks = false;
+  opts.check_every = 1;  // same checkpoint schedule as the control
+  const CheckedMachine1d machine(3, /*with_init=*/true, opts);
+  const auto census = machine_detection_census(machine.compile(logical), logical);
+  EXPECT_EQ(census.silent_harmful, 0u);
+  EXPECT_TRUE(census.fault_secure());
+  EXPECT_GT(census.detected_harmful, 0u);
+}
+
+// The PR 2/3 configuration — single global rail, boundary zero checks,
+// elision — reproduces its census counts bit-for-bit: the partition
+// refactor must not move a single scenario for the trivial partition.
+// (Counts pinned from BENCH_local_checked.json as emitted by PR 3.)
+TEST(CheckedMachineCensus, GlobalRailCensusCountsPinned) {
+  Circuit logical(3);
+  logical.toffoli(2, 1, 0);  // the routed cycle bench_local_checked prints
+  CheckedMachineOptions opts;
+  opts.rails = RailGranularity::kGlobal;
+  const auto census1 = machine_detection_census(
+      CheckedMachine1d(3, /*with_init=*/true, opts).compile(logical), logical);
+  EXPECT_EQ(census1.scenarios, 12352u);
+  EXPECT_EQ(census1.detected_harmful, 168u);
+  EXPECT_EQ(census1.silent_harmful, 0u);
+  const auto census2 = machine_detection_census(
+      CheckedMachine2d(3, /*with_init=*/true, opts).compile(logical), logical);
+  EXPECT_EQ(census2.scenarios, 7080u);
+  EXPECT_EQ(census2.detected_harmful, 0u);
+  EXPECT_EQ(census2.silent_harmful, 0u);
+}
+
+// The acceptance pin for the partition: a concrete cross-codeword
+// interleave fault class — an even-weight corruption of a SWAP/SWAP3
+// in the 1D gather/ungather schedule, damaging bits of two different
+// blocks — that the global rail alone misses (silent AND harmful) but
+// the per-block rails catch. Faults are injected at ORIGINAL op
+// coordinates via source_position so both configurations see the
+// identical corruption; zero checks are disabled in both so the rails
+// alone are compared.
+TEST(CheckedMachineCensus, PerBlockRailsCatchInterleaveFaultsGlobalRailMisses) {
+  Circuit logical(3);
+  logical.toffoli(0, 1, 2);  // adjacent operands: the program is one cycle
+  CheckedMachineOptions global_opts;
+  global_opts.rails = RailGranularity::kGlobal;
+  global_opts.zero_checks = false;
+  global_opts.check_every = 1;
+  CheckedMachineOptions block_opts = global_opts;
+  block_opts.rails = RailGranularity::kPerBlock;
+  const auto global_program =
+      CheckedMachine1d(3, true, global_opts).compile(logical);
+  const auto block_program =
+      CheckedMachine1d(3, true, block_opts).compile(logical);
+  const Circuit& physical = Machine1d(3).compile(logical).physical;
+  ASSERT_EQ(global_program.checked.source_position.size(), physical.size());
+  ASSERT_EQ(block_program.checked.source_position.size(), physical.size());
+
+  std::uint64_t rescued_swap_faults = 0;  // silent+harmful -> detected
+  for (unsigned input = 0; input < 8; ++input) {
+    StateVector sv(global_program.checked.data_width);
+    for (std::uint32_t i = 0; i < 3; ++i)
+      for (const auto bit : global_program.input_cells[i])
+        sv.set_bit(bit, static_cast<std::uint8_t>((input >> i) & 1u));
+    const unsigned expected = static_cast<unsigned>(simulate(logical, input));
+    const auto wrong = [&](const CheckedMachineProgram& program,
+                           const StateVector& out) {
+      for (std::uint32_t i = 0; i < 3; ++i) {
+        const auto& cw = program.output_cells[i];
+        if (majority3(out.bit(cw[0]), out.bit(cw[1]), out.bit(cw[2])) !=
+            static_cast<int>((expected >> i) & 1u))
+          return true;
+      }
+      return false;
+    };
+    for (std::size_t op = 0; op < physical.size(); ++op) {
+      const GateKind kind = physical.op(op).kind;
+      if (kind != GateKind::kSwap && kind != GateKind::kSwap3) continue;
+      for (unsigned v = 0; v < (1u << physical.op(op).arity()); ++v) {
+        const auto g_run = detect::checked_run_with_faults(
+            global_program.checked, sv,
+            {{global_program.checked.source_position[op], v}});
+        if (g_run.detected || !wrong(global_program, g_run.state))
+          continue;  // not a silent-harmful escape of the global rail
+        const auto b_run = detect::checked_run_with_faults(
+            block_program.checked, sv,
+            {{block_program.checked.source_position[op], v}});
+        if (b_run.detected) {
+          ++rescued_swap_faults;
+          // The damage really is cross-block: the global parity stayed
+          // even, so the per-rail flips must pair up — at least two
+          // different rails fired.
+          int fired = 0;
+          for (const auto f : b_run.rail_fired) fired += f != 0;
+          EXPECT_GE(fired, 2);
+        }
+      }
+    }
+  }
+  EXPECT_GT(rescued_swap_faults, 0u)
+      << "per-block rails no longer catch the cross-codeword interleave "
+         "fault class the global rail misses — the partition lost its "
+         "reason to exist";
 }
 
 // --- routing is parity-preserving for every gate kind ----------------
@@ -316,12 +435,65 @@ TEST(CheckedMachineDeterminism, MachineExperimentBitIdenticalAcrossThreads) {
   const auto t1 = exp.run(0.005, 1);
   const auto t3 = exp.run(0.005, 3);
   const auto t8 = exp.run(0.005, 8);
+  // operator== covers the per-rail detected counts, so this is the
+  // REVFT_THREADS ∈ {1, 3, 8} bit-identity of the whole partition
+  // split, not just the four aggregate outcomes.
   EXPECT_EQ(t1, t3);
   EXPECT_EQ(t1, t8);
+  // The default machine partition is one rail per block: per-rail
+  // counts are present, each bounded by the total, and under noise the
+  // boundary zero checks fire too.
+  ASSERT_EQ(t1.rail_detected.size(), 4u);
+  for (const auto count : t1.rail_detected) EXPECT_LE(count, t1.detected);
+  EXPECT_GT(t1.detected, 0u);
+  EXPECT_GT(t1.zero_check_detected, 0u);
   // Sanity: at g = 0 nothing fires.
   const auto clean = exp.run(0.0, 2);
   EXPECT_EQ(clean.detected, 0u);
   EXPECT_EQ(clean.silent_failures, 0u);
+  EXPECT_EQ(clean.zero_check_detected, 0u);
+}
+
+// The membership snapshots a checked machine program carries: one per
+// checkpoint, tiling all 9B cells across the B block rails, and the
+// exit snapshot maps every logical bit's final data cells to its own
+// block's rail — the lookup a block-localized retry needs.
+TEST(CheckedMachineDeterminism, CheckpointGroupsTrackBlocks) {
+  Circuit logical(4);
+  logical.toffoli(3, 1, 0).maj(0, 2, 3);  // routed: blocks move
+  const auto program = CheckedMachine1d(4).compile(logical);
+  const auto& checked = program.checked;
+  ASSERT_EQ(checked.rails.size(), 4u);
+  ASSERT_EQ(checked.checkpoint_groups.size(), checked.checkpoints.size());
+  for (const auto& groups : checked.checkpoint_groups) {
+    std::size_t covered = 0;
+    std::vector<char> seen(checked.data_width, 0);
+    for (const auto& group : groups)
+      for (const auto bit : group) {
+        ASSERT_EQ(seen[bit], 0);
+        seen[bit] = 1;
+        ++covered;
+      }
+    EXPECT_EQ(covered, checked.data_width);
+  }
+  // Exit membership: logical bit i's final codeword cells all sit in
+  // the group of one rail — block rails follow their data through the
+  // routing fabric.
+  const auto& exit_groups = checked.checkpoint_groups.back();
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    int home_rail = -1;
+    for (const auto bit : program.output_cells[i]) {
+      int rail_of_bit = -1;
+      for (std::size_t r = 0; r < exit_groups.size(); ++r)
+        if (std::find(exit_groups[r].begin(), exit_groups[r].end(), bit) !=
+            exit_groups[r].end())
+          rail_of_bit = static_cast<int>(r);
+      ASSERT_GE(rail_of_bit, 0);
+      if (home_rail < 0) home_rail = rail_of_bit;
+      EXPECT_EQ(rail_of_bit, home_rail)
+          << "logical bit " << i << " split across rails at exit";
+    }
+  }
 }
 
 // The checked engine's detection behaviour on local machines: under
