@@ -21,6 +21,7 @@
 
 #include "bench_common.h"
 #include "detect/checked_mc.h"
+#include "detect/retry_model.h"
 #include "ft/detect_experiment.h"
 #include "ft/experiments.h"
 #include "local/checked_machine.h"
@@ -271,24 +272,30 @@ void print_g_sweep(benchutil::JsonResultWriter& json) {
   // The retry economics of localization: per-block rails vs the global
   // rail on the same 1D workload. Whole-program retry costs are nearly
   // identical (the partition adds a handful of rail ops); the per-rail
-  // counts are what a BLOCK-local retry protocol would act on.
+  // counts are what a BLOCK-local retry protocol acts on — the
+  // "block-local model" column prices it with the shared
+  // detect::retry_cost_model, and bench_recover measures the real
+  // thing against that number.
   CheckedMachineOptions global;
   global.rails = RailGranularity::kGlobal;
   const CheckedMachineExperiment exp_global(
       CheckedMachine1d(10, true, global).compile(logical), logical, config);
   const std::uint64_t ops_global = exp_global.program().checked.circuit.size();
+  const std::uint64_t blocks = exp1d.program().stats.rails;
   AsciiTable retry({"g", "abort global", "abort per-block", "silent global",
                     "silent per-block", "E[ops/accept] global",
-                    "E[ops/accept] per-block"});
+                    "E[ops/accept] per-block", "block-local model"});
   for (const double g : {1e-3, 3e-3, 1e-2}) {
     const auto eg = exp_global.run(g);
     const auto& eb = sweep1d.at(g);  // deterministic: same run as above
+    const auto model = detect::retry_cost_model(eb, ops1, blocks);
     retry.add_row({AsciiTable::sci(g, 1), AsciiTable::fixed(eg.detected_rate(), 4),
                    AsciiTable::fixed(eb.detected_rate(), 4),
                    AsciiTable::sci(eg.silent_rate(), 2),
                    AsciiTable::sci(eb.silent_rate(), 2),
                    AsciiTable::sci(eg.expected_ops_to_accept(ops_global), 2),
-                   AsciiTable::sci(eb.expected_ops_to_accept(ops1), 2)});
+                   AsciiTable::sci(eb.expected_ops_to_accept(ops1), 2),
+                   AsciiTable::sci(model.block_local, 2)});
     char section[40];
     std::snprintf(section, sizeof section, "retry_g_%.0e", g);
     json.add(section, "abort_rate_global", eg.detected_rate());
@@ -299,8 +306,31 @@ void print_g_sweep(benchutil::JsonResultWriter& json) {
              eg.expected_ops_to_accept(ops_global));
     json.add(section, "expected_ops_to_accept_per_block",
              eb.expected_ops_to_accept(ops1));
+    json.add(section, "block_local_model", model.block_local);
   }
   std::printf("%s", retry.str().c_str());
+
+  // Which block gets named? Per-rail detection rates on the 1D
+  // workload (DetectionEstimate::rail_detected_rate): the suspect-block
+  // histogram a block-local retry consumes.
+  std::vector<std::string> rail_headers{"g"};
+  for (std::uint64_t r = 0; r < blocks; ++r)
+    rail_headers.push_back("rail " + std::to_string(r));
+  AsciiTable rails_table(rail_headers);
+  for (const double g : {1e-3, 3e-3}) {
+    const auto& eb = sweep1d.at(g);
+    std::vector<std::string> row{AsciiTable::sci(g, 1)};
+    char section[40];
+    std::snprintf(section, sizeof section, "rail_rates_g_%.0e", g);
+    for (std::size_t r = 0; r < blocks; ++r) {
+      row.push_back(AsciiTable::fixed(eb.rail_detected_rate(r), 4));
+      json.add(section, "rail_" + std::to_string(r),
+               eb.rail_detected_rate(r));
+    }
+    rails_table.add_row(row);
+  }
+  std::printf("\nper-rail detection rates (fraction of trials naming block r):\n%s",
+              rails_table.str().c_str());
 }
 
 // --- determinism across thread counts --------------------------------

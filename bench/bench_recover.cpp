@@ -1,0 +1,309 @@
+// bench_recover — the checkpointed retry protocols, measured.
+//
+// PR 4 priced retries with a geometric MODEL (detect/retry_model.h);
+// the recover/ subsystem actually replays. This bench puts the two
+// side by side on the checked 1D and 2D machine workloads at equal
+// fallible-op budgets (same checked circuit, same trials — policies
+// differ only in how they react to a fired check):
+//
+//   1. the segment-plan accounting: how the machines slice into
+//      replayable segments and how big the routing-entangled replay
+//      components really are (the mechanism's answer to the model's
+//      optimistic 1/B share);
+//   2. the headline table: REAL E[ops/accept] for {no-retry,
+//      whole-program, block-local} vs the modeled numbers, with the
+//      acceptance bar block-local <= whole-program checked in-line;
+//   3. thread-count determinism of the full protocol (retries, rail
+//      counters and op accounting included);
+//   4. google-benchmark kernels: the recovering engine vs the plain
+//      checked engine per original op.
+//
+// Emits BENCH_recover.json.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "detect/checked_mc.h"
+#include "detect/retry_model.h"
+#include "ft/experiments.h"
+#include "ft/machine_kernel.h"
+#include "ft/recover_experiment.h"
+#include "local/checked_machine.h"
+#include "recover/recovering_mc.h"
+#include "support/table.h"
+
+using namespace revft;
+
+namespace {
+
+/// Same scattered 10-bit workload as bench_local_checked: heavy
+/// routing, the regime the §3 machines (and their rails) are built for.
+Circuit scattered_workload() {
+  Circuit logical(10);
+  logical.maj(9, 4, 0)
+      .toffoli(0, 7, 9)
+      .majinv(4, 1, 8)
+      .fredkin(2, 6, 9)
+      .swap3(0, 5, 9);
+  return logical;
+}
+
+// --- segment-plan accounting -----------------------------------------
+
+void add_plan_row(AsciiTable& table, benchutil::JsonResultWriter& json,
+                  const char* label, const CheckedMachineProgram& program,
+                  const recover::SegmentPlan& plan) {
+  std::size_t components = 0, multi = 0;
+  for (const auto& seg : plan.segments) {
+    components += seg.components.size();
+    if (seg.components.size() > 1) ++multi;
+  }
+  table.add_row({label, AsciiTable::cell(plan.total_ops),
+                 AsciiTable::cell(plan.segments.size()),
+                 AsciiTable::cell(program.stats.rails),
+                 AsciiTable::cell(components), AsciiTable::cell(multi),
+                 AsciiTable::fixed(plan.mean_max_replay_share(), 3),
+                 AsciiTable::fixed(plan.worst_replay_share(), 3)});
+  json.add(label, "checked_ops", plan.total_ops);
+  json.add(label, "segments", static_cast<std::uint64_t>(plan.segments.size()));
+  json.add(label, "components", static_cast<std::uint64_t>(components));
+  json.add(label, "mean_max_replay_share", plan.mean_max_replay_share());
+  json.add(label, "worst_replay_share", plan.worst_replay_share());
+}
+
+void print_plan(const RecoveryExperiment& exp1d, const RecoveryExperiment& exp2d,
+                benchutil::JsonResultWriter& json) {
+  benchutil::print_header(
+      "Segment plans: what a block-local retry actually replays",
+      "recover/plan.h — routing entangles blocks into replay components");
+  AsciiTable table({"machine", "checked ops", "segments", "rails", "components",
+                    "multi-comp segs", "mean max share", "worst share"});
+  add_plan_row(table, json, "plan_1d", exp1d.program(), exp1d.plan());
+  add_plan_row(table, json, "plan_2d", exp2d.program(), exp2d.plan());
+  std::printf("%s", table.str().c_str());
+  std::printf(
+      "the model prices a block replay at 1/B of the program; the mechanism\n"
+      "must replay the routing-connected COMPONENT from the last accepted\n"
+      "boundary — 'share' columns show the worst component per segment, so\n"
+      "1.0 means some segment's routing glues every block together (the\n"
+      "init/interleave stages do exactly that).\n");
+}
+
+// --- the headline: measured vs modeled E[ops/accept] -----------------
+
+struct PolicyRun {
+  const char* label;
+  recover::RecoveryEstimate est;
+  double modeled;  // model's E[ops/accept] for this protocol
+};
+
+bool print_economics_for(const char* machine_label,
+                         const RecoveryExperiment& exp,
+                         const detect::DetectionEstimate& detection, double g,
+                         benchutil::JsonResultWriter& json) {
+  const std::uint64_t ops = exp.program().checked.circuit.size();
+  const std::uint64_t blocks = exp.program().stats.rails;
+  const detect::RetryCostModel model =
+      detect::retry_cost_model(detection, ops, blocks);
+
+  PolicyRun runs[] = {
+      {"no-retry", exp.run(g, recover::RetryPolicy::no_retry()),
+       model.whole_program},
+      {"whole-program", exp.run(g, recover::RetryPolicy::whole_program()),
+       model.whole_program},
+      {"block-local", exp.run(g, recover::RetryPolicy::block_local()),
+       model.block_local},
+  };
+
+  AsciiTable table({"policy", "accepted", "acc rate", "err|accepted",
+                    "E[ops/accept]", "modeled", "meas/model", "retries",
+                    "restarts"});
+  for (const PolicyRun& run : runs) {
+    const double measured = run.est.expected_ops_per_accept();
+    table.add_row(
+        {run.label, AsciiTable::cell(run.est.accepted),
+         AsciiTable::fixed(run.est.acceptance_rate(), 4),
+         AsciiTable::sci(run.est.accepted_error_rate(), 2),
+         AsciiTable::sci(measured, 3), AsciiTable::sci(run.modeled, 3),
+         std::isfinite(measured) && std::isfinite(run.modeled) &&
+                 run.modeled > 0.0
+             ? AsciiTable::fixed(measured / run.modeled, 3)
+             : std::string("-"),
+         AsciiTable::cell(run.est.local_retries),
+         AsciiTable::cell(run.est.program_restarts)});
+    char section[64];
+    std::snprintf(section, sizeof section, "%s_g_%.0e_%s", machine_label, g,
+                  run.label);
+    json.add(section, "accepted", run.est.accepted);
+    json.add(section, "rejected", run.est.rejected);
+    json.add(section, "silent_failures", run.est.silent_failures);
+    json.add(section, "detected_trials", run.est.detected_trials);
+    json.add(section, "local_retries", run.est.local_retries);
+    json.add(section, "program_restarts", run.est.program_restarts);
+    json.add(section, "fallbacks", run.est.fallbacks);
+    json.add(section, "ops_total", run.est.ops_total());
+    json.add(section, "expected_ops_per_accept", measured);
+    json.add(section, "modeled_ops_per_accept", run.modeled);
+  }
+  std::printf("%s, g = %g (%llu checked ops, %llu rails):\n%s", machine_label,
+              g, static_cast<unsigned long long>(ops),
+              static_cast<unsigned long long>(blocks), table.str().c_str());
+
+  const bool bar = runs[2].est.expected_ops_per_accept() <=
+                   runs[1].est.expected_ops_per_accept();
+  std::printf("block-local <= whole-program E[ops/accept]: %s\n\n",
+              bar ? "PASS" : "FAIL");
+  char section[64];
+  std::snprintf(section, sizeof section, "%s_g_%.0e_%s", machine_label, g,
+                "bar");
+  json.add(section, "block_local_leq_whole_program", bar ? 1.0 : 0.0);
+  return bar;
+}
+
+bool print_economics(const RecoveryExperiment& exp1d,
+                     const RecoveryExperiment& exp2d,
+                     const CheckedMachineExperiment& det1d,
+                     const CheckedMachineExperiment& det2d,
+                     benchutil::JsonResultWriter& json) {
+  benchutil::print_header(
+      "Measured vs modeled E[ops/accept] at equal fallible-op budgets",
+      "ROADMAP block-local retry protocol — model turned into mechanism");
+  bool all_pass = true;
+  for (const double g : {1e-3, 3e-3}) {
+    all_pass &= print_economics_for("1d", exp1d, det1d.run(g), g, json);
+    all_pass &= print_economics_for("2d", exp2d, det2d.run(g), g, json);
+  }
+  std::printf(
+      "the whole-program MEASURED cost lands below the geometric model\n"
+      "because the mechanism aborts at the FIRST fired boundary (the model\n"
+      "charges every aborted attempt the full program); block-local beats\n"
+      "both by replaying the fired component from the last accepted\n"
+      "boundary instead of restarting — the residual gap to the 1/B model\n"
+      "is the routing entanglement priced in the plan table above.\n");
+  return all_pass;
+}
+
+// --- determinism across worker counts --------------------------------
+
+void print_determinism(const RecoveryExperiment& exp,
+                       benchutil::JsonResultWriter& json) {
+  benchutil::print_header(
+      "Recovering-engine determinism: full protocol vs REVFT_THREADS",
+      "engine contract (no paper analogue)");
+  recover::RecoveryEstimate results[3];
+  const int thread_counts[3] = {1, 3, 8};
+  for (int i = 0; i < 3; ++i)
+    results[i] =
+        exp.run(3e-3, recover::RetryPolicy::block_local(), thread_counts[i]);
+  const bool identical = results[0] == results[1] && results[0] == results[2];
+  AsciiTable table(
+      {"threads", "accepted", "local retries", "restarts", "ops total"});
+  for (int i = 0; i < 3; ++i)
+    table.add_row({std::to_string(thread_counts[i]),
+                   AsciiTable::cell(results[i].accepted),
+                   AsciiTable::cell(results[i].local_retries),
+                   AsciiTable::cell(results[i].program_restarts),
+                   AsciiTable::cell(results[i].ops_total())});
+  std::printf("%s", table.str().c_str());
+  std::printf("bit-identical across thread counts (retries included): %s\n",
+              identical ? "yes" : "NO");
+  json.add("determinism", "threads_bit_identical", identical ? 1.0 : 0.0);
+  json.add("determinism", "accepted", results[0].accepted);
+  json.add("determinism", "ops_total", results[0].ops_total());
+  std::uint64_t rail_sum = 0;
+  for (const auto count : results[0].rail_events) rail_sum += count;
+  json.add("determinism", "rail_events_sum", rail_sum);
+}
+
+// --- google-benchmark kernels ----------------------------------------
+
+void BM_RecoveringMachine1d(benchmark::State& state) {
+  const Circuit logical = scattered_workload();
+  const auto program =
+      CheckedMachine1d(10, true, recovering_machine_options()).compile(logical);
+  const auto plan = recover::build_segment_plan(program.checked);
+  const auto policy = recover::RetryPolicy::block_local();
+  const auto truth = machine_truth_table(logical);
+  PackedSimulator sim(NoiseModel::uniform(1e-3), benchutil::seed_from_env());
+  PackedState ps(program.checked.circuit.width());
+  MachineWorkloadKernel kernel = make_machine_kernel(program, truth);
+  std::uint64_t batch = 0;
+  for (auto _ : state) {
+    const auto est = recover::run_recovering_mc_span(
+        sim, ps, program.checked, plan, policy, batch++, 64,
+        [&kernel](PackedState& s, Xoshiro256& rng, std::uint64_t b) {
+          kernel.prepare(s, rng, b);
+        },
+        [&kernel](const PackedState& s, int lane, std::uint64_t b) {
+          return kernel.classify(s, lane, b);
+        });
+    benchmark::DoNotOptimize(est.accepted);
+  }
+  // Items = ORIGINAL machine ops x lanes, comparable to the checked
+  // engine kernels of bench_local_checked.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(program.stats.total_ops) *
+                          64);
+}
+BENCHMARK(BM_RecoveringMachine1d);
+
+void BM_CheckedMachine1dApplyBaseline(benchmark::State& state) {
+  const Circuit logical = scattered_workload();
+  const auto program =
+      CheckedMachine1d(10, true, recovering_machine_options()).compile(logical);
+  PackedSimulator sim(NoiseModel::uniform(1e-3), benchutil::seed_from_env());
+  PackedState ps(program.checked.circuit.width());
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    acc ^= detect::apply_noisy_checked(sim, ps, program.checked);
+    benchmark::DoNotOptimize(ps);
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(program.stats.total_ops) *
+                          64);
+}
+BENCHMARK(BM_CheckedMachine1dApplyBaseline);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::JsonResultWriter json("recover");
+  const std::uint64_t trials = benchutil::trials_from_env(100000);
+  const std::uint64_t seed = benchutil::seed_from_env();
+  json.meta("trials", trials);
+  json.meta("seed", seed);
+
+  const Circuit logical = scattered_workload();
+  RecoveryExperiment::Config config;
+  config.trials = trials;
+  config.seed = seed;
+  const RecoveryExperiment exp1d(
+      CheckedMachine1d(10, true, recovering_machine_options()).compile(logical),
+      logical, config);
+  const RecoveryExperiment exp2d(
+      CheckedMachine2d(10, true, recovering_machine_options()).compile(logical),
+      logical, config);
+  // Model inputs: the plain checked engine on the SAME programs, same
+  // budget — its DetectionEstimate feeds detect::retry_cost_model.
+  CheckedMachineExperiment::Config det_config;
+  det_config.trials = trials;
+  det_config.seed = seed;
+  const CheckedMachineExperiment det1d(exp1d.program(), logical, det_config);
+  const CheckedMachineExperiment det2d(exp2d.program(), logical, det_config);
+
+  print_plan(exp1d, exp2d, json);
+  const bool all_pass = print_economics(exp1d, exp2d, det1d, det2d, json);
+  print_determinism(exp1d, json);
+  json.add("summary", "economics_bar_all_pass", all_pass ? 1.0 : 0.0);
+  json.write();
+
+  std::printf("\n-- kernel timings --\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -17,6 +17,7 @@
 #include <cstdlib>
 
 #include "detect/checker.h"
+#include "detect/retry_model.h"
 #include "ft/experiments.h"
 #include "local/checked_machine.h"
 #include "noise/injection.h"
@@ -100,28 +101,20 @@ int main(int argc, char** argv) {
   const std::uint64_t blocks = exp.program().stats.rails;
 
   AsciiTable table({"g", "abort rate", "zero-check share", "top rail",
-                    "E[ops/accept] whole", "block-local model"});
+                    "top rail rate", "E[ops/accept] whole",
+                    "block-local model"});
   for (const double g : {1e-4, 1e-3, 3e-3}) {
     const auto est = exp.run(g);
     // Which block's rail fires most often at this noise level?
     std::size_t top = 0;
     for (std::size_t r = 1; r < est.rail_detected.size(); ++r)
       if (est.rail_detected[r] > est.rail_detected[top]) top = r;
-    // Block-local model: every accepted attempt pays the program once;
-    // each aborted attempt is replaced by re-running only the fired
-    // rails' blocks (a 1/B share each) instead of the whole program.
-    double rail_fires = 0;
-    for (const auto count : est.rail_detected)
-      rail_fires += static_cast<double>(count);
-    rail_fires += static_cast<double>(est.zero_check_detected);
-    const double per_trial_rework =
-        est.trials ? rail_fires / static_cast<double>(est.trials) : 0.0;
-    const double block_local =
-        est.acceptance_rate() > 0.0
-            ? static_cast<double>(ops) *
-                  (1.0 + per_trial_rework / est.acceptance_rate() /
-                             static_cast<double>(blocks))
-            : 0.0;
+    // Block-local model (detect/retry_model.h, shared with
+    // bench_local_checked and bench_recover): every accepted attempt
+    // pays the program once; each aborted attempt is replaced by
+    // re-running only the fired rails' blocks (a 1/B share each)
+    // instead of the whole program.
+    const auto model = detect::retry_cost_model(est, ops, blocks);
     table.add_row(
         {AsciiTable::sci(g, 1), AsciiTable::fixed(est.detected_rate(), 4),
          AsciiTable::fixed(est.detected ? static_cast<double>(
@@ -130,18 +123,20 @@ int main(int argc, char** argv) {
                                         : 0.0,
                            3),
          "rail " + std::to_string(top),
-         AsciiTable::sci(est.expected_ops_to_accept(ops), 2),
-         est.acceptance_rate() > 0.0 ? AsciiTable::sci(block_local, 2)
-                                     : "inf"});
+         AsciiTable::fixed(est.rail_detected_rate(top), 4),
+         AsciiTable::sci(model.whole_program, 2),
+         AsciiTable::sci(model.block_local, 2)});
   }
   std::printf("%s", table.str().c_str());
   std::printf(
       "\na fired rail names the suspect block: a block-local retry re-runs\n"
       "one 9-cell block (1/%llu of the machine) instead of all %llu checked\n"
       "ops — the gap between the last two columns is what localization is\n"
-      "worth. The block-local column is a cost MODEL (it assumes re-running\n"
-      "a block clears its rail); building that protocol for real is the\n"
-      "concatenated detect+correct item on the ROADMAP.\n",
+      "worth. These are MODEL numbers (detect::retry_cost_model); the\n"
+      "src/recover/ subsystem implements the protocol for real — a\n"
+      "checkpoint at every accepted recovery boundary, component replay\n"
+      "when a rail fires — and bench_recover measures its true\n"
+      "E[ops/accept] against this model.\n",
       static_cast<unsigned long long>(blocks),
       static_cast<unsigned long long>(ops));
   return 0;

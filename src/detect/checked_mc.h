@@ -56,6 +56,16 @@ struct DetectionEstimate {
   std::uint64_t false_alarms() const noexcept {
     return detected - detected_failures;
   }
+  /// Fraction of trials in which rail r fired — the per-rail share of
+  /// the localization story (under the checked machines' per-block
+  /// partition, how often block r was named the suspect). Zero for a
+  /// rail index this estimate never recorded (and with no trials).
+  double rail_detected_rate(std::size_t r) const noexcept {
+    return trials != 0 && r < rail_detected.size()
+               ? static_cast<double>(rail_detected[r]) /
+                     static_cast<double>(trials)
+               : 0.0;
+  }
   double detected_rate() const noexcept {
     return trials ? static_cast<double>(detected) / static_cast<double>(trials)
                   : 0.0;

@@ -1,0 +1,33 @@
+#include "detect/retry_model.h"
+
+#include <limits>
+
+#include "support/error.h"
+
+namespace revft::detect {
+
+RetryCostModel retry_cost_model(const DetectionEstimate& est,
+                                std::uint64_t ops_per_trial,
+                                std::uint64_t blocks) {
+  REVFT_CHECK_MSG(blocks >= 1, "retry_cost_model: need at least one block");
+  RetryCostModel model;
+  model.acceptance = est.acceptance_rate();
+  if (est.trials != 0) {
+    double fires = static_cast<double>(est.zero_check_detected);
+    for (const std::uint64_t count : est.rail_detected)
+      fires += static_cast<double>(count);
+    model.per_trial_rework = fires / static_cast<double>(est.trials);
+  }
+  // One arithmetic for the whole-program number everywhere: the same
+  // helper the bench g-sweeps print (infinite when every trial aborts).
+  model.whole_program = est.expected_ops_to_accept(ops_per_trial);
+  model.block_local =
+      model.acceptance > 0.0
+          ? static_cast<double>(ops_per_trial) *
+                (1.0 + model.per_trial_rework / model.acceptance /
+                           static_cast<double>(blocks))
+          : std::numeric_limits<double>::infinity();
+  return model;
+}
+
+}  // namespace revft::detect

@@ -1,0 +1,55 @@
+// revft/detect/retry_model.h
+//
+// The geometric retry-cost MODEL shared by examples/multi_rail,
+// bench_local_checked and the recover/ subsystem (bench_recover prints
+// its columns next to the measured ones).
+//
+// A detect-and-retry consumer reruns until a trial is accepted, so at
+// acceptance rate a the whole-program protocol pays a geometric number
+// of attempts, mean 1/a:
+//
+//   E[ops/accept | whole-program] = ops / a.
+//
+// A rail partition localizes every abort: the fired rail names the
+// suspect block, so a block-local protocol replaces each whole-program
+// rerun with a re-run of just the fired rails' blocks. Modeling a
+// block replay as a 1/B share of the program (B disjoint blocks tiling
+// the machine) and reading the mean number of fired checks per trial
+// off the per-rail detected counts gives
+//
+//   E[ops/accept | block-local] = ops * (1 + rework / (a * B)),
+//   rework = (sum_r rail_detected[r] + zero_check_detected) / trials.
+//
+// Both are MODEL numbers: they assume a replay clears its rail and
+// ignore that routing entangles neighbouring blocks (a replay unit is
+// really the routing-connected component, see recover/plan.h). The
+// recover/ subsystem is the mechanism these numbers are compared
+// against — bench_recover measures the real E[ops/accept] and prints
+// the model's error.
+#pragma once
+
+#include <cstdint>
+
+#include "detect/checked_mc.h"
+
+namespace revft::detect {
+
+/// Modeled retry economics of one DetectionEstimate.
+struct RetryCostModel {
+  double acceptance = 0.0;        ///< accepted / trials
+  double per_trial_rework = 0.0;  ///< mean fired checks per trial
+  /// Modeled E[ops/accept]: whole-program geometric retries vs
+  /// block-local 1/B replay shares. Infinite when every trial aborted.
+  double whole_program = 0.0;
+  double block_local = 0.0;
+};
+
+/// Price retries for a workload of `ops_per_trial` fallible ops whose
+/// checked run partitions into `blocks` rails (B in the file comment;
+/// the zero-check rework is charged a 1/B share too — a boundary check
+/// names one block). `blocks` must be >= 1.
+RetryCostModel retry_cost_model(const DetectionEstimate& est,
+                                std::uint64_t ops_per_trial,
+                                std::uint64_t blocks);
+
+}  // namespace revft::detect

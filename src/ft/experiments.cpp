@@ -1,6 +1,7 @@
 #include "ft/experiments.h"
 
 #include "ft/ec_circuit.h"
+#include "ft/machine_kernel.h"
 #include "rev/simulator.h"
 #include "support/error.h"
 
@@ -253,45 +254,8 @@ CheckedMachineExperiment::CheckedMachineExperiment(CheckedMachineProgram program
     : program_(std::move(program)), config_(config) {
   REVFT_CHECK_MSG(logical.width() == program_.logical_bits,
                   "CheckedMachineExperiment: program/logical width mismatch");
-  REVFT_CHECK_MSG(logical.width() <= 16,
-                  "CheckedMachineExperiment: truth table capped at 16 bits");
-  truth_.reserve(1u << logical.width());
-  for (unsigned v = 0; v < (1u << logical.width()); ++v)
-    truth_.push_back(static_cast<unsigned>(simulate(logical, v)));
+  truth_ = machine_truth_table(logical);
 }
-
-namespace {
-
-struct CheckedMachineKernel {
-  const CheckedMachineProgram* program;
-  const std::vector<unsigned>* truth;
-  std::vector<std::uint64_t> lane_inputs;
-
-  void prepare(PackedState& state, Xoshiro256& rng, std::uint64_t) {
-    for (std::uint32_t k = 0; k < program->logical_bits; ++k) {
-      lane_inputs[k] = rng.next();
-      for (const auto bit : program->input_cells[k])
-        state.word(bit) = lane_inputs[k];
-    }
-  }
-
-  bool classify(const PackedState& state, int lane, std::uint64_t) const {
-    unsigned input = 0;
-    for (std::uint32_t k = 0; k < program->logical_bits; ++k)
-      input |= static_cast<unsigned>((lane_inputs[k] >> lane) & 1u) << k;
-    const unsigned expected = (*truth)[input];
-    for (std::uint32_t k = 0; k < program->logical_bits; ++k) {
-      const auto& cw = program->output_cells[k];
-      const int votes = static_cast<int>(state.bit_lane(cw[0], lane)) +
-                        static_cast<int>(state.bit_lane(cw[1], lane)) +
-                        static_cast<int>(state.bit_lane(cw[2], lane));
-      if ((votes >= 2 ? 1u : 0u) != ((expected >> k) & 1u)) return true;
-    }
-    return false;
-  }
-};
-
-}  // namespace
 
 detect::DetectionEstimate CheckedMachineExperiment::run(double g,
                                                         int threads) const {
@@ -303,12 +267,12 @@ detect::DetectionEstimate CheckedMachineExperiment::run(double g,
   opts.seed = config_.seed;
   opts.threads = threads < 0 ? config_.threads : threads;
 
+  // The shared machine kernel (ft/machine_kernel.h): the recovering
+  // engine instantiates the same type, which is what keeps the
+  // cross-engine bit-for-bit contract honest.
   return detect::run_parallel_checked_mc(
-      program_.checked, model, opts, [&](std::uint64_t) {
-        return CheckedMachineKernel{
-            &program_, &truth_,
-            std::vector<std::uint64_t>(program_.logical_bits, 0)};
-      });
+      program_.checked, model, opts,
+      [&](std::uint64_t) { return make_machine_kernel(program_, truth_); });
 }
 
 }  // namespace revft

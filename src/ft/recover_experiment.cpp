@@ -1,0 +1,40 @@
+#include "ft/recover_experiment.h"
+
+#include "ft/machine_kernel.h"
+#include "support/error.h"
+
+namespace revft {
+
+CheckedMachineOptions recovering_machine_options() {
+  CheckedMachineOptions opts;  // per-block rails + zero checks (defaults)
+  opts.rail_check_every_boundary = true;  // localize violations per segment
+  return opts;
+}
+
+RecoveryExperiment::RecoveryExperiment(CheckedMachineProgram program,
+                                       const Circuit& logical,
+                                       const Config& config)
+    : program_(std::move(program)), config_(config) {
+  REVFT_CHECK_MSG(logical.width() == program_.logical_bits,
+                  "RecoveryExperiment: program/logical width mismatch");
+  plan_ = recover::build_segment_plan(program_.checked);
+  truth_ = machine_truth_table(logical);
+}
+
+recover::RecoveryEstimate RecoveryExperiment::run(
+    double g, const recover::RetryPolicy& policy, int threads) const {
+  NoiseModel model = NoiseModel::uniform(g);
+  if (!config_.noisy_init) model.with_perfect_init();
+
+  ParallelMcOptions opts;
+  opts.trials = config_.trials;
+  opts.seed = config_.seed;
+  opts.threads = threads < 0 ? config_.threads : threads;
+
+  return recover::run_parallel_recovering_mc(
+      program_.checked, plan_, policy, model, opts, [&](std::uint64_t) {
+        return make_machine_kernel(program_, truth_);
+      });
+}
+
+}  // namespace revft

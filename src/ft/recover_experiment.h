@@ -1,0 +1,71 @@
+// revft/ft/recover_experiment.h
+//
+// Monte-Carlo driver for the retry protocols on whole checked local
+// machines: the same workload family as CheckedMachineExperiment
+// (uniformly random logical inputs, majority-decode at the final
+// slots), but run through the recovering packed engine so the three
+// RetryPolicies can be priced against each other — and against the
+// geometric retry-cost MODEL (detect/retry_model.h) — at equal
+// fallible-op budgets: all policies execute the same checked circuit,
+// the only difference is how they react to a fired check.
+//
+// The driver arms the machine's rails for recovery:
+// rail_check_every_boundary is turned ON (the per-boundary rail
+// evaluation is what localizes a violation to the segment it happened
+// in — with the default final-only evaluation a rail firing at program
+// end could name a segment whose snapshot is long gone), on top of the
+// shipped per-block partition and boundary zero checks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "local/checked_machine.h"
+#include "noise/parallel_mc.h"
+#include "recover/plan.h"
+#include "recover/recovering_mc.h"
+#include "recover/retry.h"
+
+namespace revft {
+
+/// CheckedMachineOptions armed for recovery: per-block rails, boundary
+/// zero checks AND per-boundary rail checkpoints — the configuration
+/// every recovering workload (this experiment, bench_recover, the
+/// test_recover suites) shares.
+CheckedMachineOptions recovering_machine_options();
+
+/// Compile once (via CheckedMachine1d/2d with recovering options),
+/// build the segment plan once, then sweep (g, policy) with run().
+class RecoveryExperiment {
+ public:
+  struct Config {
+    bool noisy_init = true;
+    std::uint64_t trials = 100000;
+    std::uint64_t seed = 0x2ec04e2ULL;
+    int threads = 0;  ///< see LogicalGateExperimentConfig::threads
+  };
+
+  /// `logical` must be the circuit `program` was compiled from (width
+  /// <= 16 — the truth table judging outputs is exhaustive). The
+  /// program must have been compiled with per-boundary rail
+  /// checkpoints (recovering_machine_options()).
+  RecoveryExperiment(CheckedMachineProgram program, const Circuit& logical,
+                     const Config& config);
+
+  /// Run one policy at error rate g. Results are bit-identical for a
+  /// fixed seed at any worker count (pass `threads` >= 1 to pin one
+  /// for determinism checks; -1 = the config's).
+  recover::RecoveryEstimate run(double g, const recover::RetryPolicy& policy,
+                                int threads = -1) const;
+
+  const CheckedMachineProgram& program() const noexcept { return program_; }
+  const recover::SegmentPlan& plan() const noexcept { return plan_; }
+
+ private:
+  CheckedMachineProgram program_;
+  Config config_;
+  recover::SegmentPlan plan_;
+  std::vector<unsigned> truth_;  ///< 2^B logical outputs
+};
+
+}  // namespace revft

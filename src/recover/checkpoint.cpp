@@ -1,0 +1,44 @@
+#include "recover/checkpoint.h"
+
+#include "support/error.h"
+
+namespace revft::recover {
+
+void restore_cells(StateVector& state, const StateVector& snapshot,
+                   const std::vector<std::uint32_t>& cells) {
+  REVFT_CHECK_MSG(state.width() == snapshot.width(),
+                  "restore_cells: width mismatch");
+  for (const std::uint32_t cell : cells) state.set_bit(cell, snapshot.bit(cell));
+}
+
+void PackedCheckpoint::capture(const PackedState& state) {
+  words_.resize(state.width());
+  for (std::uint32_t cell = 0; cell < state.width(); ++cell)
+    words_[cell] = state.word(cell);
+}
+
+void PackedCheckpoint::restore_all(PackedState& state) const {
+  REVFT_CHECK_MSG(state.width() == width(), "restore_all: width mismatch");
+  for (std::uint32_t cell = 0; cell < state.width(); ++cell)
+    state.word(cell) = words_[cell];
+}
+
+void blend_lanes(PackedState& dst, const PackedState& src,
+                 std::uint64_t lane_mask) {
+  REVFT_CHECK_MSG(dst.width() == src.width(), "blend_lanes: width mismatch");
+  for (std::uint32_t cell = 0; cell < dst.width(); ++cell)
+    dst.word(cell) =
+        (dst.word(cell) & ~lane_mask) | (src.word(cell) & lane_mask);
+}
+
+void blend_cells_lanes(PackedState& dst, const PackedState& src,
+                       const std::vector<std::uint32_t>& cells,
+                       std::uint64_t lane_mask) {
+  REVFT_CHECK_MSG(dst.width() == src.width(),
+                  "blend_cells_lanes: width mismatch");
+  for (const std::uint32_t cell : cells)
+    dst.word(cell) =
+        (dst.word(cell) & ~lane_mask) | (src.word(cell) & lane_mask);
+}
+
+}  // namespace revft::recover

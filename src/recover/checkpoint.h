@@ -1,0 +1,77 @@
+// revft/recover/checkpoint.h
+//
+// Checkpoint/restore for both simulation engines — the state layer of
+// the block-local retry protocol (recover/plan.h explains the
+// protocol; this header only moves bits).
+//
+// A checkpoint is a full-width snapshot taken at an ACCEPTED recovery
+// boundary: every check evaluated there passed, so the snapshot is the
+// certified prefix a retry may legally restart from. Restores come in
+// two granularities:
+//
+//   * whole-state  — a whole-program restart (or the scratch copy a
+//     packed replay begins from);
+//   * cell subset  — the block-local path: only the fired component's
+//     footprint cells (its rails' group cells, every cell its segment
+//     ops touch, and its rail bits) are re-prepared, because every
+//     other cell is still vouched for by its own passed checks.
+//
+// The packed engine restores PER LANE on top of per cell: trial t
+// lives in bit t of every word, so "roll lane t back" is a one-mask
+// blend per word — the 64-lane analogue of copying a scalar state.
+// All operations are exact bit moves; nothing here draws randomness,
+// so the sharded determinism contract of the Monte-Carlo engines is
+// untouched.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "noise/packed_sim.h"
+#include "rev/simulator.h"
+
+namespace revft::recover {
+
+/// Restore `cells` of `state` from `snapshot` (both at the same
+/// width). The scalar block-local restore: untouched cells keep their
+/// current values.
+void restore_cells(StateVector& state, const StateVector& snapshot,
+                   const std::vector<std::uint32_t>& cells);
+
+/// Full-width snapshot of a PackedState (all 64 lanes of every cell).
+class PackedCheckpoint {
+ public:
+  PackedCheckpoint() = default;
+
+  /// Overwrite the snapshot with the current state (resizes on first
+  /// use; later captures at the same width reuse the buffer).
+  void capture(const PackedState& state);
+
+  std::uint32_t width() const noexcept {
+    return static_cast<std::uint32_t>(words_.size());
+  }
+  std::uint64_t word(std::uint32_t cell) const { return words_[cell]; }
+
+  /// Copy the snapshot back into `state` wholesale (every cell, every
+  /// lane) — the start of a packed replay or program restart.
+  void restore_all(PackedState& state) const;
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+/// Blend lanes of `src` into `dst` for every cell: lanes set in
+/// `lane_mask` take src's bits, the rest keep dst's. The whole-program
+/// merge: an accepted restart's final state is folded back into the
+/// main state for exactly the lanes that consumed it.
+void blend_lanes(PackedState& dst, const PackedState& src,
+                 std::uint64_t lane_mask);
+
+/// Same blend restricted to `cells` — the block-local merge: only the
+/// replayed component's footprint moves, every other cell keeps the
+/// already-accepted values.
+void blend_cells_lanes(PackedState& dst, const PackedState& src,
+                       const std::vector<std::uint32_t>& cells,
+                       std::uint64_t lane_mask);
+
+}  // namespace revft::recover

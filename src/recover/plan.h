@@ -1,0 +1,116 @@
+// revft/recover/plan.h
+//
+// The static analysis behind block-local retry: slice a checked
+// circuit into SEGMENTS at its check positions, and decide — before
+// any trial runs — which slice of a segment each fired rail names for
+// replay.
+//
+// A segment is the op span between two consecutive check positions
+// (rail checkpoints and zero checks both delimit; the final checkpoint
+// ends the last segment). One refinement: a zero-check-only position
+// is folded into the next delimiting position when no op in between
+// can WRITE its cells — the §3 machines' boundaries register the zero
+// check a few ops before the rail checkpoint (the transform flushes
+// pending rail compensation in between, and those gates only write
+// rail bits), and keeping the two apart would detect every rail
+// violation one segment after the snapshot that can repair it was
+// replaced. When a check fires at a segment's end, the
+// last accepted boundary is a certified restart point, but re-running
+// the whole segment wastes the localization the rail partition paid
+// for. The sound smaller unit is the REPLAY COMPONENT:
+//
+//   * every op is attributed to the rail groups its operands belong to
+//     at the moment it executes (membership migrates through
+//     SWAP/SWAP3 exactly as in detect/rail.cpp — the walk here mirrors
+//     that transform and cross-checks itself against
+//     CheckedCircuit::checkpoint_groups at every checkpoint);
+//   * ops whose operands span several groups union those groups — a
+//     routing swap carrying block r past block q entangles r and q,
+//     because replaying r's traffic rewrites cells q's values pass
+//     through;
+//   * ops sharing a CELL union their groups even when they touch it at
+//     different times (the cell hosts different blocks' values as
+//     routing streams through it — replaying one writer without the
+//     other would tear the interleave);
+//   * a zero check's bits union their groups too, so every fired check
+//     (rail or zero) names exactly one component.
+//
+// The result: within a segment, components partition the ops AND the
+// touched cells, so replaying one component's ops in original order on
+// its restored footprint commutes with everything else in the segment
+// — a block-local retry is exact, not approximate. The component is
+// also the honest price of localization: the 1/B cost model of
+// detect/retry_model.h assumes blocks replay independently, while the
+// mechanism must replay the routing-connected component — the measured
+// gap between the two is one of bench_recover's outputs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "detect/rail.h"
+
+namespace revft::recover {
+
+/// One independently replayable slice of a segment.
+struct ReplayComponent {
+  /// Rail indices of the component (ascending; empty for the residual
+  /// component of unwatched-cell activity, when a circuit has any).
+  std::vector<std::uint32_t> rails;
+  /// Positions (in checked.circuit) of the component's ops, ascending.
+  std::vector<std::size_t> ops;
+  /// Restore/merge footprint: the rails' group cells at segment entry,
+  /// every cell the ops touch, and the rails' rail bits. Sorted,
+  /// unique. Replaying the component = restore these cells from the
+  /// boundary checkpoint, re-run `ops` in order, re-evaluate the
+  /// component's checks.
+  std::vector<std::uint32_t> cells;
+};
+
+/// One op span between consecutive check positions.
+struct Segment {
+  std::size_t begin = 0;  ///< first op (inclusive)
+  std::size_t end = 0;    ///< last op (inclusive) — the check position
+  /// Index into checked.checkpoints evaluated at `end` (-1 when this
+  /// boundary is zero-check only).
+  int checkpoint = -1;
+  /// Indices into checked.zero_checks evaluated at `end`.
+  std::vector<std::size_t> zero_checks;
+  std::vector<ReplayComponent> components;
+  /// component index of every rail (size = rails.size()).
+  std::vector<std::uint32_t> component_of_rail;
+  /// component index of every entry of `zero_checks` (aligned).
+  std::vector<std::uint32_t> component_of_zero_check;
+  /// component index of ops begin..end (size = op_count()).
+  std::vector<std::uint32_t> component_of_op;
+
+  std::uint64_t op_count() const noexcept {
+    return static_cast<std::uint64_t>(end - begin + 1);
+  }
+};
+
+/// The full slicing of a checked circuit.
+struct SegmentPlan {
+  std::vector<Segment> segments;
+  std::uint64_t total_ops = 0;  ///< == checked.circuit.size()
+
+  /// Replay-share accounting for the economics tables: the mean and
+  /// max over segments of (largest component op count) / (segment op
+  /// count) — what fraction of a segment the worst-localized retry
+  /// actually re-runs (the mechanism's counterpart of the model's 1/B).
+  double mean_max_replay_share() const;
+  double worst_replay_share() const;
+};
+
+/// Build the plan. Requirements: a non-empty checked circuit with no
+/// embedded checker bits (the online engines evaluate checks without
+/// gates), and at most 64 components per segment (the packed engine
+/// tracks per-lane fired sets in one word — always true for the
+/// per-block machines, whose component count is bounded by rails + 1).
+/// The walk re-derives rail membership op by op and checks it against
+/// checkpoint_groups at every checkpoint, so a drift between the
+/// transform and this analysis fails loudly at build time.
+SegmentPlan build_segment_plan(const detect::CheckedCircuit& checked);
+
+}  // namespace revft::recover

@@ -1,0 +1,257 @@
+#include "recover/recovering_mc.h"
+
+#include <array>
+#include <bit>
+#include <map>
+
+#include "recover/checkpoint.h"
+#include "support/error.h"
+
+namespace revft::recover {
+
+namespace {
+
+int popcount(std::uint64_t mask) { return std::popcount(mask); }
+
+/// Evaluate the checks of `seg` on `s` for every component in `watch`
+/// (a component bitmask), ORing per-lane fired masks into comp_fired
+/// (pre-zeroed, one word per component). When `est` is non-null the
+/// per-rail / zero-check event counters are bumped for lanes in
+/// `count_mask`.
+void eval_boundary(const detect::CheckedCircuit& checked, const Segment& seg,
+                   const PackedState& s, std::uint64_t watch,
+                   std::vector<std::uint64_t>& comp_fired,
+                   RecoveryEstimate* est, std::uint64_t count_mask) {
+  if (seg.checkpoint >= 0) {
+    const auto& groups =
+        checked.checkpoint_groups[static_cast<std::size_t>(seg.checkpoint)];
+    for (std::size_t r = 0; r < checked.rails.size(); ++r) {
+      const std::uint32_t c = seg.component_of_rail[r];
+      if (!((watch >> c) & 1ULL)) continue;
+      const std::uint64_t violated =
+          s.parity_word_over(groups[r]) ^ s.word(checked.rails[r].rail_bit);
+      comp_fired[c] |= violated;
+      if (est != nullptr)
+        est->rail_events[r] +=
+            static_cast<std::uint64_t>(popcount(violated & count_mask));
+    }
+  }
+  for (std::size_t k = 0; k < seg.zero_checks.size(); ++k) {
+    const std::uint32_t c = seg.component_of_zero_check[k];
+    if (!((watch >> c) & 1ULL)) continue;
+    std::uint64_t mask = 0;
+    for (const std::uint32_t bit : checked.zero_checks[seg.zero_checks[k]].bits)
+      mask |= s.word(bit);
+    comp_fired[c] |= mask;
+    if (est != nullptr)
+      est->zero_check_events +=
+          static_cast<std::uint64_t>(popcount(mask & count_mask));
+  }
+}
+
+}  // namespace
+
+RecoveryEstimate run_recovering_mc_span(
+    PackedSimulator& sim, PackedState& state,
+    const detect::CheckedCircuit& checked, const SegmentPlan& plan,
+    const RetryPolicy& policy, std::uint64_t first_batch, std::uint64_t trials,
+    const PrepareFn& prepare, const ClassifyFn& classify) {
+  const Circuit& circuit = checked.circuit;
+  REVFT_CHECK_MSG(plan.total_ops == circuit.size(),
+                  "run_recovering_mc_span: plan built for a different circuit");
+  RecoveryEstimate est;
+  est.rail_events.assign(checked.rails.size(), 0);
+
+  PackedState scratch(circuit.width());
+  PackedCheckpoint entry_cp, boundary_cp;
+  std::vector<std::uint64_t> comp_fired;
+  std::array<std::uint64_t, 64> lane_set{};
+  std::array<int, 64> local_left{};
+  std::array<int, 64> program_left{};
+
+  const std::uint64_t batches = (trials + 63) / 64;
+  for (std::uint64_t b = 0; b < batches; ++b) {
+    const std::uint64_t batch = first_batch + b;
+    const int lanes_this_batch =
+        (b + 1 == batches && trials % 64 != 0) ? static_cast<int>(trials % 64)
+                                               : 64;
+    const std::uint64_t live =
+        lanes_this_batch == 64 ? ~0ULL : (1ULL << lanes_this_batch) - 1;
+    state.clear();
+    prepare(state, sim.rng(), batch);
+    entry_cp.capture(state);
+    // Only block-local rollback ever reads the boundary checkpoint;
+    // the other policies restart from entry_cp, so skip the per-
+    // boundary copies on their hot path (captures draw no randomness,
+    // so this cannot shift any estimate).
+    const bool keep_boundaries = policy.kind == RetryPolicyKind::kBlockLocal;
+    if (keep_boundaries) boundary_cp.capture(state);
+    program_left.fill(policy.max_program_attempts);
+
+    std::uint64_t active = live;
+    std::uint64_t restart_pending = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t detected_lanes = 0;
+
+    // --- first pass: segment walk with per-boundary reaction --------
+    for (const Segment& seg : plan.segments) {
+      sim.apply_noisy_span(state, circuit, seg.begin, seg.end + 1);
+      est.ops_main += seg.op_count() * static_cast<std::uint64_t>(
+                                           popcount(active));
+      comp_fired.assign(seg.components.size(), 0);
+      eval_boundary(checked, seg, state, ~0ULL, comp_fired, &est, active);
+      std::uint64_t fired_any = 0;
+      for (const std::uint64_t mask : comp_fired) fired_any |= mask;
+      fired_any &= active;
+      if (fired_any != 0) {
+        detected_lanes |= fired_any;
+        switch (policy.kind) {
+          case RetryPolicyKind::kNoRetry:
+            rejected |= fired_any;
+            active &= ~fired_any;
+            break;
+          case RetryPolicyKind::kWholeProgram:
+            restart_pending |= fired_any;
+            active &= ~fired_any;
+            break;
+          case RetryPolicyKind::kBlockLocal: {
+            std::uint64_t outstanding = fired_any;
+            for (int lane = 0; lane < 64; ++lane) {
+              if (!((outstanding >> lane) & 1ULL)) continue;
+              std::uint64_t set = 0;
+              for (std::size_t c = 0; c < comp_fired.size(); ++c)
+                set |= ((comp_fired[c] >> lane) & 1ULL) << c;
+              lane_set[static_cast<std::size_t>(lane)] = set;
+              local_left[static_cast<std::size_t>(lane)] =
+                  policy.max_local_attempts;
+            }
+            std::uint64_t failed = 0;
+            if (policy.max_local_attempts <= 0) {
+              failed = outstanding;
+              outstanding = 0;
+            }
+            while (outstanding != 0) {
+              // Group lanes by identical fired-component sets; process
+              // in ascending set order so the RNG consumption — and
+              // with it the whole estimate — is a pure function of the
+              // shard.
+              std::map<std::uint64_t, std::uint64_t> groups;
+              for (int lane = 0; lane < 64; ++lane)
+                if ((outstanding >> lane) & 1ULL)
+                  groups[lane_set[static_cast<std::size_t>(lane)]] |= 1ULL
+                                                                      << lane;
+              for (const auto& [set, consumers] : groups) {
+                boundary_cp.restore_all(scratch);
+                std::uint64_t replay_ops = 0;
+                for (std::size_t k = 0; k < seg.component_of_op.size(); ++k) {
+                  if (!((set >> seg.component_of_op[k]) & 1ULL)) continue;
+                  sim.apply_noisy(scratch, circuit.op(seg.begin + k));
+                  ++replay_ops;
+                }
+                est.ops_local += replay_ops * static_cast<std::uint64_t>(
+                                                  popcount(consumers));
+                est.local_retries +=
+                    static_cast<std::uint64_t>(popcount(consumers));
+                comp_fired.assign(seg.components.size(), 0);
+                eval_boundary(checked, seg, scratch, set, comp_fired, nullptr,
+                              0);
+                std::uint64_t accept_mask = 0;
+                for (int lane = 0; lane < 64; ++lane) {
+                  if (!((consumers >> lane) & 1ULL)) continue;
+                  std::uint64_t next_set = 0;
+                  for (std::size_t c = 0; c < comp_fired.size(); ++c)
+                    next_set |= ((comp_fired[c] >> lane) & 1ULL) << c;
+                  if (next_set == 0) {
+                    accept_mask |= 1ULL << lane;
+                  } else if (--local_left[static_cast<std::size_t>(lane)] <=
+                             0) {
+                    failed |= 1ULL << lane;
+                    outstanding &= ~(1ULL << lane);
+                  }
+                  // On a partial success (some components clean, some
+                  // re-fired) the lane keeps its FULL fired set: each
+                  // attempt restores scratch from the boundary
+                  // checkpoint, so a component repaired in a discarded
+                  // scratch was never blended into `state` — shrinking
+                  // to the re-fired subset would accept the lane with
+                  // the original corruption still in place.
+                }
+                if (accept_mask != 0) {
+                  for (std::size_t c = 0; c < seg.components.size(); ++c)
+                    if ((set >> c) & 1ULL)
+                      blend_cells_lanes(state, scratch,
+                                        seg.components[c].cells, accept_mask);
+                  outstanding &= ~accept_mask;
+                }
+              }
+            }
+            if (failed != 0) {
+              est.fallbacks += static_cast<std::uint64_t>(popcount(failed));
+              restart_pending |= failed;
+              active &= ~failed;
+            }
+            break;
+          }
+        }
+      }
+      if (keep_boundaries) boundary_cp.capture(state);
+    }
+
+    est.trials += static_cast<std::uint64_t>(lanes_this_batch);
+    est.detected_trials += static_cast<std::uint64_t>(popcount(detected_lanes));
+    for (int lane = 0; lane < lanes_this_batch; ++lane) {
+      if (!((active >> lane) & 1ULL)) continue;
+      ++est.accepted;
+      if (classify(state, lane, batch)) ++est.silent_failures;
+    }
+
+    // --- whole-program restarts (kWholeProgram, and kBlockLocal
+    // fallbacks): full re-runs from the entry checkpoint, one attempt
+    // per pending lane per pass ----------------------------------------
+    std::uint64_t pending = restart_pending;
+    if (pending != 0 && policy.max_program_attempts <= 0) {
+      rejected |= pending;
+      pending = 0;
+    }
+    while (pending != 0) {
+      est.program_restarts += static_cast<std::uint64_t>(popcount(pending));
+      entry_cp.restore_all(scratch);
+      std::uint64_t still_clean = ~0ULL;
+      for (const Segment& seg : plan.segments) {
+        sim.apply_noisy_span(scratch, circuit, seg.begin, seg.end + 1);
+        // A lane pays each segment until its first fired boundary —
+        // the point a physical whole-program retry would abort at.
+        est.ops_restart += seg.op_count() * static_cast<std::uint64_t>(
+                                                popcount(pending & still_clean));
+        comp_fired.assign(seg.components.size(), 0);
+        eval_boundary(checked, seg, scratch, ~0ULL, comp_fired, nullptr, 0);
+        std::uint64_t fired = 0;
+        for (const std::uint64_t mask : comp_fired) fired |= mask;
+        still_clean &= ~fired;
+        if ((pending & still_clean) == 0) break;  // every pending lane failed
+      }
+      const std::uint64_t accepted_now = pending & still_clean;
+      if (accepted_now != 0) {
+        blend_lanes(state, scratch, accepted_now);
+        for (int lane = 0; lane < lanes_this_batch; ++lane) {
+          if (!((accepted_now >> lane) & 1ULL)) continue;
+          ++est.accepted;
+          if (classify(state, lane, batch)) ++est.silent_failures;
+        }
+        pending &= ~accepted_now;
+      }
+      std::uint64_t exhausted = 0;
+      for (int lane = 0; lane < 64; ++lane) {
+        if (!((pending >> lane) & 1ULL)) continue;
+        if (--program_left[static_cast<std::size_t>(lane)] <= 0)
+          exhausted |= 1ULL << lane;
+      }
+      rejected |= exhausted;
+      pending &= ~exhausted;
+    }
+    est.rejected += static_cast<std::uint64_t>(popcount(rejected));
+  }
+  return est;
+}
+
+}  // namespace revft::recover

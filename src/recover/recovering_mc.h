@@ -1,0 +1,111 @@
+// revft/recover/recovering_mc.h
+//
+// The measurement harness of the retry protocol: a 64-lane packed
+// Monte-Carlo engine in which detection FEEDS BACK into execution.
+// Where detect/checked_mc.h only classifies trials (detected vs
+// silent), this engine reacts per lane at every boundary:
+//
+//   * every trial lane runs the segment walk of recover/plan.h; at
+//     each boundary the rail invariants and zero checks are evaluated
+//     for all 64 lanes at once (same word work as the checked engine);
+//   * lanes whose checks fired are handled by the RetryPolicy: under
+//     kBlockLocal the fired components are replayed in a scratch state
+//     restored from the boundary checkpoint — grouped by identical
+//     fired-component sets so one replay serves every lane that needs
+//     exactly those components — and repaired lanes are blended back
+//     cell by cell; lanes that exhaust local attempts (or any fired
+//     lane under kWholeProgram) restart from the entry checkpoint in
+//     end-of-batch passes;
+//   * every attempt draws FRESH fault randomness from the shard's own
+//     simulator stream (the per-kind Bernoulli streams just keep
+//     going), so retries are real re-executions under the same noise
+//     model, not re-rolls of the same faults.
+//
+// Cost accounting is per trial, the way an independent physical run
+// would pay: a lane is charged the segment ops it executed, the replay
+// ops of the replays IT consumed, and the restart ops up to ITS first
+// fired boundary — even though the packed vehicle executes all lanes
+// together. E[ops/accept] read off a RecoveryEstimate is therefore the
+// measured counterpart of detect::RetryCostModel.
+//
+// Determinism: all retry processing happens inside a shard using the
+// shard's own simulator, replay groups are processed in sorted
+// fired-set order, and RecoveryEstimate merges by exact integer sums —
+// so the result is bit-identical for a fixed seed regardless of
+// REVFT_THREADS, retries included (ctest-enforced).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "detect/rail.h"
+#include "noise/parallel_mc.h"
+#include "recover/plan.h"
+#include "recover/retry.h"
+
+namespace revft::recover {
+
+/// Batch-level callbacks, same contract as the other engines: prepare
+/// fills the 64 lanes of a cleared state (rails left zero); classify
+/// judges one lane's final output.
+using PrepareFn =
+    std::function<void(PackedState&, Xoshiro256&, std::uint64_t)>;
+using ClassifyFn =
+    std::function<bool(const PackedState&, int, std::uint64_t)>;
+
+/// The recovering counterpart of detail::run_checked_mc_span: one
+/// simulator, a contiguous batch range, retries included. Out-of-line
+/// (not a template) — the segment walk is involved enough that one
+/// canonical definition beats inlining per kernel type.
+RecoveryEstimate run_recovering_mc_span(
+    PackedSimulator& sim, PackedState& state,
+    const detect::CheckedCircuit& checked, const SegmentPlan& plan,
+    const RetryPolicy& policy, std::uint64_t first_batch, std::uint64_t trials,
+    const PrepareFn& prepare, const ClassifyFn& classify);
+
+/// Single-threaded recovering Monte-Carlo harness.
+template <typename Prepare, typename Classify>
+RecoveryEstimate run_recovering_mc(const detect::CheckedCircuit& checked,
+                                   const SegmentPlan& plan,
+                                   const RetryPolicy& policy,
+                                   const NoiseModel& model,
+                                   const McOptions& opts, Prepare&& prepare,
+                                   Classify&& classify) {
+  PackedSimulator sim(model, opts.seed);
+  PackedState state(checked.circuit.width());
+  return run_recovering_mc_span(sim, state, checked, plan, policy,
+                                /*first_batch=*/0, opts.trials,
+                                PrepareFn(std::forward<Prepare>(prepare)),
+                                ClassifyFn(std::forward<Classify>(classify)));
+}
+
+/// Thread-sharded recovering Monte-Carlo run. Same kernel-factory
+/// contract as run_parallel_mc / run_parallel_checked_mc; each shard's
+/// child seed drives both the first pass and every retry it spawns, so
+/// the determinism guarantee covers the whole protocol.
+template <typename KernelFactory>
+RecoveryEstimate run_parallel_recovering_mc(
+    const detect::CheckedCircuit& checked, const SegmentPlan& plan,
+    const RetryPolicy& policy, const NoiseModel& model,
+    const ParallelMcOptions& opts, KernelFactory&& factory) {
+  const std::vector<McShard> shards =
+      plan_shards(opts.trials, opts.seed, opts.batches_per_shard);
+  return revft::detail::run_sharded_as<RecoveryEstimate>(
+      shards, resolve_thread_count(opts.threads),
+      [&](const McShard& shard) -> RecoveryEstimate {
+        auto kernel = factory(shard.index);
+        PackedSimulator sim(model, shard.seed);
+        PackedState state(checked.circuit.width());
+        return run_recovering_mc_span(
+            sim, state, checked, plan, policy, shard.first_batch, shard.trials,
+            [&kernel](PackedState& s, Xoshiro256& rng, std::uint64_t batch) {
+              kernel.prepare(s, rng, batch);
+            },
+            [&kernel](const PackedState& s, int lane, std::uint64_t batch) {
+              return kernel.classify(s, lane, batch);
+            });
+      });
+}
+
+}  // namespace revft::recover

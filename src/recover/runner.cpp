@@ -1,0 +1,182 @@
+#include "recover/runner.h"
+
+#include <algorithm>
+
+#include "recover/checkpoint.h"
+#include "support/error.h"
+
+namespace revft::recover {
+
+namespace {
+
+/// Apply op `i`, honoring at most one injected fault (first pass only).
+void apply_op(const Circuit& circuit, StateVector& state, std::size_t i,
+              const std::vector<int>& fault_at,
+              const std::vector<FaultSpec>& faults) {
+  const Gate& g = circuit.op(i);
+  const int fi = fault_at[i];
+  if (fi < 0) {
+    state.apply(g);
+    return;
+  }
+  const unsigned v = faults[static_cast<std::size_t>(fi)].corrupted_local;
+  const int n = g.arity();
+  REVFT_CHECK_MSG(v < (1u << n), "corrupted_local " << v << " exceeds arity");
+  for (int k = 0; k < n; ++k)
+    state.set_bit(g.bits[static_cast<std::size_t>(k)],
+                  static_cast<std::uint8_t>((v >> k) & 1u));
+}
+
+int rail_invariant(const StateVector& state, std::uint32_t rail_bit,
+                   const std::vector<std::uint32_t>& group) {
+  int parity = static_cast<int>(state.bit(rail_bit));
+  for (const std::uint32_t bit : group)
+    parity ^= static_cast<int>(state.bit(bit));
+  return parity;
+}
+
+}  // namespace
+
+RecoveringRunner::RecoveringRunner(const detect::CheckedCircuit& checked,
+                                   const SegmentPlan& plan,
+                                   const RetryPolicy& policy)
+    : checked_(checked), plan_(plan), policy_(policy) {
+  REVFT_CHECK_MSG(plan.total_ops == checked.circuit.size(),
+                  "RecoveringRunner: plan built for a different circuit");
+}
+
+ScalarRecoveryOutcome RecoveringRunner::run(
+    const StateVector& data_input, const std::vector<FaultSpec>& faults) const {
+  const Circuit& circuit = checked_.circuit;
+  std::vector<int> fault_at(circuit.size(), -1);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    REVFT_CHECK_MSG(faults[i].op_index < circuit.size(),
+                    "fault op_index " << faults[i].op_index << " out of range");
+    REVFT_CHECK_MSG(fault_at[faults[i].op_index] < 0,
+                    "duplicate fault on op " << faults[i].op_index);
+    fault_at[faults[i].op_index] = static_cast<int>(i);
+  }
+
+  ScalarRecoveryOutcome out;
+  out.rail_events.assign(checked_.rails.size(), 0);
+  StateVector state = detect::widen_input(checked_, data_input);
+  const StateVector entry = state;  // the entry checkpoint
+  StateVector boundary = state;     // last accepted boundary
+
+  // Evaluate the checks at a segment's end; returns the fired
+  // components restricted to `watch` (~0 = all), recording counters.
+  const auto fired_components = [&](const Segment& seg, const StateVector& s,
+                                    std::uint64_t watch,
+                                    bool count) -> std::uint64_t {
+    std::uint64_t fired = 0;
+    if (seg.checkpoint >= 0) {
+      const auto& groups =
+          checked_.checkpoint_groups[static_cast<std::size_t>(seg.checkpoint)];
+      for (std::size_t r = 0; r < checked_.rails.size(); ++r) {
+        const std::uint64_t comp = 1ULL << seg.component_of_rail[r];
+        if (!(watch & comp)) continue;
+        if (rail_invariant(s, checked_.rails[r].rail_bit, groups[r]) != 0) {
+          fired |= comp;
+          if (count) ++out.rail_events[r];
+        }
+      }
+    }
+    for (std::size_t k = 0; k < seg.zero_checks.size(); ++k) {
+      const std::uint64_t comp = 1ULL << seg.component_of_zero_check[k];
+      if (!(watch & comp)) continue;
+      for (const std::uint32_t bit :
+           checked_.zero_checks[seg.zero_checks[k]].bits) {
+        if (s.bit(bit) != 0) {
+          fired |= comp;
+          if (count) ++out.zero_check_events;
+          break;
+        }
+      }
+    }
+    return fired;
+  };
+
+  // Whole-program restart: fault-free re-run from the entry
+  // checkpoint, re-checking every boundary. Returns true on accept.
+  const auto restart = [&]() -> bool {
+    for (int attempt = 0; attempt < policy_.max_program_attempts; ++attempt) {
+      ++out.program_restarts;
+      state = entry;
+      out.ops_executed += circuit.size();
+      bool clean = true;
+      std::size_t pos = 0;
+      for (const Segment& seg : plan_.segments) {
+        for (; pos <= seg.end; ++pos) state.apply(circuit.op(pos));
+        if (fired_components(seg, state, ~0ULL, /*count=*/false) != 0) {
+          clean = false;
+          break;
+        }
+      }
+      if (clean) return true;  // always, for circuits clean fault-free
+    }
+    return false;
+  };
+
+  std::size_t pos = 0;
+  for (const Segment& seg : plan_.segments) {
+    for (; pos <= seg.end; ++pos) apply_op(circuit, state, pos, fault_at, faults);
+    out.ops_executed += seg.op_count();
+    std::uint64_t fired = fired_components(seg, state, ~0ULL, /*count=*/true);
+    if (fired == 0) {
+      boundary = state;  // accept the boundary
+      continue;
+    }
+    out.detected = true;
+    switch (policy_.kind) {
+      case RetryPolicyKind::kNoRetry:
+        out.state = std::move(state);
+        return out;  // aborted: not accepted, not exhausted
+      case RetryPolicyKind::kWholeProgram: {
+        if (!restart()) {
+          out.exhausted = true;
+          out.state = std::move(state);
+          return out;
+        }
+        out.accepted = true;
+        out.state = std::move(state);
+        return out;  // a clean full run needs no further walking
+      }
+      case RetryPolicyKind::kBlockLocal: {
+        for (int attempt = 0;
+             fired != 0 && attempt < policy_.max_local_attempts; ++attempt) {
+          ++out.local_retries;
+          for (std::size_t c = 0; c < seg.components.size(); ++c) {
+            if (!((fired >> c) & 1ULL)) continue;
+            restore_cells(state, boundary, seg.components[c].cells);
+          }
+          for (std::size_t k = 0; k < seg.component_of_op.size(); ++k) {
+            if (!((fired >> seg.component_of_op[k]) & 1ULL)) continue;
+            state.apply(circuit.op(seg.begin + k));  // replays run clean
+            ++out.ops_executed;
+          }
+          fired = fired_components(seg, state, fired, /*count=*/false);
+        }
+        if (fired != 0) {
+          // Local repair failed (damage predates the boundary): fall
+          // back to a whole-program restart.
+          ++out.fallbacks;
+          if (!restart()) {
+            out.exhausted = true;
+            out.state = std::move(state);
+            return out;
+          }
+          out.accepted = true;
+          out.state = std::move(state);
+          return out;
+        }
+        boundary = state;  // repaired boundary is now accepted
+        break;
+      }
+    }
+  }
+  out.accepted = true;
+  out.state = std::move(state);
+  return out;
+}
+
+}  // namespace revft::recover

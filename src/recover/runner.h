@@ -1,0 +1,66 @@
+// revft/recover/runner.h
+//
+// The scalar recovering runner: the PROOF harness of the retry
+// protocol, deterministic end to end. Faults are injected only on the
+// first pass (noise/injection FaultSpecs); every replay and restart
+// runs fault-free — so enumerating all single-fault scenarios and
+// asserting the runner's output correct is an exhaustive theorem about
+// the MECHANISM, the recovery analogue of detect/checker.h's
+// single_fault_detection_census:
+//
+//   for the checked §3 machines, every detected single fault is
+//   REPAIRED (the trial ends accepted with the correct output), and
+//   block-local replay resolves the rail-fired ones without touching
+//   the rest of the machine — see tests/test_recover.cpp.
+//
+// The measurement harness (real noise on every attempt, 64 lanes,
+// thread-sharded) is recover/recovering_mc.h; both follow the same
+// segment walk over the same SegmentPlan.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "detect/rail.h"
+#include "noise/injection.h"
+#include "recover/plan.h"
+#include "recover/retry.h"
+#include "rev/simulator.h"
+
+namespace revft::recover {
+
+/// Outcome of one scalar recovering run.
+struct ScalarRecoveryOutcome {
+  StateVector state{0};  ///< final state (checked-circuit width)
+  bool accepted = false;
+  bool detected = false;   ///< some check fired at some boundary
+  bool exhausted = false;  ///< attempts ran out (trial rejected)
+  std::uint64_t ops_executed = 0;  ///< first pass + replays + restarts
+  std::uint64_t local_retries = 0;
+  std::uint64_t program_restarts = 0;
+  std::uint64_t fallbacks = 0;
+  /// Detection events per rail across the run (the retry counters).
+  std::vector<std::uint64_t> rail_events;
+  std::uint64_t zero_check_events = 0;
+};
+
+/// Segment-walking scalar runner over one checked circuit and its
+/// plan (both borrowed; keep them alive).
+class RecoveringRunner {
+ public:
+  RecoveringRunner(const detect::CheckedCircuit& checked,
+                   const SegmentPlan& plan, const RetryPolicy& policy);
+
+  /// Run on a data-width input with `faults` injected on the first
+  /// pass (op indices name checked.circuit ops; each op at most once).
+  /// Replays and restarts run fault-free.
+  ScalarRecoveryOutcome run(const StateVector& data_input,
+                            const std::vector<FaultSpec>& faults) const;
+
+ private:
+  const detect::CheckedCircuit& checked_;
+  const SegmentPlan& plan_;
+  RetryPolicy policy_;
+};
+
+}  // namespace revft::recover

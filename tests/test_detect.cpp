@@ -15,6 +15,7 @@
 #include "detect/checker.h"
 #include "detect/parity.h"
 #include "detect/rail.h"
+#include "detect/retry_model.h"
 #include "ft/detect_experiment.h"
 #include "ft/ec_circuit.h"
 #include "noise/injection.h"
@@ -736,6 +737,135 @@ TEST(DetectExperiment, BudgetsAreComparableAndArmsRun) {
   EXPECT_EQ(clean.correction.failures, 0u);
   EXPECT_EQ(clean.detection.silent_failures, 0u);
   EXPECT_EQ(clean.detection.detected, 0u);
+}
+
+// --- per-rail detection-rate helper ----------------------------------
+
+TEST(DetectRailPartition, RailDetectedRateHelper) {
+  detect::DetectionEstimate est;
+  est.trials = 2000;
+  est.detected = 500;
+  est.rail_detected = {100, 0, 400};
+  EXPECT_DOUBLE_EQ(est.rail_detected_rate(0), 0.05);
+  EXPECT_DOUBLE_EQ(est.rail_detected_rate(1), 0.0);
+  EXPECT_DOUBLE_EQ(est.rail_detected_rate(2), 0.2);
+  // Defensive: unknown rails and empty estimates read as zero.
+  EXPECT_DOUBLE_EQ(est.rail_detected_rate(3), 0.0);
+  EXPECT_DOUBLE_EQ(detect::DetectionEstimate{}.rail_detected_rate(0), 0.0);
+}
+
+// --- the shared retry-cost model (detect/retry_model.h) --------------
+
+// One implementation prices retries for examples/multi_rail,
+// bench_local_checked and bench_recover; pin its arithmetic here so
+// the three consumers cannot drift.
+TEST(DetectRetryModel, ModelMatchesTheGeometricArithmetic) {
+  detect::DetectionEstimate est;
+  est.trials = 1000;
+  est.detected = 200;  // acceptance 0.8
+  est.rail_detected = {150, 90};
+  est.zero_check_detected = 60;  // rework = (150+90+60)/1000 = 0.3
+  const auto model = detect::retry_cost_model(est, 400, 6);
+  EXPECT_DOUBLE_EQ(model.acceptance, 0.8);
+  EXPECT_DOUBLE_EQ(model.per_trial_rework, 0.3);
+  EXPECT_DOUBLE_EQ(model.whole_program, 400.0 / 0.8);
+  EXPECT_DOUBLE_EQ(model.block_local, 400.0 * (1.0 + 0.3 / 0.8 / 6.0));
+  // Every trial aborting prices both protocols at infinity.
+  detect::DetectionEstimate dead;
+  dead.trials = 10;
+  dead.detected = 10;
+  const auto stuck = detect::retry_cost_model(dead, 400, 6);
+  EXPECT_TRUE(std::isinf(stuck.whole_program));
+  EXPECT_TRUE(std::isinf(stuck.block_local));
+  EXPECT_THROW(detect::retry_cost_model(est, 400, 0), Error);
+}
+
+// --- checkpoint-membership migration vs a brute-force trace ----------
+
+// The invariant the recover/ restore path depends on: at every
+// checkpoint, checkpoint_groups[k][r] is exactly "the cells holding
+// rail r's entry values now", i.e. membership follows the data through
+// arbitrary chained SWAP/SWAP3 routing. Verify against an independent
+// permutation trace: walk the EMITTED circuit, tracking for every cell
+// which entry cell's value it currently holds, and recompute each
+// group from the entry partition.
+void expect_groups_match_permutation_trace(
+    const detect::CheckedCircuit& checked) {
+  std::vector<int> entry_rail_of(checked.data_width, -1);
+  for (std::size_t r = 0; r < checked.rails.size(); ++r)
+    for (const auto bit : checked.rails[r].group)
+      entry_rail_of[bit] = static_cast<int>(r);
+
+  // value_origin[c] = entry cell whose value cell c holds now.
+  std::vector<std::uint32_t> value_origin(checked.circuit.width());
+  for (std::uint32_t c = 0; c < checked.circuit.width(); ++c)
+    value_origin[c] = c;
+
+  std::size_t next_checkpoint = 0;
+  for (std::size_t i = 0; i < checked.circuit.size(); ++i) {
+    const Gate& g = checked.circuit.op(i);
+    if (g.kind == GateKind::kSwap) {
+      std::swap(value_origin[g.bits[0]], value_origin[g.bits[1]]);
+    } else if (g.kind == GateKind::kSwap3) {
+      // (a,b,c) -> (b,c,a): b's value lands on a, c's on b, a's on c.
+      const std::uint32_t at_a = value_origin[g.bits[0]];
+      value_origin[g.bits[0]] = value_origin[g.bits[1]];
+      value_origin[g.bits[1]] = value_origin[g.bits[2]];
+      value_origin[g.bits[2]] = at_a;
+    }
+    while (next_checkpoint < checked.checkpoints.size() &&
+           checked.checkpoints[next_checkpoint] == i) {
+      const auto& groups = checked.checkpoint_groups[next_checkpoint];
+      ASSERT_EQ(groups.size(), checked.rails.size());
+      for (std::size_t r = 0; r < checked.rails.size(); ++r) {
+        std::vector<std::uint32_t> expected;
+        for (std::uint32_t c = 0; c < checked.data_width; ++c)
+          if (value_origin[c] < checked.data_width &&
+              entry_rail_of[value_origin[c]] == static_cast<int>(r))
+            expected.push_back(c);
+        EXPECT_EQ(groups[r], expected)
+            << "checkpoint " << next_checkpoint << " rail " << r;
+      }
+      ++next_checkpoint;
+    }
+  }
+  EXPECT_EQ(next_checkpoint, checked.checkpoints.size());
+}
+
+TEST(DetectRailPartition, MembershipMigratesWithChainedRoutingSwaps) {
+  // Dense random SWAP/SWAP3 chains with a checkpoint after every op:
+  // multi-hop moves, membership must track every hop.
+  Xoshiro256 rng(0x5eed5a11ULL);
+  Circuit routing(12);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint32_t a = static_cast<std::uint32_t>(rng.next_below(12));
+    std::uint32_t b = static_cast<std::uint32_t>(rng.next_below(12));
+    while (b == a) b = static_cast<std::uint32_t>(rng.next_below(12));
+    if (rng.next_below(2) == 0) {
+      routing.swap(a, b);
+    } else {
+      std::uint32_t c = static_cast<std::uint32_t>(rng.next_below(12));
+      while (c == a || c == b) c = static_cast<std::uint32_t>(rng.next_below(12));
+      routing.swap3(a, b, c);
+    }
+  }
+  detect::ParityRailOptions opts;
+  opts.check_every = 1;
+  opts.rail_partition = detect::partition_into_blocks(12, 3);
+  expect_groups_match_permutation_trace(detect::to_parity_rail(routing, opts));
+}
+
+TEST(DetectRailPartition, MembershipMigratesThroughMachineRouting) {
+  // The real thing: a compiled 1D machine program (its routing fabric
+  // is nothing but chained SWAP/SWAP3 block transpositions), per-block
+  // rails, checkpoints at every recovery boundary.
+  Circuit logical(4);
+  logical.toffoli(3, 1, 0).maj(0, 2, 3);
+  CheckedMachineOptions opts;
+  opts.rail_check_every_boundary = true;
+  const auto program = CheckedMachine1d(4, true, opts).compile(logical);
+  ASSERT_GT(program.checked.checkpoints.size(), 1u);
+  expect_groups_match_permutation_trace(program.checked);
 }
 
 }  // namespace
