@@ -1,0 +1,304 @@
+// bench_verify — static certificates vs the exhaustive census.
+//
+// The certifier of src/verify/ reaches the census' verdict by pushing
+// symbolic fault deltas through the GF(2) dataflow ONCE per
+// (op, value) pair, where the census re-simulates every
+// (op, value, input) scenario. This bench prices that trade on the
+// checked machine programs:
+//
+//   1. the headline table: certificate vs census wall-time on the
+//      checked 1D and 2D machine programs (the certificate must be
+//      >= 10x faster on the 1D program — checked in-line), with the
+//      residue fraction the census still has to settle (0 on these
+//      programs: the forms never exceed the budgets);
+//   2. the census' own hoisting: the clean-prefix-sharing census vs
+//      the naive per-scenario re-simulation it replaced;
+//   3. lint counts over the standard constructions;
+//   4. google-benchmark kernels: dataflow, certificate and census on
+//      the MAJ cycle.
+//
+// Emits BENCH_verify.json.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "detect/checker.h"
+#include "ft/detect_experiment.h"
+#include "ft/ec_circuit.h"
+#include "local/checked_machine.h"
+#include "noise/injection.h"
+#include "rev/circuit.h"
+#include "support/table.h"
+#include "verify/certify.h"
+#include "verify/dataflow.h"
+#include "verify/lint.h"
+
+using namespace revft;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// A 5-bit workload with MAJ/Toffoli/routing traffic, so the machines
+/// route heavily and the census has 32 inputs to grind through — the
+/// certificate's walk count is input-independent, which is exactly the
+/// asymmetry this table prices.
+Circuit workload() {
+  Circuit logical(5);
+  logical.maj(4, 1, 0)
+      .toffoli(0, 2, 4)
+      .fredkin(1, 3, 2)
+      .majinv(4, 3, 0)
+      .swap3(0, 2, 4);
+  return logical;
+}
+
+// --- certificate vs census ------------------------------------------
+
+bool bench_certificate(const char* label, const CheckedMachineProgram& program,
+                       const Circuit& logical, AsciiTable& table,
+                       benchutil::JsonResultWriter& json, bool enforce_bar) {
+  auto start = std::chrono::steady_clock::now();
+  const auto mc = verify::certify_machine_program(program, logical);
+  const double t_cert = seconds_since(start);
+
+  start = std::chrono::steady_clock::now();
+  const auto census = machine_detection_census(program, logical);
+  const double t_census = seconds_since(start);
+
+  const auto& cert = mc.certificate;
+  const double speedup = t_cert > 0.0 ? t_census / t_cert : 0.0;
+  const double residue_fraction =
+      cert.value_scenarios
+          ? static_cast<double>(cert.residue.size()) /
+                static_cast<double>(cert.value_scenarios)
+          : 0.0;
+  table.add_row({label, AsciiTable::cell(cert.fault_sites),
+                 AsciiTable::cell(census.scenarios),
+                 AsciiTable::fixed(cert.site_coverage(), 4),
+                 AsciiTable::fixed(residue_fraction, 4),
+                 AsciiTable::sci(t_cert, 2), AsciiTable::sci(t_census, 2),
+                 AsciiTable::fixed(speedup, 1),
+                 census.fault_secure() ? "yes" : "NO"});
+  json.add(label, "fault_sites", cert.fault_sites);
+  json.add(label, "census_scenarios", census.scenarios);
+  json.add(label, "site_coverage", cert.site_coverage());
+  json.add(label, "value_coverage", cert.value_coverage());
+  json.add(label, "residue_scenarios",
+           static_cast<std::uint64_t>(cert.residue.size()));
+  json.add(label, "residue_fraction", residue_fraction);
+  json.add(label, "certify_seconds", t_cert);
+  json.add(label, "census_seconds", t_census);
+  json.add(label, "speedup", speedup);
+  json.add(label, "fault_secure", census.fault_secure() ? 1.0 : 0.0);
+  return !enforce_bar || speedup >= 10.0;
+}
+
+// --- census hoisting vs the naive loop ------------------------------
+
+void bench_hoisting(benchutil::JsonResultWriter& json) {
+  benchutil::print_header(
+      "Census hoisting: shared clean prefixes vs naive re-simulation",
+      "detect/checker.cpp — one clean walk per input, suffix-only faults");
+  const EcStage stage = make_fig2_ec(true);
+  detect::ParityRailOptions opts;
+  opts.check_every = 1;
+  const auto checked = detect::to_parity_rail(stage.circuit, opts);
+  std::vector<StateVector> inputs;
+  for (int logical = 0; logical <= 1; ++logical) {
+    StateVector sv(9);
+    for (const auto bit : stage.before.data)
+      sv.set_bit(bit, static_cast<std::uint8_t>(logical));
+    inputs.push_back(std::move(sv));
+  }
+  const auto is_error = [&](const StateVector& out, std::size_t input) {
+    return majority3(out.bit(stage.after.data[0]),
+                     out.bit(stage.after.data[1]),
+                     out.bit(stage.after.data[2])) != static_cast<int>(input);
+  };
+
+  constexpr int kReps = 50;  // the cycle census is fast — average it
+  auto start = std::chrono::steady_clock::now();
+  detect::DetectionCensus hoisted;
+  for (int rep = 0; rep < kReps; ++rep)
+    hoisted = detect::single_fault_detection_census(checked, inputs, is_error);
+  const double t_hoisted = seconds_since(start) / kReps;
+
+  start = std::chrono::steady_clock::now();
+  detect::DetectionCensus naive;
+  for (int rep = 0; rep < kReps; ++rep) {
+    naive = detect::DetectionCensus{};
+    const FaultSites sites = count_fault_sites(checked.circuit);
+    naive.fault_sites = sites.sites;
+    for (std::size_t in = 0; in < inputs.size(); ++in) {
+      const StateVector wide = detect::widen_input(checked, inputs[in]);
+      const auto faults =
+          enumerate_single_faults(checked.circuit, wide, true);
+      naive.benign_skipped += sites.scenarios - faults.size();
+      for (const FaultSpec& fault : faults) {
+        ++naive.scenarios;
+        const auto run =
+            detect::checked_run_with_faults(checked, inputs[in], {fault});
+        const bool wrong = is_error(run.state, in);
+        if (run.detected)
+          ++(wrong ? naive.detected_harmful : naive.detected_harmless);
+        else
+          ++(wrong ? naive.silent_harmful : naive.harmless);
+      }
+    }
+  }
+  const double t_naive = seconds_since(start) / kReps;
+  const bool agree = naive.scenarios == hoisted.scenarios &&
+                     naive.harmless == hoisted.harmless &&
+                     naive.detected() == hoisted.detected() &&
+                     naive.silent_harmful == hoisted.silent_harmful;
+  const double speedup = t_hoisted > 0.0 ? t_naive / t_hoisted : 0.0;
+  std::printf(
+      "MAJ-cycle census (%llu scenarios): hoisted %.3es vs naive %.3es "
+      "per census — %.1fx, counts %s\n\n",
+      static_cast<unsigned long long>(hoisted.scenarios), t_hoisted, t_naive,
+      speedup, agree ? "identical" : "DIFFER");
+  json.add("census_hoisting", "scenarios", hoisted.scenarios);
+  json.add("census_hoisting", "hoisted_seconds", t_hoisted);
+  json.add("census_hoisting", "naive_seconds", t_naive);
+  json.add("census_hoisting", "speedup", speedup);
+  json.add("census_hoisting", "counts_identical", agree ? 1.0 : 0.0);
+}
+
+// --- lint counts -----------------------------------------------------
+
+void bench_lint(const CheckedMachineProgram& p1d,
+                const CheckedMachineProgram& p2d, const Circuit& logical,
+                benchutil::JsonResultWriter& json) {
+  benchutil::print_header("Lint pass over the standard constructions",
+                          "verify/lint.h — static diagnostics, no simulation");
+  const auto machine_entry = [&](const CheckedMachineProgram& program) {
+    std::vector<verify::Poly> entry(program.checked.data_width,
+                                    verify::Poly::zero());
+    for (std::uint32_t j = 0; j < logical.width(); ++j)
+      for (const auto cell : program.input_cells[j])
+        entry[cell] = verify::Poly::var(static_cast<int>(j));
+    return entry;
+  };
+  const EcStage stage = make_fig2_ec(true);
+  detect::ParityRailOptions cycle_opts;
+  cycle_opts.check_every = 1;
+  cycle_opts.known_zero = detect::known_zero_outside(
+      9, {stage.before.data[0], stage.before.data[1], stage.before.data[2]});
+  std::vector<verify::Poly> cycle_entry(9, verify::Poly::zero());
+  for (const auto bit : stage.before.data)
+    cycle_entry[bit] = verify::Poly::var(0);
+
+  struct Row {
+    const char* label;
+    verify::LintReport report;
+  };
+  const Row rows[] = {
+      {"maj_cycle",
+       verify::lint_checked_circuit(
+           detect::to_parity_rail(stage.circuit, cycle_opts), cycle_entry)},
+      {"machine_1d",
+       verify::lint_checked_circuit(p1d.checked, machine_entry(p1d))},
+      {"machine_2d",
+       verify::lint_checked_circuit(p2d.checked, machine_entry(p2d))},
+  };
+  AsciiTable table({"construction", "errors", "warnings", "infos"});
+  for (const Row& row : rows) {
+    table.add_row({row.label, AsciiTable::cell(row.report.errors()),
+                   AsciiTable::cell(row.report.warnings()),
+                   AsciiTable::cell(row.report.infos())});
+    json.add(row.label, "lint_errors", row.report.errors());
+    json.add(row.label, "lint_warnings", row.report.warnings());
+    json.add(row.label, "lint_infos", row.report.infos());
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf(
+      "errors would mean a broken construction; the machines' warnings are\n"
+      "the routing-glued replay components BENCH_recover prices.\n\n");
+}
+
+// --- google-benchmark kernels ----------------------------------------
+
+detect::CheckedCircuit cycle_checked() {
+  const EcStage stage = make_fig2_ec(true);
+  detect::ParityRailOptions opts;
+  opts.check_every = 1;
+  return detect::to_parity_rail(stage.circuit, opts);
+}
+
+void BM_DataflowMajCycle(benchmark::State& state) {
+  const auto checked = cycle_checked();
+  std::vector<verify::Poly> entry(9, verify::Poly::zero());
+  for (const std::uint32_t bit : {0u, 1u, 2u})
+    entry[bit] = verify::Poly::var(0);
+  for (auto _ : state) {
+    const auto df = verify::analyze_checked(checked, entry);
+    benchmark::DoNotOptimize(df.rail_reports.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(checked.circuit.size()));
+}
+BENCHMARK(BM_DataflowMajCycle);
+
+void BM_CertifyMajCycle(benchmark::State& state) {
+  const EcStage stage = make_fig2_ec(true);
+  const auto checked = cycle_checked();
+  std::vector<verify::Poly> entry(9, verify::Poly::zero());
+  for (const auto bit : stage.before.data)
+    entry[bit] = verify::Poly::var(0);
+  for (auto _ : state) {
+    const auto cert = verify::certify_single_faults(
+        checked, entry, {0, 1},
+        {{stage.after.data[0], stage.after.data[1], stage.after.data[2]}});
+    benchmark::DoNotOptimize(cert.certified_values);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(checked.circuit.size()));
+}
+BENCHMARK(BM_CertifyMajCycle);
+
+void BM_CensusMajCycle(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto census = checked_maj_cycle_census(false);
+    benchmark::DoNotOptimize(census.scenarios);
+  }
+}
+BENCHMARK(BM_CensusMajCycle);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::JsonResultWriter json("verify");
+  const Circuit logical = workload();
+  const auto p1d = CheckedMachine1d(logical.width()).compile(logical);
+  const auto p2d = CheckedMachine2d(logical.width()).compile(logical);
+
+  benchutil::print_header(
+      "Static fault-security certificates vs the exhaustive census",
+      "src/verify/ — same verdict, symbolic derivation");
+  AsciiTable table({"program", "sites", "census scen.", "site cov.",
+                    "residue frac", "certify s", "census s", "speedup",
+                    "secure"});
+  const bool bar_1d =
+      bench_certificate("certify_1d", p1d, logical, table, json, true);
+  bench_certificate("certify_2d", p2d, logical, table, json, false);
+  std::printf("%s", table.str().c_str());
+  std::printf("certificate >= 10x faster than the census on 1d: %s\n\n",
+              bar_1d ? "PASS" : "FAIL");
+  json.add("summary", "speedup_bar_1d_pass", bar_1d ? 1.0 : 0.0);
+
+  bench_hoisting(json);
+  bench_lint(p1d, p2d, logical, json);
+  json.write();
+
+  std::printf("-- kernel timings --\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

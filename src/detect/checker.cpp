@@ -100,6 +100,59 @@ CheckedRunResult checked_run(const CheckedCircuit& checked,
   return checked_run_with_faults(checked, data_input, {});
 }
 
+namespace {
+
+/// Shared suffix runner for the census paths. `state` holds the clean
+/// state just BEFORE op `op`; the op's operands are overwritten with
+/// `v` and the remaining ops, zero checks and rail checkpoints run
+/// exactly as in checked_run_with_faults. The prefix needs no replay:
+/// a fault-free prefix never fires a check, so the faulted run's
+/// observable history up to `op` is identical to the clean run's.
+/// `next_zero_check` / `next_checkpoint` index the first entries with
+/// op_index >= op. Returns the detection verdict; `state` ends as the
+/// final full-width state for the is_error judgment.
+bool run_faulted_suffix(const CheckedCircuit& checked, StateVector& state,
+                        std::size_t op, unsigned v,
+                        std::size_t next_zero_check,
+                        std::size_t next_checkpoint) {
+  const Circuit& circuit = checked.circuit;
+  bool detected = false;
+  for (std::size_t i = op; i < circuit.size(); ++i) {
+    if (i == op) {
+      const Gate& g = circuit.op(i);
+      const int n = g.arity();
+      for (int k = 0; k < n; ++k)
+        state.set_bit(g.bits[static_cast<std::size_t>(k)],
+                      static_cast<std::uint8_t>((v >> k) & 1u));
+    } else {
+      state.apply(circuit.op(i));
+    }
+    while (next_zero_check < checked.zero_checks.size() &&
+           checked.zero_checks[next_zero_check].op_index == i) {
+      for (const std::uint32_t bit : checked.zero_checks[next_zero_check].bits)
+        if (state.bit(bit) != 0) detected = true;
+      ++next_zero_check;
+    }
+    while (next_checkpoint < checked.checkpoints.size() &&
+           checked.checkpoints[next_checkpoint] == i) {
+      const auto& groups = checked.checkpoint_groups[next_checkpoint];
+      for (std::size_t r = 0; r < checked.rails.size(); ++r)
+        if (rail_invariant(state, checked.rails[r].rail_bit, groups[r]) != 0)
+          detected = true;
+      ++next_checkpoint;
+    }
+  }
+  if (!detected)
+    for (const std::uint32_t bit : checked.check_bits)
+      if (state.bit(bit) != 0) {
+        detected = true;
+        break;
+      }
+  return detected;
+}
+
+}  // namespace
+
 DetectionCensus single_fault_detection_census(
     const CheckedCircuit& checked, const std::vector<StateVector>& data_inputs,
     const std::function<bool(const StateVector&, std::size_t)>& is_error) {
@@ -111,22 +164,112 @@ DetectionCensus single_fault_detection_census(
   // identity the tests can assert rather than a coincidence.
   const FaultSites sites = count_fault_sites(checked.circuit);
   census.fault_sites = sites.sites;
-  const std::uint64_t all_values = sites.scenarios;
+  const Circuit& circuit = checked.circuit;
+
+  // Hoisted enumeration: one clean forward walk per input supplies the
+  // pre-op state of every fault site, so each scenario re-simulates
+  // only its suffix instead of the whole circuit (and skips the
+  // per-scenario fault-indexing and input-widening of the naive
+  // checked_run_with_faults loop). Exactly the classification the
+  // naive loop produces, at roughly half the gate applications.
+  for (std::size_t in = 0; in < data_inputs.size(); ++in) {
+    StateVector clean = widen_input(checked, data_inputs[in]);
+    std::size_t zc = 0;
+    std::size_t cp = 0;
+    for (std::size_t i = 0; i < circuit.size(); ++i) {
+      const Gate& g = circuit.op(i);
+      const int n = g.arity();
+      unsigned local = 0;
+      for (int k = 0; k < n; ++k)
+        local |= static_cast<unsigned>(
+                     clean.bit(g.bits[static_cast<std::size_t>(k)]))
+                 << k;
+      const unsigned correct = gate_apply_local(g.kind, local);
+      const unsigned values = 1u << n;
+      for (unsigned v = 0; v < values; ++v) {
+        if (v == correct) {  // the one benign value per site per input
+          ++census.benign_skipped;
+          continue;
+        }
+        ++census.scenarios;
+        StateVector state = clean;
+        const bool detected = run_faulted_suffix(checked, state, i, v, zc, cp);
+        const bool wrong = is_error(state, in);
+        if (detected)
+          ++(wrong ? census.detected_harmful : census.detected_harmless);
+        else
+          ++(wrong ? census.silent_harmful : census.harmless);
+      }
+      clean.apply(g);
+      while (zc < checked.zero_checks.size() &&
+             checked.zero_checks[zc].op_index == i)
+        ++zc;
+      while (cp < checked.checkpoints.size() && checked.checkpoints[cp] == i)
+        ++cp;
+    }
+  }
+  return census;
+}
+
+DetectionCensus single_fault_detection_census(
+    const CheckedCircuit& checked, const std::vector<StateVector>& data_inputs,
+    const std::function<bool(const StateVector&, std::size_t)>& is_error,
+    const std::vector<FaultSpec>& scenarios) {
+  REVFT_CHECK_MSG(!data_inputs.empty(),
+                  "single_fault_detection_census: no inputs");
+  const Circuit& circuit = checked.circuit;
+  // Group the requested (op, value) scenarios by op so one clean walk
+  // per input classifies all of them suffix-only, as above.
+  std::vector<std::vector<unsigned>> values_at(circuit.size());
+  for (const FaultSpec& f : scenarios) {
+    REVFT_CHECK_MSG(f.op_index < circuit.size(),
+                    "restricted census: op_index " << f.op_index
+                                                   << " out of range");
+    REVFT_CHECK_MSG(
+        f.corrupted_local < (1u << circuit.op(f.op_index).arity()),
+        "restricted census: corrupted_local exceeds arity");
+    values_at[f.op_index].push_back(f.corrupted_local);
+  }
+  DetectionCensus census;
+  for (std::size_t i = 0; i < circuit.size(); ++i)
+    if (!values_at[i].empty()) ++census.fault_sites;
 
   for (std::size_t in = 0; in < data_inputs.size(); ++in) {
-    const StateVector wide = widen_input(checked, data_inputs[in]);
-    const std::vector<FaultSpec> faults =
-        enumerate_single_faults(checked.circuit, wide, /*skip_benign=*/true);
-    census.benign_skipped += all_values - faults.size();
-    for (const FaultSpec& fault : faults) {
-      ++census.scenarios;
-      const CheckedRunResult run =
-          checked_run_with_faults(checked, data_inputs[in], {fault});
-      const bool wrong = is_error(run.state, in);
-      if (run.detected)
-        ++(wrong ? census.detected_harmful : census.detected_harmless);
-      else
-        ++(wrong ? census.silent_harmful : census.harmless);
+    StateVector clean = widen_input(checked, data_inputs[in]);
+    std::size_t zc = 0;
+    std::size_t cp = 0;
+    for (std::size_t i = 0; i < circuit.size(); ++i) {
+      const Gate& g = circuit.op(i);
+      if (!values_at[i].empty()) {
+        const int n = g.arity();
+        unsigned local = 0;
+        for (int k = 0; k < n; ++k)
+          local |= static_cast<unsigned>(
+                       clean.bit(g.bits[static_cast<std::size_t>(k)]))
+                   << k;
+        const unsigned correct = gate_apply_local(g.kind, local);
+        for (const unsigned v : values_at[i]) {
+          if (v == correct) {
+            ++census.benign_skipped;
+            continue;
+          }
+          ++census.scenarios;
+          StateVector state = clean;
+          const bool detected =
+              run_faulted_suffix(checked, state, i, v, zc, cp);
+          const bool wrong = is_error(state, in);
+          if (detected)
+            ++(wrong ? census.detected_harmful : census.detected_harmless);
+          else
+            ++(wrong ? census.silent_harmful : census.harmless);
+        }
+      }
+      clean.apply(g);
+      while (zc < checked.zero_checks.size() &&
+             checked.zero_checks[zc].op_index == i)
+        ++zc;
+      while (cp < checked.checkpoints.size() && checked.checkpoints[cp] == i)
+        ++cp;
     }
   }
   return census;

@@ -93,4 +93,17 @@ DetectionCensus single_fault_detection_census(
     const CheckedCircuit& checked, const std::vector<StateVector>& data_inputs,
     const std::function<bool(const StateVector&, std::size_t)>& is_error);
 
+/// Restricted census: classify only the given (op, value) scenarios,
+/// each across every input (benign combinations are skipped and
+/// counted, as in the full census). This is the dynamic half of the
+/// static/dynamic split in src/verify/: the certifier proves most
+/// scenarios symbolically and hands the residue here, and
+///   full_census == certificate.static_counts + restricted(residue)
+/// field-by-field is the cross-check the tests enforce. fault_sites
+/// counts the distinct op indices present in `scenarios`.
+DetectionCensus single_fault_detection_census(
+    const CheckedCircuit& checked, const std::vector<StateVector>& data_inputs,
+    const std::function<bool(const StateVector&, std::size_t)>& is_error,
+    const std::vector<FaultSpec>& scenarios);
+
 }  // namespace revft::detect

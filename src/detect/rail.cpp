@@ -217,23 +217,21 @@ void subset_compensation(CompensationEmitter& comp, const Gate& g,
     if (!zero.is_zero(g.bits[static_cast<std::size_t>(k)]))
       free_mask |= 1u << k;
 
-  // delta(x) = parity of the subset's bits after the gate XOR before,
-  // with known-zero inputs fixed to 0.
-  const auto delta = [&](unsigned x) -> unsigned {
-    return local_parity(gate_apply_local(g.kind, x) & subset, n) ^
-           local_parity(x & subset, n);
-  };
-  // Möbius transform over the free-variable subset lattice: the ANF
-  // coefficient of monomial m is the XOR of delta over all x ⊆ m.
+  // The delta's ANF, assembled from the per-output ANFs the gate table
+  // exports (rev/gate_output_anf): parity-after is the XOR of the
+  // subset's output ANFs, parity-before contributes one singleton
+  // monomial per subset member. Fixing the known-zero inputs to 0
+  // deletes every monomial that mentions them — the coefficients of
+  // the surviving monomials are unchanged.
+  unsigned anf = 0;
+  for (int k = 0; k < n; ++k)
+    if ((subset >> k) & 1u) anf ^= gate_output_anf(g.kind, k) ^ (1u << (1u << k));
+  // (XOR of the singleton monomial masks: bit (1<<k) indexes x_k.)
+  // Emit NOT/CNOT/Toffoli terms in descending-subset order — the order
+  // the fuser's involution matching was pinned against.
   unsigned m = free_mask;
   for (;;) {
-    unsigned coeff = 0;
-    unsigned x = m;
-    for (;;) {
-      coeff ^= delta(x);
-      if (x == 0) break;
-      x = (x - 1) & m;
-    }
+    const unsigned coeff = (anf >> m) & 1u;
     if (coeff) {
       std::uint32_t operand[3];
       int terms = 0;

@@ -171,6 +171,7 @@ SegmentPlan build_segment_plan(const detect::CheckedCircuit& checked) {
   std::vector<int> touch_node(circuit.width(), -1);
   std::vector<std::uint32_t> touched;  // cells with touch_node set
   std::vector<int> op_node;            // node of each op in the segment
+  std::vector<std::size_t> straddling;  // straddlers of the segment
   std::vector<int> entry_rail_of = rail_of;
   std::size_t seg_begin = 0;
 
@@ -181,10 +182,17 @@ SegmentPlan build_segment_plan(const detect::CheckedCircuit& checked) {
     const int arity = g.arity();
 
     // Attribute the op: union the operands' membership nodes with
-    // whatever already touched those cells this segment.
+    // whatever already touched those cells this segment. An op whose
+    // operands span distinct nodes is a straddler — record it, it is
+    // the reason the nodes end up glued.
     int node = membership_node(g.bits[0]);
-    for (int k = 1; k < arity; ++k)
-      uf.unite(node, membership_node(g.bits[static_cast<std::size_t>(k)]));
+    bool straddles = false;
+    for (int k = 1; k < arity; ++k) {
+      const int nk = membership_node(g.bits[static_cast<std::size_t>(k)]);
+      if (nk != node) straddles = true;
+      uf.unite(node, nk);
+    }
+    if (straddles) straddling.push_back(i);
     for (int k = 0; k < arity; ++k) {
       const std::uint32_t cell = g.bits[static_cast<std::size_t>(k)];
       if (touch_node[cell] >= 0) uf.unite(node, touch_node[cell]);
@@ -303,12 +311,14 @@ SegmentPlan build_segment_plan(const detect::CheckedCircuit& checked) {
     }
     REVFT_CHECK_MSG(seg.components.size() <= 64,
                     "build_segment_plan: more than 64 components per segment");
+    seg.straddling_ops = std::move(straddling);
     plan.segments.push_back(std::move(seg));
 
     // Reset per-segment scratch.
     uf = UnionFind(n_rails + 1);
     touched.clear();
     op_node.clear();
+    straddling.clear();
     entry_rail_of = rail_of;
     seg_begin = i + 1;
   }

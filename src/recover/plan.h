@@ -84,6 +84,15 @@ struct Segment {
   std::vector<std::uint32_t> component_of_zero_check;
   /// component index of ops begin..end (size = op_count()).
   std::vector<std::uint32_t> component_of_op;
+  /// Positions (in checked.circuit, ascending) of this segment's ops
+  /// whose operands span two or more distinct membership nodes at
+  /// execution time — the gluers that union replay components. An op
+  /// here is WHY localization degrades: remove or reschedule them and
+  /// the components fall apart into per-rail retries (the
+  /// mean_max_replay_share = 1.0 pathology of BENCH_recover.json is
+  /// exactly a segment whose straddlers chain every rail together).
+  /// Surfaced by verify/lint.h as the scheduling pass' target list.
+  std::vector<std::size_t> straddling_ops;
 
   std::uint64_t op_count() const noexcept {
     return static_cast<std::uint64_t>(end - begin + 1);

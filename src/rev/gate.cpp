@@ -120,6 +120,39 @@ unsigned gate_apply_local(GateKind kind, unsigned local) noexcept {
   return local;  // unreachable
 }
 
+unsigned gate_output_anf(GateKind kind, int out_bit) noexcept {
+  // ANF by Möbius transform: coefficient of monomial m is the XOR of
+  // the output bit over every input x ⊆ m. Arity <= 3 keeps the table
+  // 8x8; computed once per process and cached.
+  struct AnfTable {
+    std::array<std::array<unsigned, 3>, kNumGateKinds> anf{};
+    AnfTable() {
+      for (int k = 0; k < kNumGateKinds; ++k) {
+        const GateKind kind_k = static_cast<GateKind>(k);
+        const int n = gate_arity(kind_k);
+        for (int out = 0; out < n; ++out) {
+          unsigned mask = 0;
+          for (unsigned m = 0; m < (1u << n); ++m) {
+            unsigned coeff = 0;
+            unsigned x = m;
+            for (;;) {
+              coeff ^= (gate_apply_local(kind_k, x) >> out) & 1u;
+              if (x == 0) break;
+              x = (x - 1) & m;
+            }
+            if (coeff) mask |= 1u << m;
+          }
+          anf[static_cast<std::size_t>(k)][static_cast<std::size_t>(out)] =
+              mask;
+        }
+      }
+    }
+  };
+  static const AnfTable table;
+  return table.anf[static_cast<std::size_t>(kind)]
+                  [static_cast<std::size_t>(out_bit)];
+}
+
 Gate Gate::inverse() const {
   switch (kind) {
     case GateKind::kMaj:

@@ -56,6 +56,18 @@ GateKind gate_from_name(const std::string& name);
 /// operand i. `local` must be < 2^arity. kInit3 maps everything to 0.
 unsigned gate_apply_local(GateKind kind, unsigned local) noexcept;
 
+/// Algebraic normal form of output bit `out_bit` of the gate's local
+/// truth table, as a bitmask over the 2^arity monomials: bit m is set
+/// iff the monomial ∏_{j∈m} x_j (m a subset of the operand indices,
+/// m == 0 the constant 1) appears in the XOR expansion of that output.
+/// Computed once per kind by a Möbius transform over gate_apply_local,
+/// so it can never drift from the executable semantics. Every primitive
+/// kind has outputs of degree <= 2 — the structural fact behind both
+/// the rail transform's quadratic compensation terms (detect/rail.cpp)
+/// and the GF(2) dataflow analyzer (src/verify/). `out_bit` must be
+/// < arity.
+unsigned gate_output_anf(GateKind kind, int out_bit) noexcept;
+
 /// A gate applied to specific circuit bits. Operands beyond the arity
 /// are unused (and canonically zero).
 struct Gate {

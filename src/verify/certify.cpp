@@ -1,0 +1,437 @@
+#include "verify/certify.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "support/error.h"
+
+namespace revft::verify {
+
+namespace {
+
+/// Everything the per-scenario walks share, precomputed once: the
+/// clean CONCRETE trajectory per input (operand values around every
+/// op, observable values, exit values — all as bit-per-input masks),
+/// the per-checkpoint cell→rail maps, and the clean-fire suffix (what
+/// the observables at positions >= p would report on an undamaged
+/// state — zero on any sane configuration, but carried exactly so the
+/// certificate never assumes it).
+struct CleanContext {
+  const detect::CheckedCircuit& checked;
+  std::size_t num_inputs = 0;
+  std::uint64_t all_mask = 0;
+
+  /// benign_mask[op][v] = inputs where corrupting op's output to v is
+  /// benign (v == the clean local output there).
+  std::vector<std::array<std::uint64_t, 8>> benign_mask;
+  /// Packed clean value of op i's k-th operand cell just before /
+  /// just after the op executes.
+  std::vector<std::array<std::uint64_t, 3>> clean_before_op;
+  std::vector<std::array<std::uint64_t, 3>> clean_after_op;
+  /// clean_zc[z][j] = clean values of zero check z's j-th bit.
+  std::vector<std::vector<std::uint64_t>> clean_zc;
+  /// clean_inv[k][r] = clean rail-r invariant at checkpoint k.
+  std::vector<std::vector<std::uint64_t>> clean_inv;
+  /// Exit value of every cell.
+  std::vector<std::uint64_t> clean_exit;
+  /// cell_rail[k][c] = rail whose invariant cell c feeds at checkpoint
+  /// k (group member or the rail bit itself), or -1.
+  std::vector<std::vector<std::int8_t>> cell_rail;
+  /// First zero check / checkpoint with op_index >= p.
+  std::vector<std::size_t> zc_start;
+  std::vector<std::size_t> cp_start;
+  /// OR of every clean observable fire at positions >= p (embedded
+  /// check bits included); what a scenario whose deltas all cancelled
+  /// at p still observes downstream.
+  std::vector<std::uint64_t> clean_fire_suffix;
+
+  CleanContext(const detect::CheckedCircuit& c, const std::vector<Poly>& entry,
+               const std::vector<std::uint64_t>& assignments)
+      : checked(c) {
+    const Circuit& circuit = checked.circuit;
+    const std::size_t size = circuit.size();
+    num_inputs = assignments.size();
+    REVFT_CHECK_MSG(num_inputs >= 1 && num_inputs <= 64,
+                    "certify: need 1..64 inputs, got " << num_inputs);
+    all_mask = num_inputs == 64 ? ~0ull : (1ull << num_inputs) - 1;
+
+    benign_mask.assign(size, {});
+    clean_before_op.assign(size, {});
+    clean_after_op.assign(size, {});
+    clean_zc.resize(checked.zero_checks.size());
+    for (std::size_t z = 0; z < checked.zero_checks.size(); ++z)
+      clean_zc[z].assign(checked.zero_checks[z].bits.size(), 0);
+    clean_inv.assign(checked.checkpoints.size(),
+                     std::vector<std::uint64_t>(checked.rails.size(), 0));
+    clean_exit.assign(circuit.width(), 0);
+
+    // One concrete clean walk per input, folding the operand values
+    // and every observable into the per-input bitmasks.
+    for (std::size_t in = 0; in < num_inputs; ++in) {
+      const std::uint64_t x = assignments[in];
+      const std::uint64_t in_bit = 1ull << in;
+      StateVector data(checked.data_width);
+      for (std::uint32_t cell = 0; cell < checked.data_width; ++cell)
+        data.set_bit(cell, entry[cell].eval(x) ? 1 : 0);
+      StateVector state = detect::widen_input(checked, data);
+      std::size_t zc = 0;
+      std::size_t cp = 0;
+      for (std::size_t i = 0; i < size; ++i) {
+        const Gate& g = circuit.op(i);
+        const int n = g.arity();
+        unsigned local = 0;
+        for (int k = 0; k < n; ++k) {
+          const std::size_t sk = static_cast<std::size_t>(k);
+          const unsigned bit =
+              static_cast<unsigned>(state.bit(g.bits[sk]));
+          local |= bit << k;
+          if (bit) clean_before_op[i][sk] |= in_bit;
+        }
+        benign_mask[i][gate_apply_local(g.kind, local)] |= in_bit;
+        state.apply(g);
+        for (int k = 0; k < n; ++k) {
+          const std::size_t sk = static_cast<std::size_t>(k);
+          if (state.bit(g.bits[sk])) clean_after_op[i][sk] |= in_bit;
+        }
+        while (zc < checked.zero_checks.size() &&
+               checked.zero_checks[zc].op_index == i) {
+          const auto& bits = checked.zero_checks[zc].bits;
+          for (std::size_t j = 0; j < bits.size(); ++j)
+            if (state.bit(bits[j])) clean_zc[zc][j] |= in_bit;
+          ++zc;
+        }
+        while (cp < checked.checkpoints.size() &&
+               checked.checkpoints[cp] == i) {
+          for (std::size_t r = 0; r < checked.rails.size(); ++r) {
+            int parity = state.bit(checked.rails[r].rail_bit);
+            for (const std::uint32_t bit : checked.checkpoint_groups[cp][r])
+              parity ^= state.bit(bit);
+            if (parity) clean_inv[cp][r] |= in_bit;
+          }
+          ++cp;
+        }
+      }
+      for (std::uint32_t cell = 0; cell < circuit.width(); ++cell)
+        if (state.bit(cell)) clean_exit[cell] |= in_bit;
+    }
+
+    cell_rail.assign(checked.checkpoints.size(),
+                     std::vector<std::int8_t>(circuit.width(), -1));
+    REVFT_CHECK_MSG(checked.rails.size() <= 127,
+                    "certify: more than 127 rails");
+    for (std::size_t k = 0; k < checked.checkpoints.size(); ++k)
+      for (std::size_t r = 0; r < checked.rails.size(); ++r) {
+        cell_rail[k][checked.rails[r].rail_bit] = static_cast<std::int8_t>(r);
+        for (const std::uint32_t bit : checked.checkpoint_groups[k][r])
+          cell_rail[k][bit] = static_cast<std::int8_t>(r);
+      }
+
+    zc_start.assign(size + 1, checked.zero_checks.size());
+    cp_start.assign(size + 1, checked.checkpoints.size());
+    for (std::size_t p = size; p-- > 0;) {
+      zc_start[p] = zc_start[p + 1];
+      while (zc_start[p] > 0 &&
+             checked.zero_checks[zc_start[p] - 1].op_index >= p)
+        --zc_start[p];
+      cp_start[p] = cp_start[p + 1];
+      while (cp_start[p] > 0 && checked.checkpoints[cp_start[p] - 1] >= p)
+        --cp_start[p];
+    }
+
+    std::uint64_t check_bit_fire = 0;
+    for (const std::uint32_t cb : checked.check_bits)
+      check_bit_fire |= clean_exit[cb];
+    clean_fire_suffix.assign(size + 1, check_bit_fire);
+    for (std::size_t p = size; p-- > 0;) {
+      std::uint64_t fire = clean_fire_suffix[p + 1];
+      for (std::size_t z = zc_start[p]; z < zc_start[p + 1]; ++z)
+        for (const std::uint64_t m : clean_zc[z]) fire |= m;
+      for (std::size_t k = cp_start[p]; k < cp_start[p + 1]; ++k)
+        for (const std::uint64_t m : clean_inv[k]) fire |= m;
+      clean_fire_suffix[p] = fire;
+    }
+  }
+};
+
+/// Scratch state of one (op, value) delta-cone walk, reused across
+/// scenarios. Each dirty cell carries its delta — the XOR between the
+/// faulted and the clean run — packed one bit per input, so a walk
+/// step updates every input lane with a handful of word ops. A delta
+/// that cancels on every lane (the recovery MAJ absorbing single-cell
+/// damage) retires its cell exactly.
+struct DeltaWalk {
+  std::vector<std::uint64_t> dvals;  ///< per-input delta, valid if dirty
+  std::vector<std::uint8_t> is_dirty;
+  std::vector<std::uint32_t> dirty_list;
+  std::vector<std::uint64_t> rail_acc;  ///< per-rail delta at a checkpoint
+
+  explicit DeltaWalk(std::uint32_t width, std::size_t rails)
+      : dvals(width, 0), is_dirty(width, 0), rail_acc(rails, 0) {}
+
+  void reset() {
+    for (const std::uint32_t c : dirty_list) {
+      is_dirty[c] = 0;
+      dvals[c] = 0;
+    }
+    dirty_list.clear();
+  }
+
+  /// Install (or retire) a cell's delta.
+  void set_delta(std::uint32_t cell, std::uint64_t vals) {
+    if (vals == 0) {
+      if (is_dirty[cell]) {
+        is_dirty[cell] = 0;
+        dvals[cell] = 0;
+        dirty_list.erase(
+            std::find(dirty_list.begin(), dirty_list.end(), cell));
+      }
+      return;
+    }
+    if (!is_dirty[cell]) {
+      is_dirty[cell] = 1;
+      dirty_list.push_back(cell);
+    }
+    dvals[cell] = vals;
+  }
+};
+
+/// Fold the observables sitting right after op position p into the
+/// detected mask, given the current deltas.
+void observe_at(const CleanContext& ctx, DeltaWalk& walk, std::size_t p,
+                std::uint64_t& detected) {
+  const auto& checked = ctx.checked;
+  for (std::size_t z = ctx.zc_start[p]; z < ctx.zc_start[p + 1]; ++z) {
+    const auto& bits = checked.zero_checks[z].bits;
+    for (std::size_t j = 0; j < bits.size(); ++j) {
+      std::uint64_t fire = ctx.clean_zc[z][j];
+      if (walk.is_dirty[bits[j]]) fire ^= walk.dvals[bits[j]];
+      detected |= fire;
+    }
+  }
+  for (std::size_t k = ctx.cp_start[p]; k < ctx.cp_start[p + 1]; ++k) {
+    std::fill(walk.rail_acc.begin(), walk.rail_acc.end(), 0);
+    for (const std::uint32_t c : walk.dirty_list) {
+      const std::int8_t r = ctx.cell_rail[k][c];
+      if (r >= 0) walk.rail_acc[static_cast<std::size_t>(r)] ^= walk.dvals[c];
+    }
+    for (std::size_t r = 0; r < checked.rails.size(); ++r)
+      detected |= ctx.clean_inv[k][r] ^ walk.rail_acc[r];
+  }
+}
+
+/// Evaluate output bit `out` of `kind` on packed operand lanes via the
+/// gate's ANF: XOR over monomials of the AND of the participating
+/// inputs. Exact on every lane at once; every primitive kind has
+/// degree <= 2, so a monomial costs at most one AND.
+std::uint64_t anf_eval_packed(GateKind kind, int out,
+                              const std::array<std::uint64_t, 3>& in,
+                              std::uint64_t all_mask, int arity) {
+  const unsigned anf = gate_output_anf(kind, out);
+  std::uint64_t acc = 0;
+  for (unsigned m = 0; m < (1u << arity); ++m) {
+    if (!((anf >> m) & 1u)) continue;
+    std::uint64_t term = all_mask;  // the constant-1 monomial
+    for (int j = 0; j < arity; ++j)
+      if ((m >> j) & 1u) term &= in[static_cast<std::size_t>(j)];
+    acc ^= term;
+  }
+  return acc;
+}
+
+}  // namespace
+
+FaultSecurityCertificate certify_single_faults(
+    const detect::CheckedCircuit& checked, const std::vector<Poly>& data_entry,
+    const std::vector<std::uint64_t>& assignments,
+    const std::vector<std::array<std::uint32_t, 3>>& codewords,
+    const DataflowOptions& /*opts*/) {
+  for (const Poly& p : data_entry)
+    REVFT_CHECK_MSG(!p.is_top(), "certify: top form in the entry binding");
+  const CleanContext ctx(checked, data_entry, assignments);
+  const Circuit& circuit = checked.circuit;
+  const std::size_t size = circuit.size();
+
+  // Clean codeword majorities (the "expected" the wrongness judgment
+  // compares against — certify_machine_program asserts they match the
+  // logical semantics).
+  std::vector<std::uint64_t> clean_maj(codewords.size(), 0);
+  for (std::size_t w = 0; w < codewords.size(); ++w) {
+    const std::uint64_t a = ctx.clean_exit[codewords[w][0]];
+    const std::uint64_t b = ctx.clean_exit[codewords[w][1]];
+    const std::uint64_t c = ctx.clean_exit[codewords[w][2]];
+    clean_maj[w] = (a & b) | (a & c) | (b & c);
+  }
+
+  FaultSecurityCertificate cert;
+  const FaultSites sites = count_fault_sites(circuit);
+  cert.fault_sites = sites.sites;
+  cert.value_scenarios = sites.scenarios;
+  cert.static_counts.fault_sites = sites.sites;
+
+  DeltaWalk walk(circuit.width(), checked.rails.size());
+  const std::size_t num_inputs = ctx.num_inputs;
+
+  for (std::size_t i = 0; i < size; ++i) {
+    const Gate& g = circuit.op(i);
+    const int n = g.arity();
+    const unsigned values = 1u << n;
+    for (unsigned v = 0; v < values; ++v) {
+      walk.reset();
+      // Seed the cone: operand k's faulted value is the constant bit
+      // v_k on every lane, so its delta is that constant XOR the clean
+      // post-op value.
+      for (int k = 0; k < n; ++k) {
+        const std::size_t sk = static_cast<std::size_t>(k);
+        const std::uint64_t faulted =
+            ((v >> k) & 1u) ? ctx.all_mask : 0ull;
+        walk.set_delta(g.bits[sk], faulted ^ ctx.clean_after_op[i][sk]);
+      }
+      std::uint64_t detected = 0;
+      std::uint64_t wrong = 0;
+      if (walk.dirty_list.empty()) {
+        detected |= ctx.clean_fire_suffix[i];
+      } else {
+        observe_at(ctx, walk, i, detected);
+        for (std::size_t j = i + 1; j < size; ++j) {
+          const Gate& gj = circuit.op(j);
+          const int nj = gj.arity();
+          bool touches_dirty = false;
+          for (int k = 0; k < nj; ++k)
+            if (walk.is_dirty[gj.bits[static_cast<std::size_t>(k)]])
+              touches_dirty = true;
+          if (touches_dirty) {
+            // Faulted operands = clean values XOR deltas; the new
+            // deltas are the faulted outputs XOR the clean outputs.
+            // Exact cancellation here is the whole game: a single
+            // damaged cell entering a recovery MAJ leaves the majority
+            // output with a ZERO delta on every lane.
+            std::array<std::uint64_t, 3> fin{};
+            for (int k = 0; k < nj; ++k) {
+              const std::size_t sk = static_cast<std::size_t>(k);
+              const std::uint32_t cell = gj.bits[sk];
+              fin[sk] = ctx.clean_before_op[j][sk] ^
+                        (walk.is_dirty[cell] ? walk.dvals[cell] : 0ull);
+            }
+            for (int k = 0; k < nj; ++k) {
+              const std::size_t sk = static_cast<std::size_t>(k);
+              const std::uint64_t fout =
+                  anf_eval_packed(gj.kind, k, fin, ctx.all_mask, nj);
+              walk.set_delta(gj.bits[sk],
+                             fout ^ ctx.clean_after_op[j][sk]);
+            }
+            if (walk.dirty_list.empty()) {
+              // The construction absorbed the damage entirely; only
+              // the clean observables remain downstream.
+              detected |= ctx.clean_fire_suffix[j];
+              break;
+            }
+          }
+          observe_at(ctx, walk, j, detected);
+        }
+        // Embedded check bits (end-of-run observation).
+        for (const std::uint32_t cb : checked.check_bits) {
+          std::uint64_t fire = ctx.clean_exit[cb];
+          if (walk.is_dirty[cb]) fire ^= walk.dvals[cb];
+          detected |= fire;
+        }
+        // Wrongness: any codeword whose faulted majority decodes away
+        // from the clean one.
+        for (std::size_t w = 0; w < codewords.size(); ++w) {
+          std::uint64_t fa = ctx.clean_exit[codewords[w][0]];
+          std::uint64_t fb = ctx.clean_exit[codewords[w][1]];
+          std::uint64_t fc = ctx.clean_exit[codewords[w][2]];
+          if (walk.is_dirty[codewords[w][0]])
+            fa ^= walk.dvals[codewords[w][0]];
+          if (walk.is_dirty[codewords[w][1]])
+            fb ^= walk.dvals[codewords[w][1]];
+          if (walk.is_dirty[codewords[w][2]])
+            fc ^= walk.dvals[codewords[w][2]];
+          wrong |= ((fa & fb) | (fa & fc) | (fb & fc)) ^ clean_maj[w];
+        }
+      }
+      ++cert.certified_values;
+      const std::uint64_t benign = ctx.benign_mask[i][v] & ctx.all_mask;
+      const std::uint64_t nb = ~benign & ctx.all_mask;
+      cert.static_counts.benign_skipped +=
+          static_cast<std::uint64_t>(std::popcount(benign));
+      cert.static_counts.scenarios +=
+          static_cast<std::uint64_t>(std::popcount(nb));
+      cert.static_counts.detected_harmful +=
+          static_cast<std::uint64_t>(std::popcount(nb & detected & wrong));
+      cert.static_counts.detected_harmless +=
+          static_cast<std::uint64_t>(std::popcount(nb & detected & ~wrong));
+      cert.static_counts.harmless +=
+          static_cast<std::uint64_t>(std::popcount(nb & ~detected & ~wrong));
+      const std::uint64_t silent = nb & ~detected & wrong;
+      cert.static_counts.silent_harmful +=
+          static_cast<std::uint64_t>(std::popcount(silent));
+      for (std::size_t in = 0; in < num_inputs; ++in)
+        if ((silent >> in) & 1ull) {
+          if (cert.insecure_examples.size() <
+              FaultSecurityCertificate::kMaxInsecureExamples)
+            cert.insecure_examples.push_back({{i, v}, in});
+        }
+    }
+    ++cert.certified_sites;
+  }
+  return cert;
+}
+
+MachineCertification certify_machine_program(
+    const CheckedMachineProgram& program, const Circuit& logical,
+    const DataflowOptions& opts) {
+  REVFT_CHECK_MSG(program.logical_bits == logical.width(),
+                  "certify_machine_program: logical width mismatch");
+  REVFT_CHECK_MSG(program.logical_bits <= 6,
+                  "certify_machine_program: logical_bits "
+                      << program.logical_bits << " > 6 (need <= 64 inputs)");
+  const std::uint32_t bits = program.logical_bits;
+  const std::uint64_t num_inputs = 1ull << bits;
+
+  // Entry binding: variable j replicated on logical bit j's three
+  // input cells, every other data cell zero (the census' preparation,
+  // symbolically).
+  std::vector<Poly> entry(program.checked.data_width, Poly::zero());
+  for (std::uint32_t j = 0; j < bits; ++j)
+    for (const std::uint32_t cell : program.input_cells[j])
+      entry[cell] = Poly::var(static_cast<int>(j));
+
+  MachineCertification out;
+  std::vector<std::uint64_t> assignments(num_inputs);
+  for (std::uint64_t x = 0; x < num_inputs; ++x) {
+    assignments[x] = x;
+    StateVector data(program.checked.data_width);
+    for (std::uint32_t j = 0; j < bits; ++j)
+      for (const std::uint32_t cell : program.input_cells[j])
+        data.set_bit(cell, static_cast<std::uint8_t>((x >> j) & 1ull));
+    out.data_inputs.push_back(std::move(data));
+    out.expected.push_back(simulate(logical, x));
+  }
+
+  // The certifier judges "wrong" against the CLEAN majority; assert
+  // once that the clean program really computes `logical`, so that
+  // judgment coincides with the census' is_error.
+  for (std::uint64_t x = 0; x < num_inputs; ++x) {
+    const detect::CheckedRunResult clean =
+        detect::checked_run(program.checked, out.data_inputs[x]);
+    REVFT_CHECK_MSG(!clean.detected,
+                    "certify_machine_program: clean run raised an alarm");
+    for (std::uint32_t j = 0; j < bits; ++j) {
+      const auto& cells = program.output_cells[j];
+      const int maj = clean.state.bit(cells[0]) + clean.state.bit(cells[1]) +
+                      clean.state.bit(cells[2]);
+      REVFT_CHECK_MSG((maj >= 2) == (((out.expected[x] >> j) & 1ull) != 0),
+                      "certify_machine_program: clean program disagrees with "
+                      "the logical circuit on input "
+                          << x << ", bit " << j);
+    }
+  }
+
+  std::vector<std::array<std::uint32_t, 3>> codewords(
+      program.output_cells.begin(), program.output_cells.end());
+  out.certificate = certify_single_faults(program.checked, entry, assignments,
+                                          codewords, opts);
+  return out;
+}
+
+}  // namespace revft::verify
