@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "support/provenance.h"
+
 namespace revft::benchutil {
 
 namespace {
@@ -44,25 +46,15 @@ void print_header(const std::string& title, const std::string& paper_ref) {
   std::printf("================================================================\n");
 }
 
-namespace {
-std::string compiler_version_string() {
-#if defined(__clang__)
-  return std::string("clang ") + __clang_version__;
-#elif defined(__GNUC__)
-  return std::string("gcc ") + __VERSION__;
-#else
-  return "unknown";
-#endif
-}
-}  // namespace
-
-#ifndef REVFT_GIT_SHA
-#define REVFT_GIT_SHA "unknown"
-#endif
-
 JsonResultWriter::JsonResultWriter(std::string name) : name_(std::move(name)) {
-  meta("git_sha", std::string(REVFT_GIT_SHA));
-  meta("compiler", compiler_version_string());
+  meta("git_sha", provenance::git_sha());
+  meta("compiler", provenance::compiler_version());
+}
+
+void stamp_run_meta(JsonResultWriter& json, std::uint64_t trials,
+                    std::uint64_t seed) {
+  json.meta("trials", trials);
+  json.meta("seed", seed);
 }
 
 JsonResultWriter::~JsonResultWriter() { write(); }
@@ -114,6 +106,19 @@ void JsonResultWriter::add(const std::string& section_name,
 void JsonResultWriter::add(const std::string& section_name,
                            const std::string& key, std::uint64_t value) {
   section(section_name)->emplace_back(key, number_token(value));
+}
+
+// Structured values are stored pre-serialized: json::Value::dump()
+// emits exactly the token grammar the scalar paths use, so nested
+// objects and arrays coexist with the number tokens in one Entries
+// list.
+void JsonResultWriter::meta(const std::string& key, const json::Value& value) {
+  meta_.emplace_back(key, value.dump());
+}
+
+void JsonResultWriter::add(const std::string& section_name,
+                           const std::string& key, const json::Value& value) {
+  section(section_name)->emplace_back(key, value.dump());
 }
 
 bool JsonResultWriter::write() {

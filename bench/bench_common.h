@@ -21,6 +21,8 @@
 #include <utility>
 #include <vector>
 
+#include "support/json.h"
+
 namespace revft::benchutil {
 
 /// Monte-Carlo trial count: REVFT_TRIALS or `fallback`.
@@ -33,6 +35,14 @@ std::uint64_t seed_from_env();
 
 /// Print a section header for one reproduced table/figure.
 void print_header(const std::string& title, const std::string& paper_ref);
+
+class JsonResultWriter;
+
+/// Stamp the run-configuration meta pair every bench repeats —
+/// "trials" and "seed" — in one call so the keys cannot drift between
+/// binaries (CI's JSON checker greps for them by name).
+void stamp_run_meta(JsonResultWriter& json, std::uint64_t trials,
+                    std::uint64_t seed);
 
 /// Collects named scalar results and writes them as
 /// REVFT_JSON_DIR/BENCH_<name>.json so successive PRs accumulate a
@@ -60,15 +70,23 @@ class JsonResultWriter {
   /// The integer overload keeps 64-bit values (seeds!) exact — a
   /// double would silently round anything above 2^53. The string
   /// overload emits a JSON string (provenance labels). Every writer is
-  /// pre-stamped with "git_sha" and "compiler" so a results file can
-  /// always be attributed to a build.
+  /// pre-stamped with "git_sha" and "compiler" (via
+  /// support/provenance, the same stamp REPORT_*.json carries) so a
+  /// results file can always be attributed to a build.
   void meta(const std::string& key, double value);
   void meta(const std::string& key, std::uint64_t value);
   void meta(const std::string& key, const std::string& value);
+  /// Record a structured value (object/array) — e.g. a per-rail count
+  /// vector or a nested telemetry snapshot — under meta.
+  void meta(const std::string& key, const json::Value& value);
   /// Record one measured value under `section`.
   void add(const std::string& section, const std::string& key, double value);
   void add(const std::string& section, const std::string& key,
            std::uint64_t value);
+  /// Structured result value: arrays and nested objects land in the
+  /// section verbatim (json::Value::array()/object()).
+  void add(const std::string& section, const std::string& key,
+           const json::Value& value);
 
   /// Write BENCH_<name>.json. Returns false (silently — benches must
   /// still print their tables) when emission is disabled or the file

@@ -112,8 +112,7 @@ void print_comparison(benchutil::JsonResultWriter& json) {
               exp.detection_rounds(),
               static_cast<unsigned long long>(exp.detection_ops()));
 
-  json.meta("trials", config.trials);
-  json.meta("seed", config.seed);
+  benchutil::stamp_run_meta(json, config.trials, config.seed);
   json.meta("gate_budget", config.gate_budget);
   json.meta("correction_ops", exp.correction_ops());
   json.meta("detection_ops", exp.detection_ops());

@@ -149,8 +149,7 @@ void print_reproduction() {
   std::printf("trials per point: %llu (set REVFT_TRIALS to change)\n",
               static_cast<unsigned long long>(trials));
   benchutil::JsonResultWriter json("fig2_threshold");
-  json.meta("trials", trials);
-  json.meta("seed", benchutil::seed_from_env());
+  benchutil::stamp_run_meta(json, trials, benchutil::seed_from_env());
   json.meta("threads",
             static_cast<std::uint64_t>(resolve_thread_count(0)));
   print_pair_census();

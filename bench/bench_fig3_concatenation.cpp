@@ -33,8 +33,7 @@ void print_reproduction() {
   const double rho = threshold_for_ops(G);
 
   benchutil::JsonResultWriter json("fig3_concatenation");
-  json.meta("trials", trials);
-  json.meta("seed", benchutil::seed_from_env());
+  benchutil::stamp_run_meta(json, trials, benchutil::seed_from_env());
 
   std::vector<LogicalGateExperiment> exps;
   for (int level = 0; level <= 3; ++level) {

@@ -111,8 +111,7 @@ void print_monte_carlo() {
               static_cast<unsigned long long>(trials));
 
   benchutil::JsonResultWriter json("fig4_local2d");
-  json.meta("trials", trials);
-  json.meta("seed", benchutil::seed_from_env());
+  benchutil::stamp_run_meta(json, trials, benchutil::seed_from_env());
 
   const Cycle2d cycle = make_cycle_2d(GateKind::kToffoli, true);
   CodewordCycleExperiment::Config config;

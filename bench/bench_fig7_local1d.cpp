@@ -137,8 +137,7 @@ void print_monte_carlo() {
               static_cast<unsigned long long>(trials));
 
   benchutil::JsonResultWriter json("fig7_local1d");
-  json.meta("trials", trials);
-  json.meta("seed", benchutil::seed_from_env());
+  benchutil::stamp_run_meta(json, trials, benchutil::seed_from_env());
 
   LogicalGateExperimentConfig nl_config;
   nl_config.level = 1;

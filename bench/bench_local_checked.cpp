@@ -225,8 +225,7 @@ void print_g_sweep(benchutil::JsonResultWriter& json) {
   std::printf("workload: %zu scattered gates on 10 encoded bits, %llu "
               "trials/point\n",
               logical.size(), static_cast<unsigned long long>(trials));
-  json.meta("trials", trials);
-  json.meta("seed", config.seed);
+  benchutil::stamp_run_meta(json, trials, config.seed);
 
   const std::uint64_t ops1 = exp1d.program().checked.circuit.size();
   const std::uint64_t ops2 = exp2d.program().checked.circuit.size();
@@ -368,9 +367,7 @@ void print_determinism(benchutil::JsonResultWriter& json) {
   json.add("determinism", "silent_failures", results[0].silent_failures);
   // operator== above covers the per-rail counts; record their sum so
   // the JSON trajectory notices a partition regression too.
-  std::uint64_t rail_sum = 0;
-  for (const auto count : results[0].rail_detected) rail_sum += count;
-  json.add("determinism", "rail_detected_sum", rail_sum);
+  json.add("determinism", "rail_detected_sum", results[0].total_detected());
   json.add("determinism", "zero_check_detected",
            results[0].zero_check_detected);
 }

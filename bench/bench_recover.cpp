@@ -214,9 +214,8 @@ void print_determinism(const RecoveryExperiment& exp,
   json.add("determinism", "threads_bit_identical", identical ? 1.0 : 0.0);
   json.add("determinism", "accepted", results[0].accepted);
   json.add("determinism", "ops_total", results[0].ops_total());
-  std::uint64_t rail_sum = 0;
-  for (const auto count : results[0].rail_events) rail_sum += count;
-  json.add("determinism", "rail_events_sum", rail_sum);
+  json.add("determinism", "rail_events_sum", results[0].total_rail_events());
+  json.add("determinism", "total_retries", results[0].total_retries());
 }
 
 // --- google-benchmark kernels ----------------------------------------
@@ -275,8 +274,7 @@ int main(int argc, char** argv) {
   benchutil::JsonResultWriter json("recover");
   const std::uint64_t trials = benchutil::trials_from_env(100000);
   const std::uint64_t seed = benchutil::seed_from_env();
-  json.meta("trials", trials);
-  json.meta("seed", seed);
+  benchutil::stamp_run_meta(json, trials, seed);
 
   const Circuit logical = scattered_workload();
   RecoveryExperiment::Config config;

@@ -1,0 +1,248 @@
+// telemetry_check — the CI gate over emitted JSON artifacts.
+//
+// Usage:  telemetry_check [--enforce-bars] FILE...
+//
+// Every file is parsed with the strict json::parse (duplicate keys and
+// trailing garbage rejected) and then structurally validated according
+// to its basename prefix:
+//
+//   * BENCH_*.json   — bench_common's JsonResultWriter layout: "bench"
+//     string, "meta" object carrying the git_sha/compiler provenance
+//     stamp, non-empty "results" object of objects;
+//   * REPORT_*.json  — telemetry::RunReport::to_json(): rail table,
+//     hot_rails permutation of the rail indices, segment table,
+//     event accounting, metrics snapshot;
+//   * TRACE_*.json   — Chrome trace: "traceEvents" array opening with
+//     the ph:"M" process_name metadata record, every later record a
+//     ph:"i" instant with the deterministic args payload.
+//
+// With --enforce-bars, every key matching *_within_* (the acceptance
+// bars bench_telemetry embeds, e.g. disabled_within_1_03x) must be 1 —
+// this is how CI turns the 3% kernel-overhead guard into a hard
+// failure instead of a number in an artifact nobody reads.
+//
+// Exit status: 0 when every file checks out, 1 otherwise. Unknown
+// prefixes are an error — a typo'd artifact name should fail CI, not
+// silently skip validation.
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/json.h"
+
+using revft::json::ParseResult;
+using revft::json::Value;
+using Kind = revft::json::Kind;
+
+namespace {
+
+int g_failures = 0;
+
+void fail(const std::string& file, const std::string& what) {
+  std::fprintf(stderr, "telemetry_check: %s: %s\n", file.c_str(), what.c_str());
+  ++g_failures;
+}
+
+std::string basename_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+const Value* need(const std::string& file, const Value& obj,
+                  const std::string& key, Kind kind) {
+  const Value* v = obj.is_object() ? obj.find(key) : nullptr;
+  if (v == nullptr) {
+    fail(file, "missing key \"" + key + "\"");
+    return nullptr;
+  }
+  if (v->kind() != kind) {
+    fail(file, "key \"" + key + "\" has the wrong kind");
+    return nullptr;
+  }
+  return v;
+}
+
+const Value* need_uint(const std::string& file, const Value& obj,
+                       const std::string& key) {
+  const Value* v = obj.is_object() ? obj.find(key) : nullptr;
+  if (v == nullptr || v->kind() != Kind::kUint) {
+    fail(file, "missing unsigned key \"" + key + "\"");
+    return nullptr;
+  }
+  return v;
+}
+
+void check_provenance(const std::string& file, const Value& obj) {
+  need(file, obj, "git_sha", Kind::kString);
+  need(file, obj, "compiler", Kind::kString);
+}
+
+// ---------------------------------------------------------------- BENCH_
+
+void check_bench(const std::string& file, const Value& doc) {
+  need(file, doc, "bench", Kind::kString);
+  if (const Value* meta = need(file, doc, "meta", Kind::kObject))
+    check_provenance(file, *meta);
+  const Value* results = need(file, doc, "results", Kind::kObject);
+  if (results == nullptr) return;
+  if (results->members().empty())
+    fail(file, "\"results\" is empty — the bench emitted nothing");
+  for (const auto& section : results->members())
+    if (!section.second.is_object())
+      fail(file, "results section \"" + section.first + "\" is not an object");
+}
+
+// --------------------------------------------------------------- REPORT_
+
+void check_report(const std::string& file, const Value& doc) {
+  need(file, doc, "name", Kind::kString);
+  check_provenance(file, doc);
+  need_uint(file, doc, "trials");
+  need_uint(file, doc, "seed");
+  need(file, doc, "source", Kind::kString);
+
+  const Value* rails = need(file, doc, "rails", Kind::kArray);
+  std::size_t n_rails = 0;
+  if (rails != nullptr) {
+    n_rails = rails->elements().size();
+    for (const Value& row : rails->elements()) {
+      need_uint(file, row, "rail");
+      need(file, row, "cells", Kind::kArray);
+      need_uint(file, row, "fired");
+      const Value* rate = row.is_object() ? row.find("rate") : nullptr;
+      if (rate == nullptr || !rate->is_number())
+        fail(file, "rail row is missing a numeric \"rate\"");
+    }
+  }
+
+  // hot_rails must be a permutation of 0..n_rails-1 — a ranking that
+  // drops or duplicates a rail is a report bug, not a style choice.
+  if (const Value* hot = need(file, doc, "hot_rails", Kind::kArray)) {
+    std::set<std::uint64_t> seen;
+    for (const Value& v : hot->elements())
+      if (v.kind() == Kind::kUint) seen.insert(v.as_uint());
+    if (rails != nullptr &&
+        (hot->elements().size() != n_rails || seen.size() != n_rails))
+      fail(file, "\"hot_rails\" is not a permutation of the rail indices");
+  }
+
+  if (const Value* segs = need(file, doc, "segments", Kind::kArray)) {
+    for (const Value& row : segs->elements()) {
+      need_uint(file, row, "segment");
+      need_uint(file, row, "replays");
+      need_uint(file, row, "replay_ops");
+      need(file, row, "straddling_ops", Kind::kArray);
+    }
+  }
+
+  if (const Value* ev = need(file, doc, "events", Kind::kObject)) {
+    need_uint(file, *ev, "emitted");
+    need_uint(file, *ev, "dropped");
+  }
+  need(file, doc, "metrics", Kind::kObject);
+}
+
+// ---------------------------------------------------------------- TRACE_
+
+void check_trace(const std::string& file, const Value& doc) {
+  const Value* events = need(file, doc, "traceEvents", Kind::kArray);
+  if (events == nullptr) return;
+  if (events->elements().empty()) {
+    fail(file, "\"traceEvents\" is empty — not even the metadata record");
+    return;
+  }
+  const Value& meta = events->elements().front();
+  const Value* ph = meta.is_object() ? meta.find("ph") : nullptr;
+  if (ph == nullptr || ph->kind() != Kind::kString ||
+      ph->as_string() != "M")
+    fail(file, "first traceEvent is not the ph:\"M\" metadata record");
+
+  for (std::size_t i = 1; i < events->elements().size(); ++i) {
+    const Value& ev = events->elements()[i];
+    need(file, ev, "name", Kind::kString);
+    const Value* evph = ev.is_object() ? ev.find("ph") : nullptr;
+    if (evph == nullptr || evph->kind() != Kind::kString ||
+        evph->as_string() != "i") {
+      fail(file, "traceEvent is not a ph:\"i\" instant");
+      break;  // one diagnostic per file, not one per event
+    }
+    need_uint(file, ev, "ts");
+    need(file, ev, "args", Kind::kObject);
+  }
+}
+
+// ------------------------------------------------------------------ bars
+
+void enforce_bars(const std::string& file, const std::string& path,
+                  const Value& v) {
+  if (v.is_object()) {
+    for (const auto& m : v.members()) {
+      const std::string sub = path.empty() ? m.first : path + "." + m.first;
+      if (m.first.find("_within_") != std::string::npos) {
+        // Some emitters store bars as integers, some as doubles —
+        // accept any numeric representation of exactly 1.
+        const bool pass = m.second.is_number() && m.second.as_double() == 1.0;
+        if (!pass) fail(file, "acceptance bar \"" + sub + "\" is not 1");
+      }
+      enforce_bars(file, sub, m.second);
+    }
+  } else if (v.is_array()) {
+    for (const Value& e : v.elements()) enforce_bars(file, path, e);
+  }
+}
+
+void check_file(const std::string& path, bool bars) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    fail(path, "cannot open");
+    return;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const ParseResult parsed = revft::json::parse(buf.str());
+  if (!parsed.ok) {
+    fail(path, "parse error at byte " + std::to_string(parsed.offset) + ": " +
+                   parsed.error);
+    return;
+  }
+
+  const std::string base = basename_of(path);
+  if (base.rfind("BENCH_", 0) == 0) {
+    check_bench(path, parsed.value);
+  } else if (base.rfind("REPORT_", 0) == 0) {
+    check_report(path, parsed.value);
+  } else if (base.rfind("TRACE_", 0) == 0) {
+    check_trace(path, parsed.value);
+  } else {
+    fail(path, "unknown artifact prefix (expected BENCH_/REPORT_/TRACE_)");
+    return;
+  }
+  if (bars) enforce_bars(path, "", parsed.value);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool bars = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--enforce-bars")
+      bars = true;
+    else
+      files.push_back(arg);
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "usage: telemetry_check [--enforce-bars] FILE...\n"
+                 "validates BENCH_/REPORT_/TRACE_ JSON artifacts\n");
+    return 2;
+  }
+  for (const std::string& f : files) check_file(f, bars);
+  if (g_failures == 0)
+    std::printf("telemetry_check: %zu file(s) OK\n", files.size());
+  return g_failures == 0 ? 0 : 1;
+}

@@ -48,11 +48,26 @@ struct DetectionEstimate {
   /// routing fault on a group boundary flips two), so the entries can
   /// sum past `detected`; under the checked machines' per-block
   /// partition entry r localizes damage to block r.
+  ///
+  /// Naming note: this counts TRIALS (each trial contributes at most 1
+  /// to entry r), while RecoveryEstimate::rail_events counts EVENTS (a
+  /// trial retrying at several boundaries contributes several). The
+  /// adaptivity-facing signal both feed is rail_detected_rate(r) here
+  /// and RecoveryEstimate::rail_event_rate(r) there — and the merged
+  /// per-block view is telemetry::RunReport's rail table.
   std::vector<std::uint64_t> rail_detected;
   /// Trials in which some registered ZeroCheck fired.
   std::uint64_t zero_check_detected = 0;
 
   std::uint64_t accepted() const noexcept { return trials - detected; }
+  /// Sum of rail_detected[] — total per-rail attributions. Can exceed
+  /// `detected` (multi-rail trials) and undershoot it (zero-check-only
+  /// or embedded-check-bit detections carry no rail attribution).
+  std::uint64_t total_detected() const noexcept {
+    std::uint64_t sum = 0;
+    for (std::uint64_t r : rail_detected) sum += r;
+    return sum;
+  }
   std::uint64_t false_alarms() const noexcept {
     return detected - detected_failures;
   }
@@ -148,15 +163,45 @@ namespace detail {
 /// Checked counterpart of noise/monte_carlo.h's run_mc_span: identical
 /// batching and lane accounting, but every trial lands in one of the
 /// four DetectionEstimate buckets.
+///
+/// `trace` (nullable) receives per-batch telemetry: detect.* counters
+/// (trials, detected per rail, zero checks) plus kRailFired /
+/// kZeroCheckFired events carrying the per-rail fired lane masks and
+/// one kBatchAccept event per batch. Events fire at most once per
+/// (batch, rail), so the stream is bounded by the batch count, and
+/// every hook is gated on the pointer — an untraced run executes the
+/// identical instruction stream.
 template <typename PrepareFn, typename ClassifyFn>
 DetectionEstimate run_checked_mc_span(PackedSimulator& sim, PackedState& state,
                                       const CheckedCircuit& checked,
                                       std::uint64_t first_batch,
                                       std::uint64_t trials, PrepareFn&& prepare,
-                                      ClassifyFn&& classify) {
+                                      ClassifyFn&& classify,
+                                      telemetry::ShardTrace* trace = nullptr) {
   DetectionEstimate est;
   est.rail_detected.assign(checked.rails.size(), 0);
   std::vector<std::uint64_t> fired(checked.rails.size() + 1, 0);
+  const bool tracing = trace != nullptr && trace->enabled();
+  std::uint64_t* m_batches = nullptr;
+  std::uint64_t* m_trials = nullptr;
+  std::uint64_t* m_detected = nullptr;
+  std::uint64_t* m_zero = nullptr;
+  std::vector<std::uint64_t>* m_rail = nullptr;
+  if (tracing) {
+    // Register everything before taking handles (registration may
+    // reallocate the registry; plain bumps never do).
+    trace->metrics().counter("detect.batches");
+    trace->metrics().counter("detect.trials");
+    trace->metrics().counter("detect.detected");
+    trace->metrics().counter("detect.zero_check_fired");
+    trace->metrics().counter_vec("detect.rail_fired", checked.rails.size());
+    m_batches = &trace->metrics().counter("detect.batches");
+    m_trials = &trace->metrics().counter("detect.trials");
+    m_detected = &trace->metrics().counter("detect.detected");
+    m_zero = &trace->metrics().counter("detect.zero_check_fired");
+    m_rail = &trace->metrics().counter_vec("detect.rail_fired",
+                                           checked.rails.size());
+  }
   const std::uint64_t batches = (trials + 63) / 64;
   for (std::uint64_t b = 0; b < batches; ++b) {
     const std::uint64_t batch = first_batch + b;
@@ -177,15 +222,53 @@ DetectionEstimate run_checked_mc_span(PackedSimulator& sim, PackedState& state,
         ++est.silent_failures;
       }
     }
+    const std::uint64_t live = lanes_this_batch == 64
+                                   ? ~0ULL
+                                   : (1ULL << lanes_this_batch) - 1;
     if (detected_mask != 0) {
-      const std::uint64_t live = lanes_this_batch == 64
-                                     ? ~0ULL
-                                     : (1ULL << lanes_this_batch) - 1;
       for (std::size_t r = 0; r < checked.rails.size(); ++r)
         est.rail_detected[r] += static_cast<std::uint64_t>(
             std::popcount(fired[r] & live));
       est.zero_check_detected += static_cast<std::uint64_t>(
           std::popcount(fired[checked.rails.size()] & live));
+      if (tracing) {
+        for (std::size_t r = 0; r < checked.rails.size(); ++r) {
+          const std::uint64_t lanes = fired[r] & live;
+          if (lanes == 0) continue;
+          (*m_rail)[r] += static_cast<std::uint64_t>(std::popcount(lanes));
+          telemetry::Event ev;
+          ev.kind = telemetry::EventKind::kRailFired;
+          ev.shard = trace->shard_index();
+          ev.rail = static_cast<std::uint16_t>(r);
+          ev.batch = batch;
+          ev.lanes = lanes;
+          trace->emit(ev);
+        }
+        const std::uint64_t zero_lanes = fired[checked.rails.size()] & live;
+        if (zero_lanes != 0) {
+          *m_zero += static_cast<std::uint64_t>(std::popcount(zero_lanes));
+          telemetry::Event ev;
+          ev.kind = telemetry::EventKind::kZeroCheckFired;
+          ev.shard = trace->shard_index();
+          ev.batch = batch;
+          ev.lanes = zero_lanes;
+          trace->emit(ev);
+        }
+      }
+    }
+    if (tracing) {
+      ++*m_batches;
+      *m_trials += static_cast<std::uint64_t>(lanes_this_batch);
+      *m_detected +=
+          static_cast<std::uint64_t>(std::popcount(detected_mask & live));
+      telemetry::Event ev;
+      ev.kind = telemetry::EventKind::kBatchAccept;
+      ev.shard = trace->shard_index();
+      ev.batch = batch;
+      ev.lanes = live & ~detected_mask;
+      ev.value =
+          static_cast<std::uint64_t>(std::popcount(live & ~detected_mask));
+      trace->emit(ev);
     }
   }
   return est;
@@ -196,31 +279,40 @@ DetectionEstimate run_checked_mc_span(PackedSimulator& sim, PackedState& state,
 /// Single-threaded checked Monte-Carlo harness (one simulator runs
 /// every batch in order). prepare fills the 64 lanes of a cleared
 /// state — rail and check bits must be left zero; classify returns
-/// true when the lane's *output* is logically wrong.
+/// true when the lane's *output* is logically wrong. `trace`
+/// (nullable) collects telemetry as one shard.
 template <typename PrepareFn, typename ClassifyFn>
 DetectionEstimate run_checked_mc(const CheckedCircuit& checked,
                                  const NoiseModel& model, const McOptions& opts,
-                                 PrepareFn&& prepare, ClassifyFn&& classify) {
+                                 PrepareFn&& prepare, ClassifyFn&& classify,
+                                 telemetry::Trace* trace = nullptr) {
   PackedSimulator sim(model, opts.seed);
   PackedState state(checked.circuit.width());
-  return detail::run_checked_mc_span(sim, state, checked, /*first_batch=*/0,
-                                     opts.trials,
-                                     std::forward<PrepareFn>(prepare),
-                                     std::forward<ClassifyFn>(classify));
+  revft::detail::TraceShards traces(trace, 1);
+  DetectionEstimate est = detail::run_checked_mc_span(
+      sim, state, checked, /*first_batch=*/0, opts.trials,
+      std::forward<PrepareFn>(prepare), std::forward<ClassifyFn>(classify),
+      traces.shard(0));
+  traces.absorb();
+  return est;
 }
 
 /// Thread-sharded checked Monte-Carlo run. Same kernel-factory
 /// contract as run_parallel_mc (factory(shard_index) yields an object
 /// with prepare/classify); same determinism guarantee, now for all
-/// four outcome counts.
+/// four outcome counts. `trace` (nullable) collects per-shard
+/// telemetry absorbed in shard-index order, so the metrics and event
+/// stream are bit-identical across REVFT_THREADS too.
 template <typename KernelFactory>
 DetectionEstimate run_parallel_checked_mc(const CheckedCircuit& checked,
                                           const NoiseModel& model,
                                           const ParallelMcOptions& opts,
-                                          KernelFactory&& factory) {
+                                          KernelFactory&& factory,
+                                          telemetry::Trace* trace = nullptr) {
   const std::vector<McShard> shards =
       plan_shards(opts.trials, opts.seed, opts.batches_per_shard);
-  return revft::detail::run_sharded_as<DetectionEstimate>(
+  revft::detail::TraceShards traces(trace, shards.size());
+  DetectionEstimate est = revft::detail::run_sharded_as<DetectionEstimate>(
       shards, resolve_thread_count(opts.threads),
       [&](const McShard& shard) -> DetectionEstimate {
         auto kernel = factory(shard.index);
@@ -233,8 +325,11 @@ DetectionEstimate run_parallel_checked_mc(const CheckedCircuit& checked,
             },
             [&kernel](const PackedState& s, int lane, std::uint64_t batch) {
               return kernel.classify(s, lane, batch);
-            });
+            },
+            traces.shard(shard.index));
       });
+  traces.absorb();
+  return est;
 }
 
 }  // namespace revft::detect

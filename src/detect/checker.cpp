@@ -1,5 +1,7 @@
 #include "detect/checker.h"
 
+#include <algorithm>
+
 #include "support/error.h"
 
 namespace revft::detect {
@@ -110,11 +112,15 @@ namespace {
 /// observable history up to `op` is identical to the clean run's.
 /// `next_zero_check` / `next_checkpoint` index the first entries with
 /// op_index >= op. Returns the detection verdict; `state` ends as the
-/// final full-width state for the is_error judgment.
+/// final full-width state for the is_error judgment. `rail_fired`
+/// (nullable, pre-sized to rails.size() and zeroed by the caller)
+/// records which rails fired — the suffix walk has no early exit, so
+/// the per-rail attribution is complete, not first-hit-only.
 bool run_faulted_suffix(const CheckedCircuit& checked, StateVector& state,
                         std::size_t op, unsigned v,
                         std::size_t next_zero_check,
-                        std::size_t next_checkpoint) {
+                        std::size_t next_checkpoint,
+                        std::vector<std::uint8_t>* rail_fired = nullptr) {
   const Circuit& circuit = checked.circuit;
   bool detected = false;
   for (std::size_t i = op; i < circuit.size(); ++i) {
@@ -137,8 +143,10 @@ bool run_faulted_suffix(const CheckedCircuit& checked, StateVector& state,
            checked.checkpoints[next_checkpoint] == i) {
       const auto& groups = checked.checkpoint_groups[next_checkpoint];
       for (std::size_t r = 0; r < checked.rails.size(); ++r)
-        if (rail_invariant(state, checked.rails[r].rail_bit, groups[r]) != 0)
+        if (rail_invariant(state, checked.rails[r].rail_bit, groups[r]) != 0) {
           detected = true;
+          if (rail_fired != nullptr) (*rail_fired)[r] = 1;
+        }
       ++next_checkpoint;
     }
   }
@@ -164,6 +172,8 @@ DetectionCensus single_fault_detection_census(
   // identity the tests can assert rather than a coincidence.
   const FaultSites sites = count_fault_sites(checked.circuit);
   census.fault_sites = sites.sites;
+  census.rail_detected.assign(checked.rails.size(), 0);
+  std::vector<std::uint8_t> fired(checked.rails.size(), 0);
   const Circuit& circuit = checked.circuit;
 
   // Hoisted enumeration: one clean forward walk per input supplies the
@@ -193,12 +203,16 @@ DetectionCensus single_fault_detection_census(
         }
         ++census.scenarios;
         StateVector state = clean;
-        const bool detected = run_faulted_suffix(checked, state, i, v, zc, cp);
+        std::fill(fired.begin(), fired.end(), 0);
+        const bool detected =
+            run_faulted_suffix(checked, state, i, v, zc, cp, &fired);
         const bool wrong = is_error(state, in);
         if (detected)
           ++(wrong ? census.detected_harmful : census.detected_harmless);
         else
           ++(wrong ? census.silent_harmful : census.harmless);
+        for (std::size_t r = 0; r < fired.size(); ++r)
+          census.rail_detected[r] += fired[r];
       }
       clean.apply(g);
       while (zc < checked.zero_checks.size() &&
@@ -231,6 +245,8 @@ DetectionCensus single_fault_detection_census(
     values_at[f.op_index].push_back(f.corrupted_local);
   }
   DetectionCensus census;
+  census.rail_detected.assign(checked.rails.size(), 0);
+  std::vector<std::uint8_t> fired(checked.rails.size(), 0);
   for (std::size_t i = 0; i < circuit.size(); ++i)
     if (!values_at[i].empty()) ++census.fault_sites;
 
@@ -255,13 +271,16 @@ DetectionCensus single_fault_detection_census(
           }
           ++census.scenarios;
           StateVector state = clean;
+          std::fill(fired.begin(), fired.end(), 0);
           const bool detected =
-              run_faulted_suffix(checked, state, i, v, zc, cp);
+              run_faulted_suffix(checked, state, i, v, zc, cp, &fired);
           const bool wrong = is_error(state, in);
           if (detected)
             ++(wrong ? census.detected_harmful : census.detected_harmless);
           else
             ++(wrong ? census.silent_harmful : census.harmless);
+          for (std::size_t r = 0; r < fired.size(); ++r)
+            census.rail_detected[r] += fired[r];
         }
       }
       clean.apply(g);

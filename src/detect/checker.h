@@ -77,9 +77,24 @@ struct DetectionCensus {
   std::uint64_t detected_harmless = 0;
   std::uint64_t detected_harmful = 0;
   std::uint64_t silent_harmful = 0;
+  /// Scenarios in which rail r fired at some checkpoint, one entry per
+  /// CheckedCircuit rail (a scenario firing several rails counts once
+  /// per rail, exactly like DetectionEstimate::rail_detected counts
+  /// trials). This is the EXHAUSTIVE ground truth of the per-block
+  /// hot-spot ranking: the Monte-Carlo rail ordering of a
+  /// telemetry::RunReport should agree with this ordering wherever the
+  /// census counts differ materially — ctest-enforced.
+  std::vector<std::uint64_t> rail_detected;
 
   std::uint64_t detected() const noexcept {
     return detected_harmless + detected_harmful;
+  }
+  /// Sum of rail_detected[] (the census counterpart of
+  /// DetectionEstimate::total_detected()).
+  std::uint64_t total_rail_detected() const noexcept {
+    std::uint64_t sum = 0;
+    for (std::uint64_t r : rail_detected) sum += r;
+    return sum;
   }
   /// The proof obligation: no single fault is both missed and fatal.
   bool fault_secure() const noexcept { return silent_harmful == 0; }

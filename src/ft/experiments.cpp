@@ -257,8 +257,8 @@ CheckedMachineExperiment::CheckedMachineExperiment(CheckedMachineProgram program
   truth_ = machine_truth_table(logical);
 }
 
-detect::DetectionEstimate CheckedMachineExperiment::run(double g,
-                                                        int threads) const {
+detect::DetectionEstimate CheckedMachineExperiment::run(
+    double g, int threads, telemetry::Trace* trace) const {
   NoiseModel model = NoiseModel::uniform(g);
   if (!config_.noisy_init) model.with_perfect_init();
 
@@ -272,7 +272,8 @@ detect::DetectionEstimate CheckedMachineExperiment::run(double g,
   // cross-engine bit-for-bit contract honest.
   return detect::run_parallel_checked_mc(
       program_.checked, model, opts,
-      [&](std::uint64_t) { return make_machine_kernel(program_, truth_); });
+      [&](std::uint64_t) { return make_machine_kernel(program_, truth_); },
+      trace);
 }
 
 }  // namespace revft

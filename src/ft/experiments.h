@@ -175,7 +175,11 @@ class CheckedMachineExperiment {
   CheckedMachineExperiment(CheckedMachineProgram program,
                            const Circuit& logical, const Config& config);
 
-  detect::DetectionEstimate run(double g, int threads = -1) const;
+  /// `trace` (nullable) collects per-shard telemetry — see
+  /// run_parallel_checked_mc; the stream is bit-identical across
+  /// thread counts for a fixed seed.
+  detect::DetectionEstimate run(double g, int threads = -1,
+                                telemetry::Trace* trace = nullptr) const;
 
   const CheckedMachineProgram& program() const noexcept { return program_; }
 

@@ -22,7 +22,8 @@ RecoveryExperiment::RecoveryExperiment(CheckedMachineProgram program,
 }
 
 recover::RecoveryEstimate RecoveryExperiment::run(
-    double g, const recover::RetryPolicy& policy, int threads) const {
+    double g, const recover::RetryPolicy& policy, int threads,
+    telemetry::Trace* trace) const {
   NoiseModel model = NoiseModel::uniform(g);
   if (!config_.noisy_init) model.with_perfect_init();
 
@@ -32,9 +33,9 @@ recover::RecoveryEstimate RecoveryExperiment::run(
   opts.threads = threads < 0 ? config_.threads : threads;
 
   return recover::run_parallel_recovering_mc(
-      program_.checked, plan_, policy, model, opts, [&](std::uint64_t) {
-        return make_machine_kernel(program_, truth_);
-      });
+      program_.checked, plan_, policy, model, opts,
+      [&](std::uint64_t) { return make_machine_kernel(program_, truth_); },
+      trace);
 }
 
 }  // namespace revft

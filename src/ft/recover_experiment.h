@@ -54,9 +54,12 @@ class RecoveryExperiment {
 
   /// Run one policy at error rate g. Results are bit-identical for a
   /// fixed seed at any worker count (pass `threads` >= 1 to pin one
-  /// for determinism checks; -1 = the config's).
+  /// for determinism checks; -1 = the config's). `trace` (nullable)
+  /// collects per-shard telemetry — see run_parallel_recovering_mc —
+  /// with the same thread-count-independence guarantee.
   recover::RecoveryEstimate run(double g, const recover::RetryPolicy& policy,
-                                int threads = -1) const;
+                                int threads = -1,
+                                telemetry::Trace* trace = nullptr) const;
 
   const CheckedMachineProgram& program() const noexcept { return program_; }
   const recover::SegmentPlan& plan() const noexcept { return plan_; }

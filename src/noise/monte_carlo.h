@@ -10,10 +10,12 @@
 // per-batch semantics over a sub-range of batches.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 
 #include "noise/packed_sim.h"
 #include "support/stats.h"
+#include "telemetry/trace.h"
 
 namespace revft {
 
@@ -31,12 +33,33 @@ namespace detail {
 ///   classify(state, lane, batch) -> bool — true means "error".
 /// Only the first (trials % 64) lanes of the last batch are counted,
 /// so the estimate covers exactly `trials` trials.
+///
+/// `trace` (nullable) receives per-batch telemetry: mc.batches /
+/// mc.trials / mc.failures counters plus one kBatchAccept event per
+/// batch whose lane mask names the non-failing counted lanes. Every
+/// hook is gated on the pointer, so an untraced run executes the same
+/// per-lane work as before telemetry existed.
 template <typename PrepareFn, typename ClassifyFn>
 BernoulliEstimate run_mc_span(PackedSimulator& sim, PackedState& state,
                               const Circuit& circuit, std::uint64_t first_batch,
                               std::uint64_t trials, PrepareFn&& prepare,
-                              ClassifyFn&& classify) {
+                              ClassifyFn&& classify,
+                              telemetry::ShardTrace* trace = nullptr) {
   BernoulliEstimate est;
+  const bool tracing = trace != nullptr && trace->enabled();
+  std::uint64_t* m_batches = nullptr;
+  std::uint64_t* m_trials = nullptr;
+  std::uint64_t* m_failures = nullptr;
+  if (tracing) {
+    // Register everything before taking handles: the registry may
+    // reallocate on registration, never on a plain bump.
+    trace->metrics().counter("mc.batches");
+    trace->metrics().counter("mc.trials");
+    trace->metrics().counter("mc.failures");
+    m_batches = &trace->metrics().counter("mc.batches");
+    m_trials = &trace->metrics().counter("mc.trials");
+    m_failures = &trace->metrics().counter("mc.failures");
+  }
   const std::uint64_t batches = (trials + 63) / 64;
   for (std::uint64_t b = 0; b < batches; ++b) {
     const std::uint64_t batch = first_batch + b;
@@ -46,9 +69,28 @@ BernoulliEstimate run_mc_span(PackedSimulator& sim, PackedState& state,
     state.clear();
     prepare(state, sim.rng(), batch);
     sim.apply_noisy(state, circuit);
+    std::uint64_t wrong = 0;
     for (int lane = 0; lane < lanes_this_batch; ++lane) {
       ++est.trials;
-      if (classify(state, lane, batch)) ++est.failures;
+      if (classify(state, lane, batch)) {
+        ++est.failures;
+        if (tracing) wrong |= 1ULL << lane;
+      }
+    }
+    if (tracing) {
+      const std::uint64_t live = lanes_this_batch == 64
+                                     ? ~0ULL
+                                     : (1ULL << lanes_this_batch) - 1;
+      ++*m_batches;
+      *m_trials += static_cast<std::uint64_t>(lanes_this_batch);
+      *m_failures += static_cast<std::uint64_t>(std::popcount(wrong));
+      telemetry::Event ev;
+      ev.kind = telemetry::EventKind::kBatchAccept;
+      ev.shard = trace->shard_index();
+      ev.batch = batch;
+      ev.lanes = live & ~wrong;
+      ev.value = static_cast<std::uint64_t>(std::popcount(live & ~wrong));
+      trace->emit(ev);
     }
   }
   return est;

@@ -132,18 +132,50 @@ BernoulliEstimate run_sharded(
     const std::vector<McShard>& shards, int threads,
     const std::function<BernoulliEstimate(const McShard&)>& run_shard);
 
+/// Per-shard telemetry plumbing shared by every parallel driver:
+/// preallocates one ShardTrace per shard (indexed by shard.index, so
+/// concurrently running workers write disjoint elements with no
+/// synchronization — the same ownership discipline as the partial
+/// estimates), hands out pointers during the run, and absorbs into
+/// the session Trace in shard-index order after the workers join.
+/// With a null session every accessor returns nullptr and nothing is
+/// allocated.
+class TraceShards {
+ public:
+  TraceShards(telemetry::Trace* trace, std::size_t shard_count)
+      : trace_(trace) {
+    if (trace_ != nullptr) shards_ = trace_->make_shards(shard_count);
+  }
+  telemetry::ShardTrace* shard(std::uint64_t index) noexcept {
+    return trace_ != nullptr ? &shards_[index] : nullptr;
+  }
+  /// Call once, after run_sharded_as returns (workers joined).
+  void absorb() {
+    if (trace_ != nullptr) trace_->absorb(shards_);
+  }
+
+ private:
+  telemetry::Trace* trace_;
+  std::vector<telemetry::ShardTrace> shards_;
+};
+
 }  // namespace detail
 
 /// Thread-sharded Monte-Carlo run. See the file comment for the
-/// kernel-factory contract and the determinism guarantee.
+/// kernel-factory contract and the determinism guarantee. `trace`
+/// (nullable) collects per-shard telemetry, absorbed in shard-index
+/// order — the event stream and metrics inherit the bit-identical-
+/// across-REVFT_THREADS guarantee.
 template <typename KernelFactory>
 BernoulliEstimate run_parallel_mc(const Circuit& circuit,
                                   const NoiseModel& model,
                                   const ParallelMcOptions& opts,
-                                  KernelFactory&& factory) {
+                                  KernelFactory&& factory,
+                                  telemetry::Trace* trace = nullptr) {
   const std::vector<McShard> shards =
       plan_shards(opts.trials, opts.seed, opts.batches_per_shard);
-  return detail::run_sharded(
+  detail::TraceShards traces(trace, shards.size());
+  BernoulliEstimate est = detail::run_sharded(
       shards, resolve_thread_count(opts.threads),
       [&](const McShard& shard) -> BernoulliEstimate {
         auto kernel = factory(shard.index);
@@ -156,8 +188,11 @@ BernoulliEstimate run_parallel_mc(const Circuit& circuit,
             },
             [&kernel](const PackedState& s, int lane, std::uint64_t batch) {
               return kernel.classify(s, lane, batch);
-            });
+            },
+            traces.shard(shard.index));
       });
+  traces.absorb();
+  return est;
 }
 
 /// Adapts bare prepare/classify callables (the run_packed_mc calling

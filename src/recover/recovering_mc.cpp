@@ -13,15 +13,81 @@ namespace {
 
 int popcount(std::uint64_t mask) { return std::popcount(mask); }
 
+/// Pre-registered metric handles plus the event sink, resolved once
+/// per span so the hot path bumps raw integers (registration can
+/// reallocate the registry; plain bumps never do). Null trace = no
+/// hooks anywhere.
+struct TraceHooks {
+  telemetry::ShardTrace* trace = nullptr;
+  std::uint64_t* batches = nullptr;
+  std::uint64_t* trials = nullptr;
+  std::uint64_t* local_retries = nullptr;
+  std::uint64_t* restarts = nullptr;
+  std::uint64_t* fallbacks = nullptr;
+  std::vector<std::uint64_t>* rail_events = nullptr;
+  std::vector<std::uint64_t>* seg_replays = nullptr;
+  std::vector<std::uint64_t>* seg_replay_ops = nullptr;
+  telemetry::Histogram* replays_per_batch = nullptr;
+
+  static TraceHooks resolve(telemetry::ShardTrace* trace,
+                            std::size_t rails, std::size_t segments) {
+    TraceHooks h;
+    if (trace == nullptr || !trace->enabled()) return h;
+    telemetry::MetricsRegistry& m = trace->metrics();
+    m.counter("recover.batches");
+    m.counter("recover.trials");
+    m.counter("recover.local_retries");
+    m.counter("recover.program_restarts");
+    m.counter("recover.fallbacks");
+    m.counter_vec("recover.rail_events", rails);
+    m.counter_vec("recover.segment.replays", segments);
+    m.counter_vec("recover.segment.replay_ops", segments);
+    m.histogram("recover.replays_per_batch", {0, 1, 2, 4, 8, 16, 32});
+    h.trace = trace;
+    h.batches = &m.counter("recover.batches");
+    h.trials = &m.counter("recover.trials");
+    h.local_retries = &m.counter("recover.local_retries");
+    h.restarts = &m.counter("recover.program_restarts");
+    h.fallbacks = &m.counter("recover.fallbacks");
+    h.rail_events = &m.counter_vec("recover.rail_events", rails);
+    h.seg_replays = &m.counter_vec("recover.segment.replays", segments);
+    h.seg_replay_ops = &m.counter_vec("recover.segment.replay_ops", segments);
+    h.replays_per_batch =
+        &m.histogram("recover.replays_per_batch", {0, 1, 2, 4, 8, 16, 32});
+    return h;
+  }
+
+  void emit(telemetry::EventKind kind, std::uint64_t batch,
+            std::uint32_t segment, std::uint16_t rail, std::uint64_t lanes,
+            std::uint64_t value) const {
+    telemetry::Event ev;
+    ev.kind = kind;
+    ev.shard = trace->shard_index();
+    ev.rail = rail;
+    ev.segment = segment;
+    ev.batch = batch;
+    ev.lanes = lanes;
+    ev.value = value;
+    trace->emit(ev);
+  }
+};
+
 /// Evaluate the checks of `seg` on `s` for every component in `watch`
 /// (a component bitmask), ORing per-lane fired masks into comp_fired
 /// (pre-zeroed, one word per component). When `est` is non-null the
 /// per-rail / zero-check event counters are bumped for lanes in
-/// `count_mask`.
+/// `count_mask` — and, when `hooks` traces, the matching kRailFired /
+/// kZeroCheckFired events fire (counting pass only: replay and
+/// restart re-evaluations pass a null est and stay silent, so the
+/// event stream matches the estimate's attribution exactly).
 void eval_boundary(const detect::CheckedCircuit& checked, const Segment& seg,
                    const PackedState& s, std::uint64_t watch,
                    std::vector<std::uint64_t>& comp_fired,
-                   RecoveryEstimate* est, std::uint64_t count_mask) {
+                   RecoveryEstimate* est, std::uint64_t count_mask,
+                   const TraceHooks* hooks = nullptr,
+                   std::uint32_t seg_index = 0, std::uint64_t batch = 0) {
+  const bool tracing = est != nullptr && hooks != nullptr &&
+                       hooks->trace != nullptr;
   if (seg.checkpoint >= 0) {
     const auto& groups =
         checked.checkpoint_groups[static_cast<std::size_t>(seg.checkpoint)];
@@ -31,9 +97,16 @@ void eval_boundary(const detect::CheckedCircuit& checked, const Segment& seg,
       const std::uint64_t violated =
           s.parity_word_over(groups[r]) ^ s.word(checked.rails[r].rail_bit);
       comp_fired[c] |= violated;
-      if (est != nullptr)
-        est->rail_events[r] +=
-            static_cast<std::uint64_t>(popcount(violated & count_mask));
+      if (est != nullptr) {
+        const std::uint64_t counted = violated & count_mask;
+        est->rail_events[r] += static_cast<std::uint64_t>(popcount(counted));
+        if (tracing && counted != 0) {
+          (*hooks->rail_events)[r] +=
+              static_cast<std::uint64_t>(popcount(counted));
+          hooks->emit(telemetry::EventKind::kRailFired, batch, seg_index,
+                      static_cast<std::uint16_t>(r), counted, 0);
+        }
+      }
     }
   }
   for (std::size_t k = 0; k < seg.zero_checks.size(); ++k) {
@@ -43,9 +116,13 @@ void eval_boundary(const detect::CheckedCircuit& checked, const Segment& seg,
     for (const std::uint32_t bit : checked.zero_checks[seg.zero_checks[k]].bits)
       mask |= s.word(bit);
     comp_fired[c] |= mask;
-    if (est != nullptr)
-      est->zero_check_events +=
-          static_cast<std::uint64_t>(popcount(mask & count_mask));
+    if (est != nullptr) {
+      const std::uint64_t counted = mask & count_mask;
+      est->zero_check_events += static_cast<std::uint64_t>(popcount(counted));
+      if (tracing && counted != 0)
+        hooks->emit(telemetry::EventKind::kZeroCheckFired, batch, seg_index,
+                    static_cast<std::uint16_t>(seg.zero_checks[k]), counted, 0);
+    }
   }
 }
 
@@ -55,12 +132,16 @@ RecoveryEstimate run_recovering_mc_span(
     PackedSimulator& sim, PackedState& state,
     const detect::CheckedCircuit& checked, const SegmentPlan& plan,
     const RetryPolicy& policy, std::uint64_t first_batch, std::uint64_t trials,
-    const PrepareFn& prepare, const ClassifyFn& classify) {
+    const PrepareFn& prepare, const ClassifyFn& classify,
+    telemetry::ShardTrace* trace) {
   const Circuit& circuit = checked.circuit;
   REVFT_CHECK_MSG(plan.total_ops == circuit.size(),
                   "run_recovering_mc_span: plan built for a different circuit");
   RecoveryEstimate est;
   est.rail_events.assign(checked.rails.size(), 0);
+  const TraceHooks hooks = TraceHooks::resolve(trace, checked.rails.size(),
+                                               plan.segments.size());
+  const TraceHooks* hp = hooks.trace != nullptr ? &hooks : nullptr;
 
   PackedState scratch(circuit.width());
   PackedCheckpoint entry_cp, boundary_cp;
@@ -92,14 +173,18 @@ RecoveryEstimate run_recovering_mc_span(
     std::uint64_t restart_pending = 0;
     std::uint64_t rejected = 0;
     std::uint64_t detected_lanes = 0;
+    std::uint64_t batch_replays = 0;
 
     // --- first pass: segment walk with per-boundary reaction --------
-    for (const Segment& seg : plan.segments) {
+    for (std::size_t si = 0; si < plan.segments.size(); ++si) {
+      const Segment& seg = plan.segments[si];
+      const std::uint32_t seg_id = static_cast<std::uint32_t>(si);
       sim.apply_noisy_span(state, circuit, seg.begin, seg.end + 1);
       est.ops_main += seg.op_count() * static_cast<std::uint64_t>(
                                            popcount(active));
       comp_fired.assign(seg.components.size(), 0);
-      eval_boundary(checked, seg, state, ~0ULL, comp_fired, &est, active);
+      eval_boundary(checked, seg, state, ~0ULL, comp_fired, &est, active, hp,
+                    seg_id, batch);
       std::uint64_t fired_any = 0;
       for (const std::uint64_t mask : comp_fired) fired_any |= mask;
       fired_any &= active;
@@ -148,10 +233,20 @@ RecoveryEstimate run_recovering_mc_span(
                   sim.apply_noisy(scratch, circuit.op(seg.begin + k));
                   ++replay_ops;
                 }
-                est.ops_local += replay_ops * static_cast<std::uint64_t>(
-                                                  popcount(consumers));
-                est.local_retries +=
+                const std::uint64_t consumer_count =
                     static_cast<std::uint64_t>(popcount(consumers));
+                est.ops_local += replay_ops * consumer_count;
+                est.local_retries += consumer_count;
+                batch_replays += consumer_count;
+                if (hp != nullptr) {
+                  *hooks.local_retries += consumer_count;
+                  (*hooks.seg_replays)[si] += consumer_count;
+                  (*hooks.seg_replay_ops)[si] += replay_ops * consumer_count;
+                  hooks.emit(telemetry::EventKind::kCheckpointRestore, batch,
+                             seg_id, 0, consumers, 0);
+                  hooks.emit(telemetry::EventKind::kSegmentReplay, batch,
+                             seg_id, 0, consumers, replay_ops);
+                }
                 comp_fired.assign(seg.components.size(), 0);
                 eval_boundary(checked, seg, scratch, set, comp_fired, nullptr,
                               0);
@@ -187,6 +282,12 @@ RecoveryEstimate run_recovering_mc_span(
             }
             if (failed != 0) {
               est.fallbacks += static_cast<std::uint64_t>(popcount(failed));
+              if (hp != nullptr) {
+                *hooks.fallbacks +=
+                    static_cast<std::uint64_t>(popcount(failed));
+                hooks.emit(telemetry::EventKind::kEscalationRestart, batch,
+                           seg_id, 0, failed, 0);
+              }
               restart_pending |= failed;
               active &= ~failed;
             }
@@ -199,6 +300,7 @@ RecoveryEstimate run_recovering_mc_span(
 
     est.trials += static_cast<std::uint64_t>(lanes_this_batch);
     est.detected_trials += static_cast<std::uint64_t>(popcount(detected_lanes));
+    std::uint64_t accepted_lanes = active & live;
     for (int lane = 0; lane < lanes_this_batch; ++lane) {
       if (!((active >> lane) & 1ULL)) continue;
       ++est.accepted;
@@ -215,6 +317,8 @@ RecoveryEstimate run_recovering_mc_span(
     }
     while (pending != 0) {
       est.program_restarts += static_cast<std::uint64_t>(popcount(pending));
+      if (hp != nullptr)
+        *hooks.restarts += static_cast<std::uint64_t>(popcount(pending));
       entry_cp.restore_all(scratch);
       std::uint64_t still_clean = ~0ULL;
       for (const Segment& seg : plan.segments) {
@@ -233,6 +337,7 @@ RecoveryEstimate run_recovering_mc_span(
       const std::uint64_t accepted_now = pending & still_clean;
       if (accepted_now != 0) {
         blend_lanes(state, scratch, accepted_now);
+        accepted_lanes |= accepted_now & live;
         for (int lane = 0; lane < lanes_this_batch; ++lane) {
           if (!((accepted_now >> lane) & 1ULL)) continue;
           ++est.accepted;
@@ -250,6 +355,14 @@ RecoveryEstimate run_recovering_mc_span(
       pending &= ~exhausted;
     }
     est.rejected += static_cast<std::uint64_t>(popcount(rejected));
+    if (hp != nullptr) {
+      ++*hooks.batches;
+      *hooks.trials += static_cast<std::uint64_t>(lanes_this_batch);
+      hooks.replays_per_batch->record(batch_replays);
+      hooks.emit(telemetry::EventKind::kBatchAccept, batch, 0, 0,
+                 accepted_lanes,
+                 static_cast<std::uint64_t>(popcount(accepted_lanes)));
+    }
   }
   return est;
 }

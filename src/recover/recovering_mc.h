@@ -58,40 +58,60 @@ using ClassifyFn =
 /// simulator, a contiguous batch range, retries included. Out-of-line
 /// (not a template) — the segment walk is involved enough that one
 /// canonical definition beats inlining per kernel type.
+///
+/// `trace` (nullable) receives the full per-boundary story: recover.*
+/// counters (per-rail events, per-segment replays and replayed ops,
+/// restarts, a replays-per-batch histogram) plus kRailFired /
+/// kZeroCheckFired / kCheckpointRestore / kSegmentReplay /
+/// kEscalationRestart / kBatchAccept events stamped with segment and
+/// rail ids. Hooks fire at boundary/replay granularity (never per
+/// gate) and are all gated on the pointer, so an untraced run pays
+/// one predictable branch per boundary.
 RecoveryEstimate run_recovering_mc_span(
     PackedSimulator& sim, PackedState& state,
     const detect::CheckedCircuit& checked, const SegmentPlan& plan,
     const RetryPolicy& policy, std::uint64_t first_batch, std::uint64_t trials,
-    const PrepareFn& prepare, const ClassifyFn& classify);
+    const PrepareFn& prepare, const ClassifyFn& classify,
+    telemetry::ShardTrace* trace = nullptr);
 
-/// Single-threaded recovering Monte-Carlo harness.
+/// Single-threaded recovering Monte-Carlo harness. `trace` (nullable)
+/// collects telemetry as one shard.
 template <typename Prepare, typename Classify>
 RecoveryEstimate run_recovering_mc(const detect::CheckedCircuit& checked,
                                    const SegmentPlan& plan,
                                    const RetryPolicy& policy,
                                    const NoiseModel& model,
                                    const McOptions& opts, Prepare&& prepare,
-                                   Classify&& classify) {
+                                   Classify&& classify,
+                                   telemetry::Trace* trace = nullptr) {
   PackedSimulator sim(model, opts.seed);
   PackedState state(checked.circuit.width());
-  return run_recovering_mc_span(sim, state, checked, plan, policy,
-                                /*first_batch=*/0, opts.trials,
-                                PrepareFn(std::forward<Prepare>(prepare)),
-                                ClassifyFn(std::forward<Classify>(classify)));
+  revft::detail::TraceShards traces(trace, 1);
+  RecoveryEstimate est = run_recovering_mc_span(
+      sim, state, checked, plan, policy,
+      /*first_batch=*/0, opts.trials,
+      PrepareFn(std::forward<Prepare>(prepare)),
+      ClassifyFn(std::forward<Classify>(classify)), traces.shard(0));
+  traces.absorb();
+  return est;
 }
 
 /// Thread-sharded recovering Monte-Carlo run. Same kernel-factory
 /// contract as run_parallel_mc / run_parallel_checked_mc; each shard's
 /// child seed drives both the first pass and every retry it spawns, so
-/// the determinism guarantee covers the whole protocol.
+/// the determinism guarantee covers the whole protocol — and, via the
+/// shard-index-order absorb, the telemetry stream of `trace`
+/// (nullable) as well.
 template <typename KernelFactory>
 RecoveryEstimate run_parallel_recovering_mc(
     const detect::CheckedCircuit& checked, const SegmentPlan& plan,
     const RetryPolicy& policy, const NoiseModel& model,
-    const ParallelMcOptions& opts, KernelFactory&& factory) {
+    const ParallelMcOptions& opts, KernelFactory&& factory,
+    telemetry::Trace* trace = nullptr) {
   const std::vector<McShard> shards =
       plan_shards(opts.trials, opts.seed, opts.batches_per_shard);
-  return revft::detail::run_sharded_as<RecoveryEstimate>(
+  revft::detail::TraceShards traces(trace, shards.size());
+  RecoveryEstimate est = revft::detail::run_sharded_as<RecoveryEstimate>(
       shards, resolve_thread_count(opts.threads),
       [&](const McShard& shard) -> RecoveryEstimate {
         auto kernel = factory(shard.index);
@@ -104,8 +124,11 @@ RecoveryEstimate run_parallel_recovering_mc(
             },
             [&kernel](const PackedState& s, int lane, std::uint64_t batch) {
               return kernel.classify(s, lane, batch);
-            });
+            },
+            traces.shard(shard.index));
       });
+  traces.absorb();
+  return est;
 }
 
 }  // namespace revft::recover

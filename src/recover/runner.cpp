@@ -46,8 +46,46 @@ RecoveringRunner::RecoveringRunner(const detect::CheckedCircuit& checked,
 }
 
 ScalarRecoveryOutcome RecoveringRunner::run(
-    const StateVector& data_input, const std::vector<FaultSpec>& faults) const {
+    const StateVector& data_input, const std::vector<FaultSpec>& faults,
+    telemetry::ShardTrace* trace, std::uint64_t trial) const {
   const Circuit& circuit = checked_.circuit;
+  const bool tracing = trace != nullptr && trace->enabled();
+  std::uint64_t* m_trials = nullptr;
+  std::uint64_t* m_accepted = nullptr;
+  std::uint64_t* m_local = nullptr;
+  std::uint64_t* m_restarts = nullptr;
+  std::uint64_t* m_fallbacks = nullptr;
+  std::vector<std::uint64_t>* m_rail = nullptr;
+  if (tracing) {
+    // Register before taking handles (registration may reallocate).
+    telemetry::MetricsRegistry& m = trace->metrics();
+    m.counter("runner.trials");
+    m.counter("runner.accepted");
+    m.counter("runner.local_retries");
+    m.counter("runner.program_restarts");
+    m.counter("runner.fallbacks");
+    m.counter_vec("runner.rail_events", checked_.rails.size());
+    m_trials = &m.counter("runner.trials");
+    m_accepted = &m.counter("runner.accepted");
+    m_local = &m.counter("runner.local_retries");
+    m_restarts = &m.counter("runner.program_restarts");
+    m_fallbacks = &m.counter("runner.fallbacks");
+    m_rail = &m.counter_vec("runner.rail_events", checked_.rails.size());
+    ++*m_trials;
+  }
+  const auto emit = [&](telemetry::EventKind kind, std::uint32_t segment,
+                        std::uint16_t rail, std::uint64_t value) {
+    if (!tracing) return;
+    telemetry::Event ev;
+    ev.kind = kind;
+    ev.shard = trace->shard_index();
+    ev.rail = rail;
+    ev.segment = segment;
+    ev.batch = trial;
+    ev.lanes = 1;
+    ev.value = value;
+    trace->emit(ev);
+  };
   std::vector<int> fault_at(circuit.size(), -1);
   for (std::size_t i = 0; i < faults.size(); ++i) {
     REVFT_CHECK_MSG(faults[i].op_index < circuit.size(),
@@ -65,8 +103,8 @@ ScalarRecoveryOutcome RecoveringRunner::run(
 
   // Evaluate the checks at a segment's end; returns the fired
   // components restricted to `watch` (~0 = all), recording counters.
-  const auto fired_components = [&](const Segment& seg, const StateVector& s,
-                                    std::uint64_t watch,
+  const auto fired_components = [&](const Segment& seg, std::uint32_t seg_id,
+                                    const StateVector& s, std::uint64_t watch,
                                     bool count) -> std::uint64_t {
     std::uint64_t fired = 0;
     if (seg.checkpoint >= 0) {
@@ -77,7 +115,12 @@ ScalarRecoveryOutcome RecoveringRunner::run(
         if (!(watch & comp)) continue;
         if (rail_invariant(s, checked_.rails[r].rail_bit, groups[r]) != 0) {
           fired |= comp;
-          if (count) ++out.rail_events[r];
+          if (count) {
+            ++out.rail_events[r];
+            if (tracing) ++(*m_rail)[r];
+            emit(telemetry::EventKind::kRailFired, seg_id,
+                 static_cast<std::uint16_t>(r), 0);
+          }
         }
       }
     }
@@ -88,7 +131,11 @@ ScalarRecoveryOutcome RecoveringRunner::run(
            checked_.zero_checks[seg.zero_checks[k]].bits) {
         if (s.bit(bit) != 0) {
           fired |= comp;
-          if (count) ++out.zero_check_events;
+          if (count) {
+            ++out.zero_check_events;
+            emit(telemetry::EventKind::kZeroCheckFired, seg_id,
+                 static_cast<std::uint16_t>(seg.zero_checks[k]), 0);
+          }
           break;
         }
       }
@@ -101,13 +148,16 @@ ScalarRecoveryOutcome RecoveringRunner::run(
   const auto restart = [&]() -> bool {
     for (int attempt = 0; attempt < policy_.max_program_attempts; ++attempt) {
       ++out.program_restarts;
+      if (tracing) ++*m_restarts;
       state = entry;
       out.ops_executed += circuit.size();
       bool clean = true;
       std::size_t pos = 0;
-      for (const Segment& seg : plan_.segments) {
+      for (std::size_t si = 0; si < plan_.segments.size(); ++si) {
+        const Segment& seg = plan_.segments[si];
         for (; pos <= seg.end; ++pos) state.apply(circuit.op(pos));
-        if (fired_components(seg, state, ~0ULL, /*count=*/false) != 0) {
+        if (fired_components(seg, static_cast<std::uint32_t>(si), state, ~0ULL,
+                             /*count=*/false) != 0) {
           clean = false;
           break;
         }
@@ -117,11 +167,24 @@ ScalarRecoveryOutcome RecoveringRunner::run(
     return false;
   };
 
+  const auto finish = [&](bool accepted) -> ScalarRecoveryOutcome {
+    out.accepted = accepted;
+    if (accepted) {
+      if (tracing) ++*m_accepted;
+      emit(telemetry::EventKind::kBatchAccept, 0, 0, 1);
+    }
+    out.state = std::move(state);
+    return std::move(out);
+  };
+
   std::size_t pos = 0;
-  for (const Segment& seg : plan_.segments) {
+  for (std::size_t si = 0; si < plan_.segments.size(); ++si) {
+    const Segment& seg = plan_.segments[si];
+    const std::uint32_t seg_id = static_cast<std::uint32_t>(si);
     for (; pos <= seg.end; ++pos) apply_op(circuit, state, pos, fault_at, faults);
     out.ops_executed += seg.op_count();
-    std::uint64_t fired = fired_components(seg, state, ~0ULL, /*count=*/true);
+    std::uint64_t fired =
+        fired_components(seg, seg_id, state, ~0ULL, /*count=*/true);
     if (fired == 0) {
       boundary = state;  // accept the boundary
       continue;
@@ -129,54 +192,52 @@ ScalarRecoveryOutcome RecoveringRunner::run(
     out.detected = true;
     switch (policy_.kind) {
       case RetryPolicyKind::kNoRetry:
-        out.state = std::move(state);
-        return out;  // aborted: not accepted, not exhausted
+        return finish(false);  // aborted: not accepted, not exhausted
       case RetryPolicyKind::kWholeProgram: {
         if (!restart()) {
           out.exhausted = true;
-          out.state = std::move(state);
-          return out;
+          return finish(false);
         }
-        out.accepted = true;
-        out.state = std::move(state);
-        return out;  // a clean full run needs no further walking
+        return finish(true);  // a clean full run needs no further walking
       }
       case RetryPolicyKind::kBlockLocal: {
         for (int attempt = 0;
              fired != 0 && attempt < policy_.max_local_attempts; ++attempt) {
           ++out.local_retries;
+          if (tracing) ++*m_local;
+          emit(telemetry::EventKind::kCheckpointRestore, seg_id, 0, 0);
           for (std::size_t c = 0; c < seg.components.size(); ++c) {
             if (!((fired >> c) & 1ULL)) continue;
             restore_cells(state, boundary, seg.components[c].cells);
           }
+          std::uint64_t replay_ops = 0;
           for (std::size_t k = 0; k < seg.component_of_op.size(); ++k) {
             if (!((fired >> seg.component_of_op[k]) & 1ULL)) continue;
             state.apply(circuit.op(seg.begin + k));  // replays run clean
             ++out.ops_executed;
+            ++replay_ops;
           }
-          fired = fired_components(seg, state, fired, /*count=*/false);
+          emit(telemetry::EventKind::kSegmentReplay, seg_id, 0, replay_ops);
+          fired = fired_components(seg, seg_id, state, fired, /*count=*/false);
         }
         if (fired != 0) {
           // Local repair failed (damage predates the boundary): fall
           // back to a whole-program restart.
           ++out.fallbacks;
+          if (tracing) ++*m_fallbacks;
+          emit(telemetry::EventKind::kEscalationRestart, seg_id, 0, 0);
           if (!restart()) {
             out.exhausted = true;
-            out.state = std::move(state);
-            return out;
+            return finish(false);
           }
-          out.accepted = true;
-          out.state = std::move(state);
-          return out;
+          return finish(true);
         }
         boundary = state;  // repaired boundary is now accepted
         break;
       }
     }
   }
-  out.accepted = true;
-  out.state = std::move(state);
-  return out;
+  return finish(true);
 }
 
 }  // namespace revft::recover

@@ -26,6 +26,7 @@
 #include "recover/plan.h"
 #include "recover/retry.h"
 #include "rev/simulator.h"
+#include "telemetry/trace.h"
 
 namespace revft::recover {
 
@@ -54,8 +55,16 @@ class RecoveringRunner {
   /// Run on a data-width input with `faults` injected on the first
   /// pass (op indices name checked.circuit ops; each op at most once).
   /// Replays and restarts run fault-free.
+  ///
+  /// `trace` (nullable) receives the scalar protocol story — the same
+  /// event kinds as the packed engine with lanes == 1 and the batch
+  /// field carrying the caller-supplied `trial` id (the exhaustive
+  /// census enumerations use the scenario index), plus runner.*
+  /// counters.
   ScalarRecoveryOutcome run(const StateVector& data_input,
-                            const std::vector<FaultSpec>& faults) const;
+                            const std::vector<FaultSpec>& faults,
+                            telemetry::ShardTrace* trace = nullptr,
+                            std::uint64_t trial = 0) const;
 
  private:
   const detect::CheckedCircuit& checked_;

@@ -1,0 +1,21 @@
+#include "support/provenance.h"
+
+namespace revft::provenance {
+
+#ifndef REVFT_GIT_SHA
+#define REVFT_GIT_SHA "unknown"
+#endif
+
+std::string git_sha() { return REVFT_GIT_SHA; }
+
+std::string compiler_version() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace revft::provenance

@@ -1,0 +1,27 @@
+// revft/support/provenance.h
+//
+// Build provenance for every machine-readable artifact the repo
+// emits: BENCH_*.json (bench/bench_common), the telemetry RunReport
+// (REPORT_*.json) and Chrome traces (src/telemetry/). One definition
+// so the stamps cannot drift between emitters — before this helper
+// existed the git-SHA/compiler pair lived in bench_common only and
+// every new emitter would have had to duplicate it.
+//
+// The git SHA is captured at CMake configure time (REVFT_GIT_SHA,
+// defined on this translation unit only so switching commits does not
+// rebuild the world); re-run cmake after switching commits to refresh
+// it.
+#pragma once
+
+#include <string>
+
+namespace revft::provenance {
+
+/// Short git SHA of the configured source tree ("unknown" outside a
+/// git checkout).
+std::string git_sha();
+
+/// Compiler family + version string, e.g. "gcc 12.2.0".
+std::string compiler_version();
+
+}  // namespace revft::provenance

@@ -1,0 +1,115 @@
+// revft/telemetry/metrics.h
+//
+// The metrics registry of the telemetry subsystem: named counters,
+// gauges, counter VECTORS (one slot per rail / per segment — the
+// per-block profile's backbone) and fixed-bucket histograms.
+//
+// Determinism contract — the same discipline every Estimate in this
+// repo follows, generalized to open-ended metric sets: each shard of
+// the thread-sharded Monte-Carlo engines owns a PRIVATE registry, and
+// the per-shard registries merge IN SHARD ORDER after all workers
+// finish (telemetry::Trace::absorb). Every merge is exact integer
+// accumulation (counters, vector slots, histogram buckets add;
+// gauges keep the later shard's last write), so the merged registry
+// is bit-identical for a fixed seed regardless of REVFT_THREADS —
+// ctest-enforced across {1,3,8} in tests/test_telemetry.cpp.
+//
+// Registration is by name with slot handles returned for the hot
+// path: instrumentation looks a metric up once per shard (a string
+// search over a handful of entries) and then bumps raw integers.
+// Names double as the JSON keys of the exported registry, so keep
+// them stable: "engine.metric[.qualifier]".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/json.h"
+
+namespace revft::telemetry {
+
+/// Fixed-bucket histogram: counts[i] counts values <= bounds[i]
+/// (first matching bucket wins; bounds strictly increasing), the
+/// final slot counts overflows (> bounds.back()). Also keeps exact
+/// count/sum/min/max so a merged histogram can report central
+/// numbers without rebinning.
+struct Histogram {
+  std::vector<std::uint64_t> bounds;  ///< inclusive upper bounds, ascending
+  std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 slots
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = UINT64_MAX;  ///< UINT64_MAX when empty
+  std::uint64_t max = 0;
+
+  void record(std::uint64_t value) noexcept {
+    std::size_t i = 0;
+    while (i < bounds.size() && value > bounds[i]) ++i;
+    ++counts[i];
+    ++count;
+    sum += value;
+    if (value < min) min = value;
+    if (value > max) max = value;
+  }
+
+  bool operator==(const Histogram&) const = default;
+};
+
+/// One named metric slot. `kind` decides which payload is live and
+/// how merge() combines two shards' slots.
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kCounterVec, kHistogram };
+
+struct Metric {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t value = 0;       ///< counter total / gauge last write
+  bool gauge_set = false;        ///< gauge: written at least once
+  std::vector<std::uint64_t> slots;  ///< counter-vector payload
+  Histogram histogram;
+
+  bool operator==(const Metric&) const = default;
+};
+
+/// Ordered name -> metric map. Registration order is serialization
+/// order; merge() unions by name (entries absent on one side are
+/// adopted), so shards that touched different metric subsets still
+/// combine deterministically.
+class MetricsRegistry {
+ public:
+  /// Find-or-create. Re-registration with a different kind (or, for
+  /// counter vectors, a different size; for histograms, different
+  /// bounds) is a contract violation and throws.
+  std::uint64_t& counter(const std::string& name);
+  std::uint64_t& gauge(const std::string& name);
+  std::vector<std::uint64_t>& counter_vec(const std::string& name,
+                                          std::size_t size);
+  Histogram& histogram(const std::string& name,
+                       std::vector<std::uint64_t> bounds);
+
+  /// Write `value` to a gauge (records that it was set, so merge
+  /// knows a later shard's write wins over an earlier one's).
+  void set_gauge(const std::string& name, std::uint64_t value);
+
+  /// Read-only lookup; nullptr when absent.
+  const Metric* find(const std::string& name) const noexcept;
+  const std::vector<Metric>& entries() const noexcept { return entries_; }
+  bool empty() const noexcept { return entries_.empty(); }
+
+  /// Shard-order merge (exact integer accumulation; see file comment).
+  /// `other` is the LATER shard: its gauge writes win.
+  void merge(const MetricsRegistry& other);
+
+  /// Export as a JSON object: counters/gauges as numbers, counter
+  /// vectors as arrays, histograms as {bounds, counts, count, sum,
+  /// min, max} (min omitted when empty).
+  json::Value to_json() const;
+
+  bool operator==(const MetricsRegistry&) const = default;
+
+ private:
+  Metric& find_or_create(const std::string& name, MetricKind kind);
+
+  std::vector<Metric> entries_;
+};
+
+}  // namespace revft::telemetry

@@ -1,0 +1,83 @@
+#include "telemetry/trace.h"
+
+#include <chrono>
+
+#include "support/error.h"
+
+namespace revft::telemetry {
+
+const char* event_kind_name(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kRailFired: return "rail_fired";
+    case EventKind::kZeroCheckFired: return "zero_check_fired";
+    case EventKind::kCheckpointRestore: return "checkpoint_restore";
+    case EventKind::kSegmentReplay: return "segment_replay";
+    case EventKind::kEscalationRestart: return "escalation_restart";
+    case EventKind::kBatchAccept: return "batch_accept";
+  }
+  return "unknown";
+}
+
+std::uint64_t ShardTrace::now_ticks() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::vector<Event> ShardTrace::ordered_events() const {
+  std::vector<Event> out;
+  out.reserve(events_.size());
+  if (events_.size() == capacity_ && dropped_ > 0) {
+    // Wrapped: oldest surviving event sits at next_.
+    for (std::size_t i = next_; i < events_.size(); ++i) out.push_back(events_[i]);
+    for (std::size_t i = 0; i < next_; ++i) out.push_back(events_[i]);
+  } else {
+    out = events_;
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> ShardTrace::ordered_ticks() const {
+  std::vector<std::uint64_t> out;
+  if (!clock_) return out;
+  out.reserve(ticks_.size());
+  if (ticks_.size() == capacity_ && dropped_ > 0) {
+    for (std::size_t i = next_; i < ticks_.size(); ++i) out.push_back(ticks_[i]);
+    for (std::size_t i = 0; i < next_; ++i) out.push_back(ticks_[i]);
+  } else {
+    out = ticks_;
+  }
+  return out;
+}
+
+std::vector<ShardTrace> Trace::make_shards(std::size_t count) const {
+  REVFT_CHECK_MSG(count >= 1, "shard count must be positive");
+  std::vector<ShardTrace> shards(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    shards[i].capacity_ = config_.ring_capacity;
+    shards[i].clock_ = config_.wall_clock && config_.ring_capacity != 0;
+    // Display-track id; wraps past 256 shards (a pure function of the
+    // shard index, so the deterministic payload is unaffected).
+    shards[i].shard_index_ = static_cast<std::uint8_t>(i & 0xff);
+    shards[i].events_.reserve(config_.ring_capacity);
+    if (shards[i].clock_) shards[i].ticks_.reserve(config_.ring_capacity);
+  }
+  return shards;
+}
+
+void Trace::absorb(std::vector<ShardTrace>& shards) {
+  // Shard-index order: the vector is already indexed by shard.index,
+  // so a plain forward walk IS the deterministic merge order.
+  for (ShardTrace& shard : shards) {
+    metrics_.merge(shard.metrics_);
+    std::vector<Event> events = shard.ordered_events();
+    std::vector<std::uint64_t> ticks = shard.ordered_ticks();
+    events_.insert(events_.end(), events.begin(), events.end());
+    if (!ticks.empty()) ticks_.insert(ticks_.end(), ticks.begin(), ticks.end());
+    emitted_ += shard.seen_;
+    dropped_ += shard.dropped_;
+  }
+}
+
+}  // namespace revft::telemetry

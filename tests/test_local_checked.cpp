@@ -129,7 +129,7 @@ TEST(CheckedMachineCensus, SingleCycle2dIsFaultSecure) {
 TEST(CheckedMachineCensus, NotAndInitProgramsAreFaultSecure) {
   Circuit logical(3);
   logical.not_(1).init3(0, 1, 2).not_(0);
-  for (const auto census :
+  for (const auto& census :
        {machine_detection_census(CheckedMachine1d(3).compile(logical), logical),
         machine_detection_census(CheckedMachine2d(3).compile(logical), logical)}) {
     EXPECT_GT(census.detected(), 0u);
