@@ -42,6 +42,7 @@
 #include "ft/machine_kernel.h"
 #include "ft/recover_experiment.h"
 #include "local/checked_machine.h"
+#include "recover/plan.h"
 #include "recover/recovering_mc.h"
 #include "support/table.h"
 #include "telemetry/chrome_trace.h"
@@ -428,9 +429,15 @@ bool profile_machine(const char* label, const CheckedMachineProgram& program,
   telemetry::Trace trace(trace_cfg);
   const auto est = exp.run(1e-2, -1, &trace);
 
+  // The segment table rides along even in a detection-only profile:
+  // the static plan columns (worst-component share, straddling ops)
+  // come from the same program, so CI's enforce-bars pass can tell
+  // "bars met" from "report never profiled anything".
+  const recover::SegmentPlan seg_plan =
+      recover::build_segment_plan(program.checked);
   telemetry::RunReport report = telemetry::build_run_report(
       std::string("telemetry_") + label, program.checked, &est, nullptr,
-      nullptr, &trace);
+      &seg_plan, &trace);
   report.seed = config.seed;
 
   std::vector<std::uint64_t> sampled;

@@ -17,9 +17,13 @@
 //     ph:"i" instant with the deterministic args payload.
 //
 // With --enforce-bars, every key matching *_within_* (the acceptance
-// bars bench_telemetry embeds, e.g. disabled_within_1_03x) must be 1 —
-// this is how CI turns the 3% kernel-overhead guard into a hard
-// failure instead of a number in an artifact nobody reads.
+// bars the benches embed, e.g. disabled_within_1_03x or
+// mean_max_replay_share_within_0_6) must be 1 — this is how CI turns
+// an overhead or replay-share guard into a hard failure instead of a
+// number in an artifact nobody reads. In this mode a REPORT_ file must
+// also carry a non-empty segment table: "bars met" and "report never
+// profiled anything" have to stay distinguishable. An unreadable file
+// is always a failure, with or without bars.
 //
 // Exit status: 0 when every file checks out, 1 otherwise. Unknown
 // prefixes are an error — a typo'd artifact name should fail CI, not
@@ -97,7 +101,7 @@ void check_bench(const std::string& file, const Value& doc) {
 
 // --------------------------------------------------------------- REPORT_
 
-void check_report(const std::string& file, const Value& doc) {
+void check_report(const std::string& file, const Value& doc, bool bars) {
   need(file, doc, "name", Kind::kString);
   check_provenance(file, doc);
   need_uint(file, doc, "trials");
@@ -130,6 +134,12 @@ void check_report(const std::string& file, const Value& doc) {
   }
 
   if (const Value* segs = need(file, doc, "segments", Kind::kArray)) {
+    // Under --enforce-bars an empty segment table is a failure, not a
+    // vacuous pass: a report whose run never produced a segment row
+    // cannot testify that any per-segment bar was met.
+    if (bars && segs->elements().empty())
+      fail(file, "segment table is empty — bars cannot be enforced against "
+                 "a report that profiled nothing");
     for (const Value& row : segs->elements()) {
       need_uint(file, row, "segment");
       need_uint(file, row, "replays");
@@ -213,7 +223,7 @@ void check_file(const std::string& path, bool bars) {
   if (base.rfind("BENCH_", 0) == 0) {
     check_bench(path, parsed.value);
   } else if (base.rfind("REPORT_", 0) == 0) {
-    check_report(path, parsed.value);
+    check_report(path, parsed.value, bars);
   } else if (base.rfind("TRACE_", 0) == 0) {
     check_trace(path, parsed.value);
   } else {

@@ -17,7 +17,10 @@ detect::ParityRailOptions boundary_rail_options(
   if (opts.rails == RailGranularity::kPerBlock)
     rail.rail_partition = detect::partition_into_blocks(width, 9);
   for (const RecoveryBoundary& boundary : boundaries) {
-    if (opts.rail_check_every_boundary)
+    // The scheduling pass clears rail_checkpoint on the non-final
+    // stages of a batch so their zero checks defer into one shared
+    // segment delimiter; the checks themselves always register.
+    if (opts.rail_check_every_boundary && boundary.rail_checkpoint)
       rail.checkpoint_after.push_back(boundary.op_index);
     if (opts.zero_checks)
       rail.zero_checks.push_back({boundary.op_index, boundary.clean_cells});
@@ -96,10 +99,11 @@ std::vector<std::array<std::uint32_t, 3>> entry_cells(
 
 CheckedMachine1d::CheckedMachine1d(std::uint32_t logical_bits, bool with_init,
                                    CheckedMachineOptions opts)
-    : base_(logical_bits, with_init), opts_(opts) {}
+    : base_(logical_bits, with_init, opts.schedule.enabled), opts_(opts) {}
 
 CheckedMachineProgram CheckedMachine1d::compile(const Circuit& logical) const {
-  const Machine1dProgram program = base_.compile(logical);
+  Machine1dProgram program = base_.compile(logical);
+  schedule_program(program, opts_.schedule);
   CheckedMachineProgram out = check_machine_program(
       program.physical, program.slot_of_logical,
       entry_cells(base_.logical_bits(), {0, 3, 6}), program.data_cells,
@@ -113,10 +117,11 @@ CheckedMachineProgram CheckedMachine1d::compile(const Circuit& logical) const {
 
 CheckedMachine2d::CheckedMachine2d(std::uint32_t logical_bits, bool with_init,
                                    CheckedMachineOptions opts)
-    : base_(logical_bits, with_init), opts_(opts) {}
+    : base_(logical_bits, with_init, opts.schedule.enabled), opts_(opts) {}
 
 CheckedMachineProgram CheckedMachine2d::compile(const Circuit& logical) const {
-  const Machine2dProgram program = base_.compile(logical);
+  Machine2dProgram program = base_.compile(logical);
+  schedule_program(program, opts_.schedule);
   CheckedMachineProgram out = check_machine_program(
       program.physical, program.slot_of_logical,
       entry_cells(base_.logical_bits(), {0, 1, 2}), program.data_cells,

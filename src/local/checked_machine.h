@@ -57,6 +57,7 @@
 #include "detect/rail.h"
 #include "local/machine1d.h"
 #include "local/machine2d.h"
+#include "local/schedule.h"
 
 namespace revft {
 
@@ -115,6 +116,14 @@ struct CheckedMachineOptions {
   /// cover the promised cells; the census proves the combination
   /// fault-secure. Disable when feeding inputs with nonzero ancillas.
   bool trust_entry_zeros = true;
+  /// Partition-aware scheduling pass (local/schedule.h), run on the
+  /// compiled program before the rail transform: wave-packs routing
+  /// and places interior recovery boundaries aligned with the
+  /// rail-block territories so replay components stop gluing across
+  /// blocks. Default ON; set schedule.enabled = false for the legacy
+  /// (pre-scheduling) layout, bit-identical to the PR 5 compiler
+  /// output — the pinned-census regression configuration.
+  ScheduleOptions schedule;
 };
 
 /// Self-checking accounting of one compiled program.

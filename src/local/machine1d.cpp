@@ -13,9 +13,12 @@ namespace {
 /// slot, plus the emitted circuit and counters.
 class Compiler {
  public:
-  Compiler(std::uint32_t logical_bits, bool with_init,
+  Compiler(std::uint32_t logical_bits, bool with_init, bool balanced_routing,
            Machine1dProgram& program)
-      : bits_(logical_bits), with_init_(with_init), program_(program) {
+      : bits_(logical_bits),
+        with_init_(with_init),
+        balanced_routing_(balanced_routing),
+        program_(program) {
     slot_of_.resize(bits_);
     logical_at_.resize(bits_);
     for (std::uint32_t i = 0; i < bits_; ++i) {
@@ -84,7 +87,9 @@ class Compiler {
     // Gather the operand blocks consecutive in order (p, q, r); the
     // block-level schedule (inversion-count optimal) executes as
     // 81-cell-swap transpositions.
-    const auto target = gather_triple_target(logical_at_, p, q, r);
+    const auto target = balanced_routing_
+                            ? gather_triple_target_balanced(logical_at_, p, q, r)
+                            : gather_triple_target(logical_at_, p, q, r);
     for (const SwapOp& s : route_line(logical_at_, target))
       transpose_blocks(s.a);
     REVFT_CHECK(slot_of_[p] + 1 == slot_of_[q] && slot_of_[q] + 1 == slot_of_[r]);
@@ -101,30 +106,33 @@ class Compiler {
 
   void emit_not(std::uint32_t l) {
     const std::uint32_t base = 9 * slot_of_[l];
+    const std::size_t stage_first = program_.physical.size();
     // Transversal NOT on the codeword, then one recovery stage.
     for (std::uint32_t offset : {0u, 3u, 6u})
       program_.physical.not_(base + offset);
     const Ec1d ec = make_ec_1d(with_init_);
     program_.physical.append_shifted(ec.circuit, base);
-    program_.recovery_boundaries.push_back(
-        make_boundary(program_.physical.size() - 1, ec.clean_after, base));
+    program_.recovery_boundaries.push_back(make_boundary(
+        program_.physical.size() - 1, ec.clean_after, base, stage_first));
     ++program_.recovery_stages;
   }
 
   void emit_init(const Gate& g) {
     for (int k = 0; k < 3; ++k) {
       const std::uint32_t base = 9 * slot_of_[g.bits[static_cast<std::size_t>(k)]];
+      const std::size_t stage_first = program_.physical.size();
       for (std::uint32_t t = 0; t < 9; t += 3)
         program_.physical.init3(base + t, base + t + 1, base + t + 2);
       // A freshly initialized block is all-zero — a boundary too.
       const std::uint32_t all_cells[9] = {0, 1, 2, 3, 4, 5, 6, 7, 8};
-      program_.recovery_boundaries.push_back(
-          make_boundary(program_.physical.size() - 1, all_cells, base));
+      program_.recovery_boundaries.push_back(make_boundary(
+          program_.physical.size() - 1, all_cells, base, stage_first));
     }
   }
 
   std::uint32_t bits_;
   bool with_init_;
+  bool balanced_routing_;
   Machine1dProgram& program_;
   std::vector<std::uint32_t> slot_of_;    // logical -> slot
   std::vector<std::uint32_t> logical_at_; // slot -> logical
@@ -132,8 +140,11 @@ class Compiler {
 
 }  // namespace
 
-Machine1d::Machine1d(std::uint32_t logical_bits, bool with_init)
-    : logical_bits_(logical_bits), with_init_(with_init) {
+Machine1d::Machine1d(std::uint32_t logical_bits, bool with_init,
+                     bool balanced_routing)
+    : logical_bits_(logical_bits),
+      with_init_(with_init),
+      balanced_routing_(balanced_routing) {
   REVFT_CHECK_MSG(logical_bits >= 3, "Machine1d: need at least 3 logical bits");
 }
 
@@ -144,7 +155,7 @@ Machine1dProgram Machine1d::compile(const Circuit& logical) const {
                                                        << logical_bits_);
   Machine1dProgram program;
   program.physical = Circuit(cells());
-  Compiler compiler(logical_bits_, with_init_, program);
+  Compiler compiler(logical_bits_, with_init_, balanced_routing_, program);
   for (const Gate& g : logical.ops()) compiler.emit(g);
   compiler.finish();
   return program;

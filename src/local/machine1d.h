@@ -63,8 +63,14 @@ struct Machine1dProgram {
 /// them with 3-bit gates, e.g. CNOT = Toffoli with a constant-1 bit.)
 class Machine1d {
  public:
-  /// A machine with `logical_bits` >= 3 encoded bits.
-  explicit Machine1d(std::uint32_t logical_bits, bool with_init = true);
+  /// A machine with `logical_bits` >= 3 encoded bits. With
+  /// `balanced_routing` the gather target of each 3-bit gate is chosen
+  /// by gather_triple_target_balanced (fewest serial routing steps)
+  /// instead of the legacy q-anchored target — same contract, more
+  /// wave parallelism for the scheduling pass to cut along. Off by
+  /// default: the legacy target is part of the pinned PR 5 layout.
+  explicit Machine1d(std::uint32_t logical_bits, bool with_init = true,
+                     bool balanced_routing = false);
 
   std::uint32_t logical_bits() const noexcept { return logical_bits_; }
   std::uint32_t cells() const noexcept { return logical_bits_ * 9; }
@@ -75,6 +81,7 @@ class Machine1d {
  private:
   std::uint32_t logical_bits_;
   bool with_init_;
+  bool balanced_routing_;
 };
 
 }  // namespace revft

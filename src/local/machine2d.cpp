@@ -11,9 +11,12 @@ namespace {
 
 class Compiler {
  public:
-  Compiler(std::uint32_t logical_bits, bool with_init,
+  Compiler(std::uint32_t logical_bits, bool with_init, bool balanced_routing,
            Machine2dProgram& program)
-      : bits_(logical_bits), with_init_(with_init), program_(program) {
+      : bits_(logical_bits),
+        with_init_(with_init),
+        balanced_routing_(balanced_routing),
+        program_(program) {
     slot_of_.resize(bits_);
     logical_at_.resize(bits_);
     for (std::uint32_t i = 0; i < bits_; ++i) {
@@ -83,7 +86,9 @@ class Compiler {
 
   void emit_gate3(const Gate& g) {
     const std::uint32_t p = g.bits[0], q = g.bits[1], r = g.bits[2];
-    const auto target = gather_triple_target(logical_at_, p, q, r);
+    const auto target = balanced_routing_
+                            ? gather_triple_target_balanced(logical_at_, p, q, r)
+                            : gather_triple_target(logical_at_, p, q, r);
     for (const SwapOp& s : route_line(logical_at_, target))
       transpose_blocks(s.a);
     REVFT_CHECK(slot_of_[p] + 1 == slot_of_[q] &&
@@ -103,10 +108,11 @@ class Compiler {
     // Restore row orientation per operand block so cycles chain.
     const Ec2d reorient = make_ec_2d(Orientation2d::kColumn, with_init_);
     for (std::uint32_t l : {p, q, r}) {
+      const std::size_t stage_first = program_.physical.size();
       program_.physical.append_shifted(reorient.circuit, 9 * slot_of_[l]);
       program_.recovery_boundaries.push_back(
           make_boundary(program_.physical.size() - 1, reorient.clean_after,
-                        9 * slot_of_[l]));
+                        9 * slot_of_[l], stage_first));
       ++program_.recovery_stages;
     }
   }
@@ -115,33 +121,37 @@ class Compiler {
     const std::uint32_t s = slot_of_[l];
     // Transversal NOT on the row-oriented codeword (block row 0), then
     // two recovery stages (row->column->row) to preserve orientation.
+    const std::size_t not_first = program_.physical.size();
     for (std::uint32_t c = 0; c < 3; ++c) program_.physical.not_(cell(s, 0, c));
     const Ec2d row_stage = make_ec_2d(Orientation2d::kRow, with_init_);
     const Ec2d col_stage = make_ec_2d(Orientation2d::kColumn, with_init_);
     program_.physical.append_shifted(row_stage.circuit, 9 * s);
     program_.recovery_boundaries.push_back(make_boundary(
-        program_.physical.size() - 1, row_stage.clean_after, 9 * s));
+        program_.physical.size() - 1, row_stage.clean_after, 9 * s, not_first));
+    const std::size_t col_first = program_.physical.size();
     program_.physical.append_shifted(col_stage.circuit, 9 * s);
     program_.recovery_boundaries.push_back(make_boundary(
-        program_.physical.size() - 1, col_stage.clean_after, 9 * s));
+        program_.physical.size() - 1, col_stage.clean_after, 9 * s, col_first));
     program_.recovery_stages += 2;
   }
 
   void emit_init(const Gate& g) {
     for (int k = 0; k < 3; ++k) {
       const std::uint32_t s = slot_of_[g.bits[static_cast<std::size_t>(k)]];
+      const std::size_t stage_first = program_.physical.size();
       // Reset the block row by row (rows are local triples).
       for (std::uint32_t r = 0; r < 3; ++r)
         program_.physical.init3(cell(s, r, 0), cell(s, r, 1), cell(s, r, 2));
       // A freshly initialized block is all-zero — a boundary too.
       const std::uint32_t all_cells[9] = {0, 1, 2, 3, 4, 5, 6, 7, 8};
-      program_.recovery_boundaries.push_back(
-          make_boundary(program_.physical.size() - 1, all_cells, 9 * s));
+      program_.recovery_boundaries.push_back(make_boundary(
+          program_.physical.size() - 1, all_cells, 9 * s, stage_first));
     }
   }
 
   std::uint32_t bits_;
   bool with_init_;
+  bool balanced_routing_;
   Machine2dProgram& program_;
   std::vector<std::uint32_t> slot_of_;
   std::vector<std::uint32_t> logical_at_;
@@ -149,8 +159,11 @@ class Compiler {
 
 }  // namespace
 
-Machine2d::Machine2d(std::uint32_t logical_bits, bool with_init)
-    : logical_bits_(logical_bits), with_init_(with_init) {
+Machine2d::Machine2d(std::uint32_t logical_bits, bool with_init,
+                     bool balanced_routing)
+    : logical_bits_(logical_bits),
+      with_init_(with_init),
+      balanced_routing_(balanced_routing) {
   REVFT_CHECK_MSG(logical_bits >= 3, "Machine2d: need at least 3 logical bits");
 }
 
@@ -161,7 +174,7 @@ Machine2dProgram Machine2d::compile(const Circuit& logical) const {
                                                        << logical_bits_);
   Machine2dProgram program;
   program.physical = Circuit(rows() * kCols);
-  Compiler compiler(logical_bits_, with_init_, program);
+  Compiler compiler(logical_bits_, with_init_, balanced_routing_, program);
   for (const Gate& g : logical.ops()) compiler.emit(g);
   compiler.finish();
   return program;

@@ -51,7 +51,11 @@ struct Machine2dProgram {
 /// Supported ops: every reversible 3-bit kind, kNot, kInit3.
 class Machine2d {
  public:
-  explicit Machine2d(std::uint32_t logical_bits, bool with_init = true);
+  /// `balanced_routing` as in Machine1d: parallelism-aware gather
+  /// targets for the scheduling pass; off reproduces the legacy
+  /// q-anchored routing bit-for-bit.
+  explicit Machine2d(std::uint32_t logical_bits, bool with_init = true,
+                     bool balanced_routing = false);
 
   std::uint32_t logical_bits() const noexcept { return logical_bits_; }
   std::uint32_t rows() const noexcept { return 3 * logical_bits_; }
@@ -62,6 +66,7 @@ class Machine2d {
  private:
   std::uint32_t logical_bits_;
   bool with_init_;
+  bool balanced_routing_;
 };
 
 }  // namespace revft

@@ -28,13 +28,24 @@ struct RecoveryBoundary {
   /// Index of the stage's last op, relative to the circuit the
   /// boundary was recorded against.
   std::size_t op_index = 0;
+  /// Index of the stage's first op; together with op_index this makes
+  /// the boundary an interval the scheduling pass can treat as an
+  /// indivisible stage atom. Defaults to op_index (a point boundary).
+  std::size_t first_op = 0;
   /// Cells that are zero here in a fault-free run.
   std::vector<std::uint32_t> clean_cells;
+  /// When false, the checked-machine layer emits only the ZeroCheck at
+  /// this boundary and suppresses the per-boundary rail checkpoint —
+  /// the scheduling pass clears it on non-final stages of a batch so
+  /// their checks defer into one shared segment delimiter.
+  bool rail_checkpoint = true;
 
   RecoveryBoundary shifted(std::size_t op_offset,
                            std::uint32_t cell_offset) const {
     RecoveryBoundary out;
     out.op_index = op_index + op_offset;
+    out.first_op = first_op + op_offset;
+    out.rail_checkpoint = rail_checkpoint;
     out.clean_cells.reserve(clean_cells.size());
     for (const std::uint32_t c : clean_cells)
       out.clean_cells.push_back(c + cell_offset);
@@ -44,12 +55,15 @@ struct RecoveryBoundary {
 
 /// Build a boundary at `op_index` from block-relative clean cells
 /// shifted onto the block's base cell — the one idiom every scheme
-/// and machine compiler uses to record a stage's end.
+/// and machine compiler uses to record a stage's end. `first_op`
+/// marks where the stage started; it defaults to `op_index`.
 template <typename Cells>
 RecoveryBoundary make_boundary(std::size_t op_index, const Cells& cells,
-                               std::uint32_t cell_offset) {
+                               std::uint32_t cell_offset,
+                               std::size_t first_op = SIZE_MAX) {
   RecoveryBoundary out;
   out.op_index = op_index;
+  out.first_op = first_op == SIZE_MAX ? op_index : first_op;
   for (const std::uint32_t c : cells) out.clean_cells.push_back(c + cell_offset);
   return out;
 }

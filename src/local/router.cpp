@@ -1,6 +1,7 @@
 #include "local/router.h"
 
 #include <algorithm>
+#include <tuple>
 #include <unordered_map>
 
 #include "support/error.h"
@@ -103,29 +104,16 @@ void apply_swaps(std::vector<std::uint32_t>& arrangement,
   }
 }
 
-std::vector<std::uint32_t> gather_triple_target(
-    const std::vector<std::uint32_t>& current, std::uint32_t p,
-    std::uint32_t q, std::uint32_t r) {
-  const auto n = static_cast<std::uint32_t>(current.size());
-  REVFT_CHECK_MSG(n >= 3, "gather_triple_target: need >= 3 items");
-  REVFT_CHECK_MSG(p != q && q != r && p != r,
-                  "gather_triple_target: items must be distinct");
-  std::uint32_t q_pos = n;
-  std::uint32_t others_before_q = 0;
-  for (std::uint32_t i = 0; i < n; ++i) {
-    if (current[i] == q) {
-      q_pos = i;
-      break;
-    }
-    if (current[i] != p && current[i] != r) ++others_before_q;
-  }
-  REVFT_CHECK_MSG(q_pos < n, "gather_triple_target: q not present");
-  const std::uint32_t insert_at = std::min(others_before_q, n - 3);
+namespace {
 
+/// Build the gather target that keeps every non-operand item in its
+/// relative order and inserts (p, q, r) after `insert_at` of them.
+std::vector<std::uint32_t> triple_target_at(
+    const std::vector<std::uint32_t>& current, std::uint32_t p,
+    std::uint32_t q, std::uint32_t r, std::uint32_t insert_at) {
   std::vector<std::uint32_t> target;
-  target.reserve(n);
-  for (std::uint32_t i = 0; i < n; ++i) {
-    const std::uint32_t item = current[i];
+  target.reserve(current.size());
+  for (const std::uint32_t item : current) {
     if (item == p || item == q || item == r) continue;
     if (target.size() == insert_at) {
       target.push_back(p);
@@ -140,6 +128,93 @@ std::vector<std::uint32_t> gather_triple_target(
     target.push_back(r);
   }
   return target;
+}
+
+/// Legacy anchor: insert where q currently sits.
+std::uint32_t insert_at_q(const std::vector<std::uint32_t>& current,
+                          std::uint32_t p, std::uint32_t q, std::uint32_t r) {
+  const auto n = static_cast<std::uint32_t>(current.size());
+  std::uint32_t q_pos = n;
+  std::uint32_t others_before_q = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (current[i] == q) {
+      q_pos = i;
+      break;
+    }
+    if (current[i] != p && current[i] != r) ++others_before_q;
+  }
+  REVFT_CHECK_MSG(q_pos < n, "gather_triple_target: q not present");
+  return std::min(others_before_q, n - 3);
+}
+
+/// ASAP depth packing of an adjacent-transposition schedule: two
+/// transpositions conflict when their slot windows overlap (|s-s'| <=
+/// 1); a transposition joins the earliest wave after every earlier
+/// conflicting one. Returns the number of singleton waves — serial
+/// steps no disjoint partner can share, the quantity a partition-aware
+/// replay plan wants minimized (local/schedule.h).
+std::size_t count_singleton_waves(const std::vector<SwapOp>& swaps) {
+  std::vector<std::size_t> wave(swaps.size(), 0);
+  std::size_t max_wave = 0;
+  for (std::size_t j = 0; j < swaps.size(); ++j) {
+    for (std::size_t k = 0; k < j; ++k) {
+      const std::uint32_t sj = swaps[j].a, sk = swaps[k].a;
+      if (sj + 1 >= sk && sk + 1 >= sj)
+        wave[j] = std::max(wave[j], wave[k] + 1);
+    }
+    max_wave = std::max(max_wave, wave[j]);
+  }
+  std::size_t singletons = 0;
+  for (std::size_t w = 0; w <= max_wave && !swaps.empty(); ++w) {
+    std::size_t members = 0;
+    for (const std::size_t wj : wave)
+      if (wj == w) ++members;
+    if (members == 1) ++singletons;
+  }
+  return singletons;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> gather_triple_target(
+    const std::vector<std::uint32_t>& current, std::uint32_t p,
+    std::uint32_t q, std::uint32_t r) {
+  const auto n = static_cast<std::uint32_t>(current.size());
+  REVFT_CHECK_MSG(n >= 3, "gather_triple_target: need >= 3 items");
+  REVFT_CHECK_MSG(p != q && q != r && p != r,
+                  "gather_triple_target: items must be distinct");
+  return triple_target_at(current, p, q, r, insert_at_q(current, p, q, r));
+}
+
+std::vector<std::uint32_t> gather_triple_target_balanced(
+    const std::vector<std::uint32_t>& current, std::uint32_t p,
+    std::uint32_t q, std::uint32_t r) {
+  const auto n = static_cast<std::uint32_t>(current.size());
+  REVFT_CHECK_MSG(n >= 3, "gather_triple_target_balanced: need >= 3 items");
+  REVFT_CHECK_MSG(p != q && q != r && p != r,
+                  "gather_triple_target_balanced: items must be distinct");
+  const std::uint32_t anchor = insert_at_q(current, p, q, r);
+  std::uint32_t best = anchor;
+  std::size_t best_singletons = 0, best_swaps = 0;
+  bool have_best = false;
+  for (std::uint32_t t = 0; t + 2 < n; ++t) {
+    const auto target = triple_target_at(current, p, q, r, t);
+    const auto swaps = route_line(current, target);
+    const std::size_t singletons = count_singleton_waves(swaps);
+    const std::uint32_t dist =
+        t > anchor ? t - anchor : anchor - t;
+    const std::uint32_t best_dist =
+        best > anchor ? best - anchor : anchor - best;
+    if (!have_best ||
+        std::tuple(singletons, swaps.size(), dist, t) <
+            std::tuple(best_singletons, best_swaps, best_dist, best)) {
+      have_best = true;
+      best = t;
+      best_singletons = singletons;
+      best_swaps = swaps.size();
+    }
+  }
+  return triple_target_at(current, p, q, r, best);
 }
 
 }  // namespace revft

@@ -57,4 +57,19 @@ std::vector<std::uint32_t> gather_triple_target(
     const std::vector<std::uint32_t>& current, std::uint32_t p,
     std::uint32_t q, std::uint32_t r);
 
+/// Parallelism-aware gather target: same contract as
+/// gather_triple_target (operands consecutive in order, bystanders
+/// keep relative order), but the insert position is chosen to minimize
+/// the number of SERIAL routing steps instead of anchoring at q. A
+/// transposition schedule wave-packs into disjoint territory waves
+/// (local/schedule.h); anchoring at q drags the far operand across the
+/// line alone — a chain of singleton waves that any replay plan must
+/// glue into one component. Scanning every insert position and scoring
+/// (singleton waves, total swaps, distance from the q anchor) splits
+/// the displacement across the operands so they march concurrently.
+/// Used by the machines when the scheduling pass is enabled.
+std::vector<std::uint32_t> gather_triple_target_balanced(
+    const std::vector<std::uint32_t>& current, std::uint32_t p,
+    std::uint32_t q, std::uint32_t r);
+
 }  // namespace revft

@@ -1,0 +1,93 @@
+// revft/local/schedule.h
+//
+// Partition-aware scheduling: a post-compile pass over the §3 machine
+// programs that breaks the whole-segment replay pathology of
+// recover/plan.h (mean_max_replay_share = 1.0). The compilers emit
+// routing as one serial chain of block transpositions and register
+// recovery boundaries only at stage ends, so every segment's SWAP
+// traffic glues all B rail territories into one union-find component —
+// block-local retry then replays the whole segment. This pass
+// restructures the program around the rail-block territories:
+//
+//   * WAVE PACKING — consecutive block transpositions with disjoint
+//     territory windows commute (they act on disjoint cells); an ASAP
+//     greedy schedule groups them into waves, so a routing chain that
+//     marched one block at a time becomes layers of parallel,
+//     territory-disjoint exchanges;
+//   * INTERIOR CUTS — after every wave of >= min_wave_cut disjoint
+//     transpositions, and after every cycle core (interleave /
+//     transversal gate / uninterleave — the ancillas are provably zero
+//     again there), the pass places per-territory recovery boundaries
+//     (zero check + rail checkpoint). Cut boundaries are emitted one
+//     per touched territory, never spanning blocks — a multi-block
+//     zero check would itself glue the rails it is meant to separate;
+//   * STAGE BATCHING — runs of consecutive recovery stages on pairwise
+//     disjoint blocks (the three per-block EC stages of a cycle, the
+//     three block inits of a logical init) share one segment: the
+//     non-final boundaries keep their zero checks but drop the rail
+//     checkpoint (RecoveryBoundary::rail_checkpoint = false), so
+//     recover/plan.cpp's merge_boundaries defers the checks into the
+//     batch-end delimiter and the batch becomes one segment with one
+//     independent component per block. Stages that revisit a block
+//     (the 2D re-orientation of a block the cycle just recovered)
+//     break the batch — deferring across a writer would be unsound.
+//
+// Singleton waves get no cut: a lone transposition flows forward into
+// the next wave's segment (or the cycle core), which improves the mean
+// share — a 45-op segment whose only component is the transposition
+// itself would score 1.0. But a singleton CHAIN must not be allowed to
+// flow into a cuttable wave: the chain conflicts with the wave (else
+// packing would have merged them), so it would glue the wave's
+// disjoint components into one. When pending singletons precede a
+// wave of >= min_wave_cut transpositions, the pass seals the chain
+// with a cut just before the wave (stats.chain_cuts) — the chain
+// segment stays glued (serial routing is glued by construction), but
+// the wave keeps its 1/k share.
+//
+// Soundness: wave packing permutes only provably-commuting ops (the
+// reordered region computes the same permutation), and cuts add only
+// checks — cells the construction leaves zero fault-free — so the
+// fault-free gate stream semantics are unchanged and detection is a
+// superset. The static certifier (verify/certify.h) re-proves fault
+// security of every scheduled program; tests/test_recover.cpp re-runs
+// the exhaustive single-fault repair theorem on it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "local/machine1d.h"
+#include "local/machine2d.h"
+
+namespace revft {
+
+struct ScheduleOptions {
+  /// Master switch. Off = the legacy (PR 5) layout, bit-identical to
+  /// the unscheduled compiler output.
+  bool enabled = true;
+  /// Cut after a routing wave only when it packs at least this many
+  /// territory-disjoint transpositions; smaller waves flow forward
+  /// into the next segment instead of forming a 1.0-share sliver.
+  std::size_t min_wave_cut = 2;
+};
+
+/// What the pass did — surfaced for tests and the bench tables.
+struct ScheduleStats {
+  std::size_t waves = 0;           ///< routing waves formed
+  std::size_t moved_ops = 0;       ///< ops repositioned by wave packing
+  std::size_t wave_cuts = 0;       ///< cut boundaries placed after waves
+  std::size_t chain_cuts = 0;      ///< cuts sealing singleton chains off a wave
+  std::size_t core_cuts = 0;       ///< cut boundaries placed after cycle cores
+  std::size_t batched_stages = 0;  ///< stage boundaries whose checkpoint deferred
+};
+
+/// Reschedule a compiled 1D / 2D machine program in place: reorders
+/// routing into waves, inserts interior recovery boundaries, and
+/// rewrites routing_spans / recovery_boundaries to match. No-op when
+/// opts.enabled is false.
+ScheduleStats schedule_program(Machine1dProgram& program,
+                               const ScheduleOptions& opts = {});
+ScheduleStats schedule_program(Machine2dProgram& program,
+                               const ScheduleOptions& opts = {});
+
+}  // namespace revft

@@ -108,9 +108,10 @@ Cycle2d make_cycle_2d(GateKind gate, bool with_init) {
   const Ec2d ec = make_ec_2d(Orientation2d::kRow, with_init);
   cycle.ec_ops_per_block = ec.circuit.size();
   for (std::uint32_t b = 0; b < 3; ++b) {
+    const std::size_t stage_first = cycle.circuit.size();
     cycle.circuit.append_shifted(ec.circuit, 9 * b);
-    cycle.recovery_boundaries.push_back(
-        make_boundary(cycle.circuit.size() - 1, ec.clean_after, 9 * b));
+    cycle.recovery_boundaries.push_back(make_boundary(
+        cycle.circuit.size() - 1, ec.clean_after, 9 * b, stage_first));
   }
 
   for (std::uint32_t b = 0; b < 3; ++b)

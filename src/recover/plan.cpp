@@ -114,6 +114,9 @@ double SegmentPlan::mean_max_replay_share() const {
   if (segments.empty()) return 0.0;
   double sum = 0.0;
   for (const Segment& seg : segments) {
+    // A checkpoint-only segment (adjacent boundaries) replays nothing —
+    // its share is 0, not 0/0.
+    if (seg.op_count() == 0) continue;
     std::size_t worst = 0;
     for (const ReplayComponent& comp : seg.components)
       worst = std::max(worst, comp.ops.size());
@@ -125,6 +128,7 @@ double SegmentPlan::mean_max_replay_share() const {
 double SegmentPlan::worst_replay_share() const {
   double worst = 0.0;
   for (const Segment& seg : segments) {
+    if (seg.op_count() == 0) continue;
     std::size_t ops = 0;
     for (const ReplayComponent& comp : seg.components)
       ops = std::max(ops, comp.ops.size());
@@ -192,11 +196,17 @@ SegmentPlan build_segment_plan(const detect::CheckedCircuit& checked) {
       if (nk != node) straddles = true;
       uf.unite(node, nk);
     }
-    if (straddles) straddling.push_back(i);
     for (int k = 0; k < arity; ++k) {
       const std::uint32_t cell = g.bits[static_cast<std::size_t>(k)];
-      if (touch_node[cell] >= 0) uf.unite(node, touch_node[cell]);
+      if (touch_node[cell] >= 0) {
+        // Gluing through a shared cell (different blocks' values
+        // streaming through it) straddles just as much as an
+        // operand span does.
+        if (uf.find(touch_node[cell]) != uf.find(node)) straddles = true;
+        uf.unite(node, touch_node[cell]);
+      }
     }
+    if (straddles) straddling.push_back(i);
     node = uf.find(node);
     for (int k = 0; k < arity; ++k) {
       const std::uint32_t cell = g.bits[static_cast<std::size_t>(k)];
@@ -311,6 +321,12 @@ SegmentPlan build_segment_plan(const detect::CheckedCircuit& checked) {
     }
     REVFT_CHECK_MSG(seg.components.size() <= 64,
                     "build_segment_plan: more than 64 components per segment");
+    // Sorted-unique contract: lint findings and REPORT JSON emit this
+    // list verbatim, so an op that straddles via both an operand span
+    // and a shared cell must appear once.
+    std::sort(straddling.begin(), straddling.end());
+    straddling.erase(std::unique(straddling.begin(), straddling.end()),
+                     straddling.end());
     seg.straddling_ops = std::move(straddling);
     plan.segments.push_back(std::move(seg));
 

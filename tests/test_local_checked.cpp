@@ -185,14 +185,16 @@ TEST(CheckedMachineCensus, PerBlockRailsAloneAreFaultSecureIn1d) {
 }
 
 // The PR 2/3 configuration — single global rail, boundary zero checks,
-// elision — reproduces its census counts bit-for-bit: the partition
-// refactor must not move a single scenario for the trivial partition.
-// (Counts pinned from BENCH_local_checked.json as emitted by PR 3.)
+// elision, scheduling opted out — reproduces its census counts
+// bit-for-bit: the partition refactor must not move a single scenario
+// for the trivial partition. (Counts pinned from
+// BENCH_local_checked.json as emitted by PR 3.)
 TEST(CheckedMachineCensus, GlobalRailCensusCountsPinned) {
   Circuit logical(3);
   logical.toffoli(2, 1, 0);  // the routed cycle bench_local_checked prints
   CheckedMachineOptions opts;
   opts.rails = RailGranularity::kGlobal;
+  opts.schedule.enabled = false;  // the pre-scheduling PR 2/3 layout
   const auto census1 = machine_detection_census(
       CheckedMachine1d(3, /*with_init=*/true, opts).compile(logical), logical);
   EXPECT_EQ(census1.scenarios, 12352u);
@@ -203,6 +205,82 @@ TEST(CheckedMachineCensus, GlobalRailCensusCountsPinned) {
   EXPECT_EQ(census2.scenarios, 7080u);
   EXPECT_EQ(census2.detected_harmful, 0u);
   EXPECT_EQ(census2.silent_harmful, 0u);
+}
+
+// Opt-out bit-compatibility: with schedule.enabled = false the checked
+// machines reproduce the PR 5 pipeline EXACTLY — the raw compiler
+// output (legacy q-anchored gather targets, no wave packing, no
+// interior cuts) fed straight into the rail transform. Gate-for-gate
+// circuit equality, same checkpoints, same zero checks. This is the
+// regression pin that lets the scheduling pass default ON: anyone who
+// needs the old layout gets it bit-identical, not approximately.
+TEST(CheckedMachineSchedule, ScheduleOffMatchesTheRawCompilerBitForBit) {
+  Circuit logical(3);
+  logical.toffoli(2, 1, 0);
+  CheckedMachineOptions off;
+  off.schedule.enabled = false;
+
+  const auto expect_equal = [](const CheckedMachineProgram& a,
+                               const CheckedMachineProgram& b) {
+    EXPECT_EQ(a.checked.circuit, b.checked.circuit);
+    EXPECT_EQ(a.checked.checkpoints, b.checked.checkpoints);
+    ASSERT_EQ(a.checked.zero_checks.size(), b.checked.zero_checks.size());
+    for (std::size_t k = 0; k < a.checked.zero_checks.size(); ++k) {
+      EXPECT_EQ(a.checked.zero_checks[k].op_index,
+                b.checked.zero_checks[k].op_index);
+      EXPECT_EQ(a.checked.zero_checks[k].bits, b.checked.zero_checks[k].bits);
+    }
+  };
+
+  {
+    const auto via_checked = CheckedMachine1d(3, true, off).compile(logical);
+    const Machine1dProgram raw = Machine1d(3).compile(logical);
+    std::vector<std::array<std::uint32_t, 3>> entry;
+    for (std::uint32_t i = 0; i < 3; ++i)
+      entry.push_back({9 * i + 0, 9 * i + 3, 9 * i + 6});
+    expect_equal(via_checked,
+                 check_machine_program(raw.physical, raw.slot_of_logical, entry,
+                                       raw.data_cells, raw.recovery_boundaries,
+                                       raw.routing_spans, off));
+  }
+  {
+    const auto via_checked = CheckedMachine2d(3, true, off).compile(logical);
+    const Machine2dProgram raw = Machine2d(3).compile(logical);
+    std::vector<std::array<std::uint32_t, 3>> entry;
+    for (std::uint32_t i = 0; i < 3; ++i)
+      entry.push_back({9 * i + 0, 9 * i + 1, 9 * i + 2});
+    expect_equal(via_checked,
+                 check_machine_program(raw.physical, raw.slot_of_logical, entry,
+                                       raw.data_cells, raw.recovery_boundaries,
+                                       raw.routing_spans, off));
+  }
+}
+
+// Scheduling must not move the census: wave packing permutes only
+// commuting ops and cuts only ADD checks, so the scenario space and
+// the harmful set are invariant, and fault security survives. Both
+// layouts pin the same counts — the scheduled program proves the same
+// theorem the legacy one did.
+TEST(CheckedMachineSchedule, CensusCountsInvariantUnderScheduling) {
+  Circuit logical(3);
+  logical.toffoli(2, 1, 0);
+  CheckedMachineOptions legacy;
+  legacy.schedule.enabled = false;
+  const CheckedMachineOptions scheduled;  // default: schedule ON
+  for (const auto& opts : {legacy, scheduled}) {
+    const auto census1 = machine_detection_census(
+        CheckedMachine1d(3, true, opts).compile(logical), logical);
+    EXPECT_EQ(census1.scenarios, 12352u);
+    EXPECT_EQ(census1.detected_harmful, 168u);
+    EXPECT_EQ(census1.silent_harmful, 0u);
+    EXPECT_TRUE(census1.fault_secure());
+    const auto census2 = machine_detection_census(
+        CheckedMachine2d(3, true, opts).compile(logical), logical);
+    EXPECT_EQ(census2.scenarios, 7080u);
+    EXPECT_EQ(census2.detected_harmful, 0u);
+    EXPECT_EQ(census2.silent_harmful, 0u);
+    EXPECT_TRUE(census2.fault_secure());
+  }
 }
 
 // The acceptance pin for the partition: a concrete cross-codeword

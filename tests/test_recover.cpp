@@ -21,6 +21,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -186,6 +187,94 @@ TEST(SegmentPlan, ZeroCheckBitsBelongToTheComponentFootprint) {
   EXPECT_TRUE(found);
 }
 
+// --- partition-aware scheduling: the replay-share payoff -------------
+
+// The scheduling pass (local/schedule.h) exists to break the
+// whole-segment replay pathology. Pinned both ways: opting out
+// reproduces the PR 5 layout's pathology exactly (every segment's
+// worst component IS the segment — mean_max_replay_share 1.0), and the
+// scheduled default splits routing and batches EC stages so the mean
+// share drops strictly below it on the same workload.
+TEST(SegmentPlan, SchedulingBreaksTheWholeSegmentReplayPathology) {
+  const Circuit logical = routed_toffoli3();
+  CheckedMachineOptions legacy = recovering_machine_options();
+  legacy.schedule.enabled = false;
+
+  const auto legacy1d = recover::build_segment_plan(
+      CheckedMachine1d(3, true, legacy).compile(logical).checked);
+  EXPECT_EQ(legacy1d.segments.size(), 3u);
+  EXPECT_DOUBLE_EQ(legacy1d.mean_max_replay_share(), 1.0);
+  const auto legacy2d = recover::build_segment_plan(
+      CheckedMachine2d(3, true, legacy).compile(logical).checked);
+  EXPECT_EQ(legacy2d.segments.size(), 6u);
+  EXPECT_DOUBLE_EQ(legacy2d.mean_max_replay_share(), 1.0);
+
+  const auto sched1d = recover::build_segment_plan(
+      CheckedMachine1d(3, true, recovering_machine_options())
+          .compile(logical)
+          .checked);
+  EXPECT_LT(sched1d.mean_max_replay_share(),
+            legacy1d.mean_max_replay_share());
+  EXPECT_NEAR(sched1d.mean_max_replay_share(), 2.0 / 3.0, 1e-12);
+  const auto sched2d = recover::build_segment_plan(
+      CheckedMachine2d(3, true, recovering_machine_options())
+          .compile(logical)
+          .checked);
+  EXPECT_LT(sched2d.mean_max_replay_share(),
+            legacy2d.mean_max_replay_share());
+  EXPECT_NEAR(sched2d.mean_max_replay_share(), 5.0 / 9.0, 1e-12);
+}
+
+// Regression (zero-op segments): adjacent check positions can produce
+// a checkpoint-only segment with op_count() == 0. The share accounting
+// must score it 0 — skipping the division — instead of emitting NaN
+// into every REPORT table downstream.
+TEST(SegmentPlan, ZeroOpSegmentsDoNotPoisonReplayShares) {
+  recover::SegmentPlan plan;
+  recover::Segment work;
+  work.begin = 0;
+  work.end = 9;
+  recover::ReplayComponent comp;
+  comp.ops = {0, 1, 2, 3, 4};
+  work.components.push_back(comp);
+  plan.segments.push_back(work);
+  recover::Segment empty;  // adjacent boundaries: end precedes begin
+  empty.begin = 10;
+  empty.end = 9;
+  plan.segments.push_back(empty);
+  plan.total_ops = 10;
+
+  ASSERT_EQ(plan.segments[1].op_count(), 0u);
+  EXPECT_FALSE(std::isnan(plan.mean_max_replay_share()));
+  EXPECT_FALSE(std::isnan(plan.worst_replay_share()));
+  EXPECT_DOUBLE_EQ(plan.mean_max_replay_share(), 0.25);  // (5/10 + 0) / 2
+  EXPECT_DOUBLE_EQ(plan.worst_replay_share(), 0.5);
+}
+
+// The straddling_ops diagnostic is emitted verbatim into lint findings
+// and REPORT JSON, so its sorted-unique contract is pinned: an op that
+// straddles both via an operand span and a shared cell must appear
+// once, in position order, within its segment's bounds.
+TEST(SegmentPlan, StraddlingOpsAreSortedUniqueAndInBounds) {
+  const auto program = CheckedMachine1d(6, true, recovering_machine_options())
+                           .compile(scattered6());
+  const auto plan = recover::build_segment_plan(program.checked);
+  std::size_t total = 0;
+  for (const auto& seg : plan.segments) {
+    EXPECT_TRUE(std::is_sorted(seg.straddling_ops.begin(),
+                               seg.straddling_ops.end()));
+    EXPECT_EQ(std::adjacent_find(seg.straddling_ops.begin(),
+                                 seg.straddling_ops.end()),
+              seg.straddling_ops.end());
+    for (const auto pos : seg.straddling_ops) {
+      EXPECT_GE(pos, seg.begin);
+      EXPECT_LE(pos, seg.end);
+    }
+    total += seg.straddling_ops.size();
+  }
+  EXPECT_GT(total, 0u);  // routing glue exists on this workload
+}
+
 TEST(SegmentPlan, RejectsEmbeddedCheckerBits) {
   Circuit c(3);
   c.maj(0, 1, 2).majinv(0, 1, 2);
@@ -311,7 +400,13 @@ void expect_every_single_fault_repaired(const Machine& machine,
          "per-block rails exist for";
 }
 
+// Both theorem instances run on the SCHEDULED programs — the shipped
+// recovering configuration keeps the scheduling pass on, so the
+// wave-packed, interior-cut layout is what gets exhaustively repaired
+// (the assertion below keeps that coverage from silently rotting if
+// the default ever flips).
 TEST(RecoveringRunner, EverySingleFaultRepaired1d) {
+  ASSERT_TRUE(recovering_machine_options().schedule.enabled);
   expect_every_single_fault_repaired(
       CheckedMachine1d(3, true, recovering_machine_options()),
       routed_toffoli3());
@@ -321,6 +416,16 @@ TEST(RecoveringRunner, EverySingleFaultRepaired2d) {
   expect_every_single_fault_repaired(
       CheckedMachine2d(3, true, recovering_machine_options()),
       routed_toffoli3());
+}
+
+// And the legacy layout stays repairable on opt-out: the scheduling
+// knob changes localization economics, never correctness, in either
+// position.
+TEST(RecoveringRunner, EverySingleFaultRepairedWithScheduleOff1d) {
+  CheckedMachineOptions legacy = recovering_machine_options();
+  legacy.schedule.enabled = false;
+  expect_every_single_fault_repaired(CheckedMachine1d(3, true, legacy),
+                                     routed_toffoli3());
 }
 
 // Whole-program retry also repairs everything, by exactly one restart
