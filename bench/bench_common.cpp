@@ -51,10 +51,22 @@ JsonResultWriter::JsonResultWriter(std::string name) : name_(std::move(name)) {
   meta("compiler", provenance::compiler_version());
 }
 
+const char* target_isa() {
+#if defined(__AVX512F__)
+  return "avx512f";
+#elif defined(__AVX2__)
+  return "avx2";
+#else
+  return "sse2";
+#endif
+}
+
 void stamp_run_meta(JsonResultWriter& json, std::uint64_t trials,
-                    std::uint64_t seed) {
+                    std::uint64_t seed, unsigned lane_words) {
   json.meta("trials", trials);
   json.meta("seed", seed);
+  json.meta("lane_words", static_cast<std::uint64_t>(lane_words));
+  json.meta("target_isa", std::string(target_isa()));
 }
 
 JsonResultWriter::~JsonResultWriter() { write(); }

@@ -38,11 +38,20 @@ void print_header(const std::string& title, const std::string& paper_ref);
 
 class JsonResultWriter;
 
-/// Stamp the run-configuration meta pair every bench repeats —
-/// "trials" and "seed" — in one call so the keys cannot drift between
-/// binaries (CI's JSON checker greps for them by name).
+/// The widest SIMD tier this binary was compiled for ("avx512f",
+/// "avx2" or "sse2") — the compile-time answer, what the
+/// auto-vectorized packed kernels could use, independent of runtime
+/// CPU detection (there is none; the build flag decides).
+const char* target_isa();
+
+/// Stamp the run-configuration meta every bench repeats — "trials",
+/// "seed", plus the packed-engine geometry ("lane_words") and the
+/// compiled SIMD tier ("target_isa") — in one call so the keys cannot
+/// drift between binaries (CI's JSON checker greps for them by name).
+/// lane_words is part of the determinism key (like batches_per_shard),
+/// which is why it belongs in the meta block of every results file.
 void stamp_run_meta(JsonResultWriter& json, std::uint64_t trials,
-                    std::uint64_t seed);
+                    std::uint64_t seed, unsigned lane_words = 1);
 
 /// Collects named scalar results and writes them as
 /// REVFT_JSON_DIR/BENCH_<name>.json so successive PRs accumulate a

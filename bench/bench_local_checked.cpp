@@ -8,10 +8,16 @@
 // checks leave no single fault both silent and harmful (the same
 // census tests/test_local_checked.cpp gates on), (3) a g sweep of
 // detected / silent / accepted splits for both machines under the
-// checked packed engine, (4) a thread-count determinism check, then
-// times the checked kernel against the unchecked machine program (the
-// acceptance bar: checked <= 1.5x per original op, checkpoint and
-// zero-check evaluation included).
+// checked packed engine, (4) a thread-count determinism check, (5) the
+// multi-word SIMD lane sweep — checked-kernel throughput at
+// lane_words ∈ {1,2,4,8} with the speedup bar the AVX2 CI job
+// enforces — then times the checked kernel against the unchecked
+// machine program (the acceptance bar: checked <= 1.5x per original
+// op, checkpoint and zero-check evaluation included).
+//
+// Every section pulls its compiled programs through the process-wide
+// ProgramCache, so the scattered workload compiles once and the
+// hit/miss counters land in BENCH_local_checked.json.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -27,7 +33,10 @@
 #include "local/checked_machine.h"
 #include "local/machine1d.h"
 #include "local/machine2d.h"
+#include "local/program_cache.h"
+#include "noise/lanes.h"
 #include "support/table.h"
+#include "telemetry/metrics.h"
 
 using namespace revft;
 
@@ -44,6 +53,17 @@ Circuit scattered_workload() {
       .fredkin(2, 6, 9)
       .swap3(0, 5, 9);
   return logical;
+}
+
+/// Cached compile of a checked machine program (the bench's sections
+/// all reuse the same few workload/options combinations).
+const CheckedMachineProgram& cached_program(
+    MachineKind kind, const Circuit& logical,
+    const CheckedMachineOptions& opts = {}) {
+  // The shared_ptr stays alive inside the cache for the process
+  // lifetime (nothing here calls clear()), so handing out a reference
+  // is safe and keeps the call sites exactly as terse as compile().
+  return ProgramCache::instance().get(kind, logical, true, opts)->program;
 }
 
 /// A routing-free contrast: every operand already adjacent.
@@ -89,17 +109,17 @@ void print_free_checking(benchutil::JsonResultWriter& json) {
   AsciiTable table({"machine / workload", "ops", "routing ops", "free",
                     "rails", "rail ops", "gate ovh", "ckpt / zero"});
   add_stats_row(table, json, "1d_scattered",
-                CheckedMachine1d(10).compile(scattered));
+                cached_program(MachineKind::k1d, scattered));
   add_stats_row(table, json, "1d_scattered_global",
-                CheckedMachine1d(10, true, global).compile(scattered));
+                cached_program(MachineKind::k1d, scattered, global));
   add_stats_row(table, json, "1d_adjacent",
-                CheckedMachine1d(10).compile(adjacent));
+                cached_program(MachineKind::k1d, adjacent));
   add_stats_row(table, json, "2d_scattered",
-                CheckedMachine2d(10).compile(scattered));
+                cached_program(MachineKind::k2d, scattered));
   add_stats_row(table, json, "2d_scattered_global",
-                CheckedMachine2d(10, true, global).compile(scattered));
+                cached_program(MachineKind::k2d, scattered, global));
   add_stats_row(table, json, "2d_adjacent",
-                CheckedMachine2d(10).compile(adjacent));
+                cached_program(MachineKind::k2d, adjacent));
   std::printf("%s", table.str().c_str());
   std::printf(
       "every routing op is SWAP/SWAP3 — self-checking for free at ANY rail\n"
@@ -121,10 +141,10 @@ void print_census(benchutil::JsonResultWriter& json) {
   logical.toffoli(2, 1, 0);  // routed single cycle
 
   AsciiTable table({"outcome", "1D machine", "2D machine"});
-  const auto census1 =
-      machine_detection_census(CheckedMachine1d(3).compile(logical), logical);
-  const auto census2 =
-      machine_detection_census(CheckedMachine2d(3).compile(logical), logical);
+  const auto census1 = machine_detection_census(
+      cached_program(MachineKind::k1d, logical), logical);
+  const auto census2 = machine_detection_census(
+      cached_program(MachineKind::k2d, logical), logical);
   table.add_row({"fault sites", std::to_string(census1.fault_sites),
                  std::to_string(census2.fault_sites)});
   table.add_row({"scenarios simulated", std::to_string(census1.scenarios),
@@ -186,7 +206,7 @@ void print_partition_comparison(benchutil::JsonResultWriter& json) {
     opts.rails = config.rails;
     opts.zero_checks = config.zero_checks;
     opts.check_every = config.zero_checks ? 0 : 1;  // equal observation density
-    const auto program = CheckedMachine1d(3, true, opts).compile(logical);
+    const auto& program = cached_program(MachineKind::k1d, logical, opts);
     const auto census = machine_detection_census(program, logical);
     table.add_row({config.label, AsciiTable::cell(program.checked.circuit.size()),
                    AsciiTable::cell(census.detected_harmful),
@@ -218,10 +238,10 @@ void print_g_sweep(benchutil::JsonResultWriter& json) {
   CheckedMachineExperiment::Config config;
   config.trials = trials;
   config.seed = benchutil::seed_from_env();
-  const CheckedMachineExperiment exp1d(CheckedMachine1d(10).compile(logical),
-                                       logical, config);
-  const CheckedMachineExperiment exp2d(CheckedMachine2d(10).compile(logical),
-                                       logical, config);
+  const CheckedMachineExperiment exp1d(
+      cached_program(MachineKind::k1d, logical), logical, config);
+  const CheckedMachineExperiment exp2d(
+      cached_program(MachineKind::k2d, logical), logical, config);
   std::printf("workload: %zu scattered gates on 10 encoded bits, %llu "
               "trials/point\n",
               logical.size(), static_cast<unsigned long long>(trials));
@@ -278,7 +298,7 @@ void print_g_sweep(benchutil::JsonResultWriter& json) {
   CheckedMachineOptions global;
   global.rails = RailGranularity::kGlobal;
   const CheckedMachineExperiment exp_global(
-      CheckedMachine1d(10, true, global).compile(logical), logical, config);
+      cached_program(MachineKind::k1d, logical, global), logical, config);
   const std::uint64_t ops_global = exp_global.program().checked.circuit.size();
   const std::uint64_t blocks = exp1d.program().stats.rails;
   AsciiTable retry({"g", "abort global", "abort per-block", "silent global",
@@ -343,7 +363,7 @@ void print_determinism(benchutil::JsonResultWriter& json) {
   CheckedMachineExperiment::Config config;
   config.trials = 100000;
   config.seed = benchutil::seed_from_env();
-  const CheckedMachineExperiment exp(CheckedMachine1d(10).compile(logical),
+  const CheckedMachineExperiment exp(cached_program(MachineKind::k1d, logical),
                                      logical, config);
 
   detect::DetectionEstimate results[3];
@@ -393,6 +413,114 @@ double ns_per_op(std::uint64_t ops, int iters, Body&& body) {
   return best;
 }
 
+// --- multi-word SIMD lane sweep --------------------------------------
+
+/// Checked-kernel throughput at lane_words ∈ {1,2,4,8}: the same
+/// circuit walk, W words per circuit bit, so every gate and checkpoint
+/// becomes a contiguous word-array loop the compiler auto-vectorizes.
+/// The speedup columns are per LANE (trial), the economically
+/// meaningful number: a W=8 batch carries 512 trials per pass.
+///
+/// Throughput is swept over the error rate because the two cost terms
+/// scale differently: the word-loop work (gates, checkpoint parities)
+/// drops with vector width, while fault handling — one geometric gap
+/// draw and one injection per failure — is scalar and identical at
+/// every width, costing g x const per op-lane at ANY W. At g = 1e-3
+/// that constant dominates and caps the ratio near 1.5x however well
+/// the loops vectorize; in the sub-threshold tail (g = 1e-5, the
+/// regime the paper's threshold plots probe and the reason the packed
+/// engine exists — Monte-Carlo cost there is astronomically dominated
+/// by non-failing trials) almost every gate is draw-free and the
+/// kernel speedup is fully visible. The acceptance bar is therefore
+/// enforced on the g = 1e-5 column: best width >= 2.5x when the
+/// binary was compiled for AVX2 or wider, >= 1.2x on the SSE2
+/// baseline (where the win is 128-bit vectors plus per-gate dispatch
+/// amortization). All three columns land in the JSON so the
+/// g-dependence stays visible in the trajectory.
+void print_simd_sweep(benchutil::JsonResultWriter& json) {
+  benchutil::print_header(
+      "Multi-word packed kernel: checked throughput vs lane_words",
+      "engine throughput (no paper analogue); ISA-aware bar");
+
+  const Circuit logical = scattered_workload();
+  const CheckedMachineProgram& program =
+      cached_program(MachineKind::k1d, logical);
+  const std::uint64_t ops = program.stats.total_ops;
+  const double gs[] = {1e-3, 1e-4, 1e-5};
+  const char* g_tag[] = {"g1e3", "g1e4", "g1e5"};
+  const int kBarG = 2;  // bar enforced on the sub-threshold column
+  const int iters = 200;
+
+  const unsigned widths[] = {1, 2, 4, 8};
+  double lane_ns[3][4] = {};
+  AsciiTable table({"lane_words", "lanes/batch", "ns/op-lane g=1e-3",
+                    "g=1e-4", "g=1e-5", "speedup @1e-5"});
+  for (int i = 0; i < 4; ++i) {
+    const unsigned W = widths[i];
+    for (int j = 0; j < 3; ++j) {
+      PackedSimulator sim(NoiseModel::uniform(gs[j]),
+                          benchutil::seed_from_env());
+      PackedState state(program.checked.circuit.width(), W);
+      std::uint64_t detected[kMaxLaneWords];
+      std::uint64_t acc = 0;
+      // One call covers ops * 64 * W lane-ops (original ops x trials).
+      lane_ns[j][i] = ns_per_op(ops * 64 * W, iters, [&] {
+        detect::apply_noisy_checked_words(sim, state, program.checked,
+                                          detected);
+        acc ^= detected[0];
+        benchmark::DoNotOptimize(state);
+      });
+      benchmark::DoNotOptimize(acc);
+    }
+    const double speedup =
+        lane_ns[kBarG][i] > 0.0 ? lane_ns[kBarG][0] / lane_ns[kBarG][i] : 0.0;
+    table.add_row({std::to_string(W), std::to_string(64 * W),
+                   AsciiTable::fixed(lane_ns[0][i], 4),
+                   AsciiTable::fixed(lane_ns[1][i], 4),
+                   AsciiTable::fixed(lane_ns[2][i], 4),
+                   AsciiTable::fixed(speedup, 3) + "x"});
+    const std::string section = "simd_w" + std::to_string(W);
+    for (int j = 0; j < 3; ++j) {
+      json.add(section, std::string("ns_per_op_lane_") + g_tag[j],
+               lane_ns[j][i]);
+      json.add(section, std::string("speedup_vs_w1_") + g_tag[j],
+               lane_ns[j][i] > 0.0 ? lane_ns[j][0] / lane_ns[j][i] : 0.0);
+    }
+  }
+
+  int best = 0;
+  for (int i = 1; i < 4; ++i)
+    if (lane_ns[kBarG][i] < lane_ns[kBarG][best]) best = i;
+  const double best_speedup =
+      lane_ns[kBarG][best] > 0.0 ? lane_ns[kBarG][0] / lane_ns[kBarG][best]
+                                 : 0.0;
+
+#if defined(__AVX2__) || defined(__AVX512F__)
+  const double bar = 2.5;
+  const char* bar_key = "simd_speedup_within_2_5x";
+#else
+  const double bar = 1.2;
+  const char* bar_key = "simd_speedup_within_1_2x";
+#endif
+  std::printf("%s", table.str().c_str());
+  std::printf(
+      "target ISA %s | chosen lane_words %u | best speedup %.3fx at g=1e-5 "
+      "(bar: >= %.1fx)  %s\n"
+      "fault handling is scalar and width-independent (g x const per\n"
+      "op-lane), so the kernel speedup shows in the sub-threshold tail\n"
+      "where trials are draw-free; the g=1e-3 column shows the blend.\n"
+      "lane_words is part of the determinism key (like batches_per_shard):\n"
+      "a fixed width reproduces bit-for-bit at any REVFT_THREADS, but\n"
+      "changing the width changes the per-kind mask-stream consumption.\n",
+      benchutil::target_isa(), widths[best], best_speedup, bar,
+      best_speedup >= bar ? "PASS" : "FAIL");
+  json.add("simd_sweep", "chosen_lane_words",
+           static_cast<std::uint64_t>(widths[best]));
+  json.add("simd_sweep", "bar_error_rate", gs[kBarG]);
+  json.add("simd_sweep", "best_speedup", best_speedup);
+  json.add("simd_sweep", bar_key, best_speedup >= bar ? 1.0 : 0.0);
+}
+
 double measure_overhead(const Circuit& physical,
                         const CheckedMachineProgram& program, const char* label,
                         benchutil::JsonResultWriter& json) {
@@ -437,14 +565,14 @@ void print_overhead(benchutil::JsonResultWriter& json) {
   const Circuit logical = scattered_workload();
   const Machine1dProgram p1 = Machine1d(10).compile(logical);
   const Machine2dProgram p2 = Machine2d(10).compile(logical);
-  const CheckedMachineProgram c1 = CheckedMachine1d(10).compile(logical);
-  const CheckedMachineProgram c2 = CheckedMachine2d(10).compile(logical);
+  const CheckedMachineProgram& c1 = cached_program(MachineKind::k1d, logical);
+  const CheckedMachineProgram& c2 = cached_program(MachineKind::k2d, logical);
   CheckedMachineOptions global;
   global.rails = RailGranularity::kGlobal;
-  const CheckedMachineProgram g1 =
-      CheckedMachine1d(10, true, global).compile(logical);
-  const CheckedMachineProgram g2 =
-      CheckedMachine2d(10, true, global).compile(logical);
+  const CheckedMachineProgram& g1 =
+      cached_program(MachineKind::k1d, logical, global);
+  const CheckedMachineProgram& g2 =
+      cached_program(MachineKind::k2d, logical, global);
   std::printf("workload: %zu scattered gates, 10 encoded bits; 1D %zu ops "
               "-> %zu checked (10 rails), 2D %zu ops -> %zu checked\n",
               logical.size(), p1.physical.size(), c1.checked.circuit.size(),
@@ -467,7 +595,8 @@ void print_overhead(benchutil::JsonResultWriter& json) {
 void BM_CheckedMachine1dApply(benchmark::State& state) {
   const Circuit logical = scattered_workload();
   const Machine1dProgram plain = Machine1d(10).compile(logical);
-  const CheckedMachineProgram program = CheckedMachine1d(10).compile(logical);
+  const CheckedMachineProgram& program =
+      cached_program(MachineKind::k1d, logical);
   PackedSimulator sim(NoiseModel::uniform(1e-3), benchutil::seed_from_env());
   PackedState ps(program.checked.circuit.width());
   std::uint64_t acc = 0;
@@ -512,7 +641,20 @@ int main(int argc, char** argv) {
   print_partition_comparison(json);
   print_g_sweep(json);
   print_determinism(json);
+  print_simd_sweep(json);
   print_overhead(json);
+
+  // Program-cache economics, routed through the telemetry registry
+  // (the counters' canonical names) into the bench JSON.
+  telemetry::MetricsRegistry cache_metrics;
+  ProgramCache::instance().export_metrics(cache_metrics);
+  for (const auto& metric : cache_metrics.entries())
+    json.add("program_cache", metric.name, metric.value);
+  std::printf("\nprogram cache: %llu hits / %llu misses (%zu entries)\n",
+              static_cast<unsigned long long>(ProgramCache::instance().hits()),
+              static_cast<unsigned long long>(
+                  ProgramCache::instance().misses()),
+              ProgramCache::instance().size());
   json.write();
   std::printf("\n-- kernel timings --\n");
   benchmark::Initialize(&argc, argv);

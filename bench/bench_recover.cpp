@@ -33,12 +33,22 @@
 #include "ft/machine_kernel.h"
 #include "ft/recover_experiment.h"
 #include "local/checked_machine.h"
+#include "local/program_cache.h"
 #include "recover/recovering_mc.h"
 #include "support/table.h"
+#include "telemetry/metrics.h"
 
 using namespace revft;
 
 namespace {
+
+/// Cached compile + segment plan (the sections and kernels all reuse
+/// the recovering-options scattered workload).
+std::shared_ptr<const CachedMachineProgram> cached_bundle(
+    MachineKind kind, const Circuit& logical,
+    const CheckedMachineOptions& opts) {
+  return ProgramCache::instance().get(kind, logical, true, opts);
+}
 
 /// Same scattered 10-bit workload as bench_local_checked: heavy
 /// routing, the regime the §3 machines (and their rails) are built for.
@@ -84,16 +94,16 @@ bool print_plan(const RecoveryExperiment& exp1d, const RecoveryExperiment& exp2d
   // shipped scheduled one on the identical workload.
   CheckedMachineOptions legacy = recovering_machine_options();
   legacy.schedule.enabled = false;
-  const auto legacy1d = CheckedMachine1d(10, true, legacy).compile(logical);
-  const auto legacy2d = CheckedMachine2d(10, true, legacy).compile(logical);
-  const auto legacy1d_plan = recover::build_segment_plan(legacy1d.checked);
-  const auto legacy2d_plan = recover::build_segment_plan(legacy2d.checked);
+  const auto legacy1d = cached_bundle(MachineKind::k1d, logical, legacy);
+  const auto legacy2d = cached_bundle(MachineKind::k2d, logical, legacy);
 
   AsciiTable table({"machine", "checked ops", "segments", "rails", "components",
                     "multi-comp segs", "mean max share", "worst share"});
-  add_plan_row(table, json, "plan_1d_legacy", legacy1d, legacy1d_plan);
+  add_plan_row(table, json, "plan_1d_legacy", legacy1d->program,
+               legacy1d->plan);
   add_plan_row(table, json, "plan_1d", exp1d.program(), exp1d.plan());
-  add_plan_row(table, json, "plan_2d_legacy", legacy2d, legacy2d_plan);
+  add_plan_row(table, json, "plan_2d_legacy", legacy2d->program,
+               legacy2d->plan);
   add_plan_row(table, json, "plan_2d", exp2d.program(), exp2d.plan());
   std::printf("%s", table.str().c_str());
   std::printf(
@@ -244,9 +254,10 @@ void print_determinism(const RecoveryExperiment& exp,
 
 void BM_RecoveringMachine1d(benchmark::State& state) {
   const Circuit logical = scattered_workload();
-  const auto program =
-      CheckedMachine1d(10, true, recovering_machine_options()).compile(logical);
-  const auto plan = recover::build_segment_plan(program.checked);
+  const auto bundle =
+      cached_bundle(MachineKind::k1d, logical, recovering_machine_options());
+  const auto& program = bundle->program;
+  const auto& plan = bundle->plan;
   const auto policy = recover::RetryPolicy::block_local();
   const auto truth = machine_truth_table(logical);
   PackedSimulator sim(NoiseModel::uniform(1e-3), benchutil::seed_from_env());
@@ -274,8 +285,9 @@ BENCHMARK(BM_RecoveringMachine1d);
 
 void BM_CheckedMachine1dApplyBaseline(benchmark::State& state) {
   const Circuit logical = scattered_workload();
-  const auto program =
-      CheckedMachine1d(10, true, recovering_machine_options()).compile(logical);
+  const auto& program =
+      cached_bundle(MachineKind::k1d, logical, recovering_machine_options())
+          ->program;
   PackedSimulator sim(NoiseModel::uniform(1e-3), benchutil::seed_from_env());
   PackedState ps(program.checked.circuit.width());
   std::uint64_t acc = 0;
@@ -302,11 +314,16 @@ int main(int argc, char** argv) {
   RecoveryExperiment::Config config;
   config.trials = trials;
   config.seed = seed;
+  // Estimates stay at lane_words = 1: the width is part of the
+  // determinism key, and the cross-PR JSON trajectory pins the W=1
+  // stream (the SIMD sweep lives in bench_local_checked).
   const RecoveryExperiment exp1d(
-      CheckedMachine1d(10, true, recovering_machine_options()).compile(logical),
+      cached_bundle(MachineKind::k1d, logical, recovering_machine_options())
+          ->program,
       logical, config);
   const RecoveryExperiment exp2d(
-      CheckedMachine2d(10, true, recovering_machine_options()).compile(logical),
+      cached_bundle(MachineKind::k2d, logical, recovering_machine_options())
+          ->program,
       logical, config);
   // Model inputs: the plain checked engine on the SAME programs, same
   // budget — its DetectionEstimate feeds detect::retry_cost_model.
@@ -321,6 +338,13 @@ int main(int argc, char** argv) {
   print_determinism(exp1d, json);
   json.add("summary", "economics_bar_all_pass", all_pass ? 1.0 : 0.0);
   json.add("summary", "plan_bar_pass", plan_bar ? 1.0 : 0.0);
+
+  // Program-cache economics via the telemetry registry: four distinct
+  // compilations (1D/2D x scheduled/legacy), every other consumer hits.
+  telemetry::MetricsRegistry cache_metrics;
+  ProgramCache::instance().export_metrics(cache_metrics);
+  for (const auto& metric : cache_metrics.entries())
+    json.add("program_cache", metric.name, metric.value);
   json.write();
 
   std::printf("\n-- kernel timings --\n");

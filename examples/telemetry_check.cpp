@@ -1,6 +1,6 @@
 // telemetry_check — the CI gate over emitted JSON artifacts.
 //
-// Usage:  telemetry_check [--enforce-bars] FILE...
+// Usage:  telemetry_check [--enforce-bars [--bars-matching SUBSTR]] FILE...
 //
 // Every file is parsed with the strict json::parse (duplicate keys and
 // trailing garbage rejected) and then structurally validated according
@@ -20,7 +20,10 @@
 // bars the benches embed, e.g. disabled_within_1_03x or
 // mean_max_replay_share_within_0_6) must be 1 — this is how CI turns
 // an overhead or replay-share guard into a hard failure instead of a
-// number in an artifact nobody reads. In this mode a REPORT_ file must
+// number in an artifact nobody reads. --bars-matching SUBSTR narrows
+// enforcement to bar keys containing SUBSTR, so a CI job can gate on
+// one bar family (e.g. the SIMD speedup) without adopting every other
+// bar a shared artifact happens to embed. In this mode a REPORT_ file must
 // also carry a non-empty segment table: "bars met" and "report never
 // profiled anything" have to stay distinguishable. An unreadable file
 // is always a failure, with or without bars.
@@ -44,6 +47,9 @@ using Kind = revft::json::Kind;
 namespace {
 
 int g_failures = 0;
+
+// --bars-matching filter: empty enforces every *_within_* key.
+std::string g_bar_filter;
 
 void fail(const std::string& file, const std::string& what) {
   std::fprintf(stderr, "telemetry_check: %s: %s\n", file.c_str(), what.c_str());
@@ -191,7 +197,9 @@ void enforce_bars(const std::string& file, const std::string& path,
   if (v.is_object()) {
     for (const auto& m : v.members()) {
       const std::string sub = path.empty() ? m.first : path + "." + m.first;
-      if (m.first.find("_within_") != std::string::npos) {
+      if (m.first.find("_within_") != std::string::npos &&
+          (g_bar_filter.empty() ||
+           m.first.find(g_bar_filter) != std::string::npos)) {
         // Some emitters store bars as integers, some as doubles —
         // accept any numeric representation of exactly 1.
         const bool pass = m.second.is_number() && m.second.as_double() == 1.0;
@@ -242,12 +250,15 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--enforce-bars")
       bars = true;
+    else if (arg == "--bars-matching" && i + 1 < argc)
+      g_bar_filter = argv[++i];
     else
       files.push_back(arg);
   }
   if (files.empty()) {
     std::fprintf(stderr,
-                 "usage: telemetry_check [--enforce-bars] FILE...\n"
+                 "usage: telemetry_check [--enforce-bars "
+                 "[--bars-matching SUBSTR]] FILE...\n"
                  "validates BENCH_/REPORT_/TRACE_ JSON artifacts\n");
     return 2;
   }

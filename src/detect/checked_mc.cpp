@@ -4,15 +4,25 @@
 
 namespace revft::detect {
 
-std::uint64_t apply_noisy_checked(PackedSimulator& sim, PackedState& state,
-                                  const CheckedCircuit& checked,
-                                  std::uint64_t* fired_masks) {
-  REVFT_CHECK_MSG(checked.circuit.width() == state.width(),
-                  "apply_noisy_checked: width mismatch");
+namespace {
+
+// One instantiation per lane width: W is a compile-time constant, so
+// every per-rail accumulation below is a fixed-trip-count word loop
+// the compiler vectorizes alongside the gate kernels. The checkpoint
+// walk prefers the flattened CSR spans (built by to_parity_rail);
+// circuits assembled by hand without spans take the identical-result
+// group walk.
+template <unsigned W>
+void apply_noisy_checked_impl(PackedSimulator& sim, PackedState& state,
+                              const CheckedCircuit& checked,
+                              std::uint64_t* __restrict__ detected,
+                              std::uint64_t* __restrict__ fired_masks) {
   const std::size_t n_rails = checked.rails.size();
   if (fired_masks != nullptr)
-    std::fill(fired_masks, fired_masks + n_rails + 1, 0);
-  std::uint64_t detected = 0;
+    std::fill(fired_masks, fired_masks + (n_rails + 1) * W, 0);
+  for (unsigned w = 0; w < W; ++w) detected[w] = 0;
+  const bool use_spans =
+      checked.checkpoint_spans.size() == checked.checkpoints.size();
   // Run the segments between checks through the simulator's span loop
   // (hot path identical to the unchecked engine), pausing only to OR
   // the per-lane rail invariants — or a zero-checked word — into the
@@ -31,27 +41,99 @@ std::uint64_t apply_noisy_checked(PackedSimulator& sim, PackedState& state,
     sim.apply_noisy_span(state, checked.circuit, pos, stop + 1);
     pos = stop + 1;
     while (zi < n_zc && checked.zero_checks[zi].op_index == stop) {
-      std::uint64_t zero_mask = 0;
-      for (const std::uint32_t bit : checked.zero_checks[zi].bits)
-        zero_mask |= state.word(bit);
-      detected |= zero_mask;
-      if (fired_masks != nullptr) fired_masks[n_rails] |= zero_mask;
+      std::uint64_t zero_mask[W] = {};
+      for (const std::uint32_t bit : checked.zero_checks[zi].bits) {
+        const std::uint64_t* __restrict__ src = state.words(bit);
+        for (unsigned w = 0; w < W; ++w) zero_mask[w] |= src[w];
+      }
+      for (unsigned w = 0; w < W; ++w) detected[w] |= zero_mask[w];
+      if (fired_masks != nullptr)
+        for (unsigned w = 0; w < W; ++w)
+          fired_masks[n_rails * W + w] |= zero_mask[w];
       ++zi;
     }
     while (ci < n_cp && checked.checkpoints[ci] == stop) {
-      const auto& groups = checked.checkpoint_groups[ci];
-      for (std::size_t r = 0; r < n_rails; ++r) {
-        const std::uint64_t violated = state.parity_word_over(groups[r]) ^
-                                       state.word(checked.rails[r].rail_bit);
-        detected |= violated;
-        if (fired_masks != nullptr) fired_masks[r] |= violated;
+      if (use_spans) {
+        const CheckpointSpan& span = checked.checkpoint_spans[ci];
+        const std::uint32_t* __restrict__ bits = span.bits.data();
+        for (std::size_t r = 0; r < n_rails; ++r) {
+          std::uint64_t acc[W];
+          {
+            const std::uint64_t* __restrict__ rail =
+                state.words(checked.rails[r].rail_bit);
+            for (unsigned w = 0; w < W; ++w) acc[w] = rail[w];
+          }
+          const std::uint32_t first = span.rail_first[r];
+          const std::uint32_t last = span.rail_first[r + 1];
+          for (std::uint32_t i = first; i < last; ++i) {
+            const std::uint64_t* __restrict__ src = state.words(bits[i]);
+            for (unsigned w = 0; w < W; ++w) acc[w] ^= src[w];
+          }
+          for (unsigned w = 0; w < W; ++w) detected[w] |= acc[w];
+          if (fired_masks != nullptr)
+            for (unsigned w = 0; w < W; ++w) fired_masks[r * W + w] |= acc[w];
+        }
+      } else {
+        const auto& groups = checked.checkpoint_groups[ci];
+        for (std::size_t r = 0; r < n_rails; ++r) {
+          std::uint64_t acc[W];
+          {
+            const std::uint64_t* __restrict__ rail =
+                state.words(checked.rails[r].rail_bit);
+            for (unsigned w = 0; w < W; ++w) acc[w] = rail[w];
+          }
+          for (const std::uint32_t bit : groups[r]) {
+            const std::uint64_t* __restrict__ src = state.words(bit);
+            for (unsigned w = 0; w < W; ++w) acc[w] ^= src[w];
+          }
+          for (unsigned w = 0; w < W; ++w) detected[w] |= acc[w];
+          if (fired_masks != nullptr)
+            for (unsigned w = 0; w < W; ++w) fired_masks[r * W + w] |= acc[w];
+        }
       }
       ++ci;
     }
   }
   sim.apply_noisy_span(state, checked.circuit, pos, checked.circuit.size());
-  for (const std::uint32_t cb : checked.check_bits)
-    detected |= state.word(cb);
+  for (const std::uint32_t cb : checked.check_bits) {
+    const std::uint64_t* __restrict__ src = state.words(cb);
+    for (unsigned w = 0; w < W; ++w) detected[w] |= src[w];
+  }
+}
+
+}  // namespace
+
+void apply_noisy_checked_words(PackedSimulator& sim, PackedState& state,
+                               const CheckedCircuit& checked,
+                               std::uint64_t* detected,
+                               std::uint64_t* fired_masks) {
+  REVFT_CHECK_MSG(checked.circuit.width() == state.width(),
+                  "apply_noisy_checked: width mismatch");
+  switch (state.lane_words()) {
+    case 1:
+      apply_noisy_checked_impl<1>(sim, state, checked, detected, fired_masks);
+      return;
+    case 2:
+      apply_noisy_checked_impl<2>(sim, state, checked, detected, fired_masks);
+      return;
+    case 4:
+      apply_noisy_checked_impl<4>(sim, state, checked, detected, fired_masks);
+      return;
+    case 8:
+      apply_noisy_checked_impl<8>(sim, state, checked, detected, fired_masks);
+      return;
+  }
+  REVFT_CHECK_MSG(false, "apply_noisy_checked_words: bad lane_words");
+}
+
+std::uint64_t apply_noisy_checked(PackedSimulator& sim, PackedState& state,
+                                  const CheckedCircuit& checked,
+                                  std::uint64_t* fired_masks) {
+  REVFT_CHECK_MSG(state.lane_words() == 1,
+                  "apply_noisy_checked: legacy overload is single-word; use "
+                  "apply_noisy_checked_words for wide states");
+  std::uint64_t detected = 0;
+  apply_noisy_checked_words(sim, state, checked, &detected, fired_masks);
   return detected;
 }
 

@@ -158,6 +158,22 @@ std::uint64_t apply_noisy_checked(PackedSimulator& sim, PackedState& state,
                                   const CheckedCircuit& checked,
                                   std::uint64_t* fired_masks = nullptr);
 
+/// Multi-word generalization for states with lane_words() >= 1:
+/// `detected` points at lane_words words (overwritten with the
+/// per-lane detected mask), and `fired_masks` (nullable) at
+/// (rails.size() + 1) * lane_words words laid out rail-major —
+/// fired_masks[r * lane_words + w] is rail r's fired mask for lane
+/// word w, with the zero-check masks in the last slot group. At
+/// lane_words == 1 this is exactly the legacy overload above (same
+/// RNG stream, same masks, same layout). Checkpoints are evaluated
+/// off CheckedCircuit::checkpoint_spans when present (the flattened
+/// CSR fast path); hand-built circuits without spans fall back to the
+/// checkpoint_groups walk with identical results.
+void apply_noisy_checked_words(PackedSimulator& sim, PackedState& state,
+                               const CheckedCircuit& checked,
+                               std::uint64_t* detected,
+                               std::uint64_t* fired_masks = nullptr);
+
 namespace detail {
 
 /// Checked counterpart of noise/monte_carlo.h's run_mc_span: identical
@@ -180,7 +196,10 @@ DetectionEstimate run_checked_mc_span(PackedSimulator& sim, PackedState& state,
                                       telemetry::ShardTrace* trace = nullptr) {
   DetectionEstimate est;
   est.rail_detected.assign(checked.rails.size(), 0);
-  std::vector<std::uint64_t> fired(checked.rails.size() + 1, 0);
+  const unsigned lane_words = state.lane_words();
+  const std::uint64_t lanes_per_batch = 64ULL * lane_words;
+  std::vector<std::uint64_t> detected_words(lane_words, 0);
+  std::vector<std::uint64_t> fired((checked.rails.size() + 1) * lane_words, 0);
   const bool tracing = trace != nullptr && trace->enabled();
   std::uint64_t* m_batches = nullptr;
   std::uint64_t* m_trials = nullptr;
@@ -202,50 +221,60 @@ DetectionEstimate run_checked_mc_span(PackedSimulator& sim, PackedState& state,
     m_rail = &trace->metrics().counter_vec("detect.rail_fired",
                                            checked.rails.size());
   }
-  const std::uint64_t batches = (trials + 63) / 64;
+  const std::uint64_t batches =
+      (trials + lanes_per_batch - 1) / lanes_per_batch;
   for (std::uint64_t b = 0; b < batches; ++b) {
     const std::uint64_t batch = first_batch + b;
     const int lanes_this_batch =
-        (b + 1 == batches && trials % 64 != 0) ? static_cast<int>(trials % 64)
-                                               : 64;
+        (b + 1 == batches && trials % lanes_per_batch != 0)
+            ? static_cast<int>(trials % lanes_per_batch)
+            : static_cast<int>(lanes_per_batch);
     state.clear();
     prepare(state, sim.rng(), batch);
-    const std::uint64_t detected_mask =
-        apply_noisy_checked(sim, state, checked, fired.data());
+    apply_noisy_checked_words(sim, state, checked, detected_words.data(),
+                              fired.data());
     for (int lane = 0; lane < lanes_this_batch; ++lane) {
       ++est.trials;
       const bool wrong = classify(state, lane, batch);
-      if ((detected_mask >> lane) & 1u) {
+      if ((detected_words[static_cast<unsigned>(lane) >> 6] >> (lane & 63)) &
+          1u) {
         ++est.detected;
         if (wrong) ++est.detected_failures;
       } else if (wrong) {
         ++est.silent_failures;
       }
     }
-    const std::uint64_t live = lanes_this_batch == 64
-                                   ? ~0ULL
-                                   : (1ULL << lanes_this_batch) - 1;
-    if (detected_mask != 0) {
+    const LaneMask live = LaneMask::first_n(
+        lane_words, static_cast<std::uint64_t>(lanes_this_batch));
+    std::uint64_t any_detected = 0;
+    for (unsigned w = 0; w < lane_words; ++w) any_detected |= detected_words[w];
+    if (any_detected != 0) {
       for (std::size_t r = 0; r < checked.rails.size(); ++r)
-        est.rail_detected[r] += static_cast<std::uint64_t>(
-            std::popcount(fired[r] & live));
-      est.zero_check_detected += static_cast<std::uint64_t>(
-          std::popcount(fired[checked.rails.size()] & live));
+        for (unsigned w = 0; w < lane_words; ++w)
+          est.rail_detected[r] += static_cast<std::uint64_t>(
+              std::popcount(fired[r * lane_words + w] & live.word(w)));
+      for (unsigned w = 0; w < lane_words; ++w)
+        est.zero_check_detected += static_cast<std::uint64_t>(std::popcount(
+            fired[checked.rails.size() * lane_words + w] & live.word(w)));
       if (tracing) {
         for (std::size_t r = 0; r < checked.rails.size(); ++r) {
-          const std::uint64_t lanes = fired[r] & live;
-          if (lanes == 0) continue;
-          (*m_rail)[r] += static_cast<std::uint64_t>(std::popcount(lanes));
-          telemetry::Event ev;
-          ev.kind = telemetry::EventKind::kRailFired;
-          ev.shard = trace->shard_index();
-          ev.rail = static_cast<std::uint16_t>(r);
-          ev.batch = batch;
-          ev.lanes = lanes;
-          trace->emit(ev);
+          for (unsigned w = 0; w < lane_words; ++w) {
+            const std::uint64_t lanes = fired[r * lane_words + w] & live.word(w);
+            if (lanes == 0) continue;
+            (*m_rail)[r] += static_cast<std::uint64_t>(std::popcount(lanes));
+            telemetry::Event ev;
+            ev.kind = telemetry::EventKind::kRailFired;
+            ev.shard = trace->shard_index();
+            ev.rail = static_cast<std::uint16_t>(r);
+            ev.batch = batch;
+            ev.lanes = lanes;
+            trace->emit(ev);
+          }
         }
-        const std::uint64_t zero_lanes = fired[checked.rails.size()] & live;
-        if (zero_lanes != 0) {
+        for (unsigned w = 0; w < lane_words; ++w) {
+          const std::uint64_t zero_lanes =
+              fired[checked.rails.size() * lane_words + w] & live.word(w);
+          if (zero_lanes == 0) continue;
           *m_zero += static_cast<std::uint64_t>(std::popcount(zero_lanes));
           telemetry::Event ev;
           ev.kind = telemetry::EventKind::kZeroCheckFired;
@@ -259,16 +288,20 @@ DetectionEstimate run_checked_mc_span(PackedSimulator& sim, PackedState& state,
     if (tracing) {
       ++*m_batches;
       *m_trials += static_cast<std::uint64_t>(lanes_this_batch);
-      *m_detected +=
-          static_cast<std::uint64_t>(std::popcount(detected_mask & live));
-      telemetry::Event ev;
-      ev.kind = telemetry::EventKind::kBatchAccept;
-      ev.shard = trace->shard_index();
-      ev.batch = batch;
-      ev.lanes = live & ~detected_mask;
-      ev.value =
-          static_cast<std::uint64_t>(std::popcount(live & ~detected_mask));
-      trace->emit(ev);
+      for (unsigned w = 0; w < lane_words; ++w) {
+        *m_detected += static_cast<std::uint64_t>(
+            std::popcount(detected_words[w] & live.word(w)));
+      }
+      for (unsigned w = 0; w < lane_words; ++w) {
+        const std::uint64_t ok = live.word(w) & ~detected_words[w];
+        telemetry::Event ev;
+        ev.kind = telemetry::EventKind::kBatchAccept;
+        ev.shard = trace->shard_index();
+        ev.batch = batch;
+        ev.lanes = ok;
+        ev.value = static_cast<std::uint64_t>(std::popcount(ok));
+        trace->emit(ev);
+      }
     }
   }
   return est;
@@ -287,7 +320,7 @@ DetectionEstimate run_checked_mc(const CheckedCircuit& checked,
                                  PrepareFn&& prepare, ClassifyFn&& classify,
                                  telemetry::Trace* trace = nullptr) {
   PackedSimulator sim(model, opts.seed);
-  PackedState state(checked.circuit.width());
+  PackedState state(checked.circuit.width(), opts.lane_words);
   revft::detail::TraceShards traces(trace, 1);
   DetectionEstimate est = detail::run_checked_mc_span(
       sim, state, checked, /*first_batch=*/0, opts.trials,
@@ -309,15 +342,15 @@ DetectionEstimate run_parallel_checked_mc(const CheckedCircuit& checked,
                                           const ParallelMcOptions& opts,
                                           KernelFactory&& factory,
                                           telemetry::Trace* trace = nullptr) {
-  const std::vector<McShard> shards =
-      plan_shards(opts.trials, opts.seed, opts.batches_per_shard);
+  const std::vector<McShard> shards = plan_shards(
+      opts.trials, opts.seed, opts.batches_per_shard, opts.lane_words);
   revft::detail::TraceShards traces(trace, shards.size());
   DetectionEstimate est = revft::detail::run_sharded_as<DetectionEstimate>(
       shards, resolve_thread_count(opts.threads),
       [&](const McShard& shard) -> DetectionEstimate {
         auto kernel = factory(shard.index);
         PackedSimulator sim(model, shard.seed);
-        PackedState state(checked.circuit.width());
+        PackedState state(checked.circuit.width(), opts.lane_words);
         return detail::run_checked_mc_span(
             sim, state, checked, shard.first_batch, shard.trials,
             [&kernel](PackedState& s, Xoshiro256& rng, std::uint64_t batch) {

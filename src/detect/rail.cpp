@@ -446,7 +446,26 @@ CheckedCircuit to_parity_rail(const Circuit& circuit,
   for (std::uint32_t r = 0; r < n_rails; ++r)
     checked.rails[r].rail_ops = per_rail_ops[r];
   checked.circuit = std::move(out);
+  build_checkpoint_spans(checked);
   return checked;
+}
+
+void build_checkpoint_spans(CheckedCircuit& checked) {
+  checked.checkpoint_spans.clear();
+  checked.checkpoint_spans.reserve(checked.checkpoint_groups.size());
+  for (const auto& groups : checked.checkpoint_groups) {
+    CheckpointSpan span;
+    span.rail_first.reserve(groups.size() + 1);
+    span.rail_first.push_back(0);
+    std::size_t total = 0;
+    for (const auto& group : groups) total += group.size();
+    span.bits.reserve(total);
+    for (const auto& group : groups) {
+      span.bits.insert(span.bits.end(), group.begin(), group.end());
+      span.rail_first.push_back(static_cast<std::uint32_t>(span.bits.size()));
+    }
+    checked.checkpoint_spans.push_back(std::move(span));
+  }
 }
 
 std::vector<std::uint32_t> known_zero_outside(

@@ -182,6 +182,21 @@ struct RailInfo {
   std::uint64_t rail_ops = 0;
 };
 
+/// Flattened per-checkpoint rail membership in CSR form — the hot-path
+/// view of one CheckedCircuit::checkpoint_groups entry. The online
+/// checkers evaluate every rail at every checkpoint of every batch, so
+/// walking a vector<vector<uint32_t>> of groups there is pure pointer
+/// chasing; this packs all watched bits of the checkpoint rail-major
+/// into one contiguous array with CSR offsets, precomputed once at
+/// build time (see build_checkpoint_spans).
+struct CheckpointSpan {
+  /// Watched data bits at this checkpoint, rail-major: rail r's group
+  /// occupies bits[rail_first[r] .. rail_first[r+1]).
+  std::vector<std::uint32_t> bits;
+  /// CSR offsets into `bits`, size rails + 1.
+  std::vector<std::uint32_t> rail_first;
+};
+
 /// A circuit rewritten into parity-rail form, plus the bookkeeping the
 /// online checkers need.
 struct CheckedCircuit {
@@ -204,6 +219,11 @@ struct CheckedCircuit {
   /// checked machines' per-block partition, rail r's exit group is
   /// wherever routing left block r.
   std::vector<std::vector<std::vector<std::uint32_t>>> checkpoint_groups;
+  /// Flattened checkpoint_groups for the checkers' hot path, aligned
+  /// with `checkpoints`. to_parity_rail fills this; hand-assembled
+  /// CheckedCircuits may leave it empty (engines fall back to the
+  /// group walk) or call build_checkpoint_spans.
+  std::vector<CheckpointSpan> checkpoint_spans;
   /// Original ops that queued at least one rail-compensation gate
   /// (before fusion; the transform's exact "not free" count — SWAPs
   /// never compensate, elided deltas don't count).
@@ -247,6 +267,13 @@ std::vector<std::uint32_t> known_zero_outside(
 /// a rail partition: block s of a 9-cell-per-block machine is group s.
 std::vector<std::vector<std::uint32_t>> partition_into_blocks(
     std::uint32_t width, std::uint32_t block_size);
+
+/// (Re)build checked.checkpoint_spans from checked.checkpoint_groups —
+/// the flattened CSR view the packed checkers evaluate checkpoints
+/// from. to_parity_rail calls this; circuits assembled by hand only
+/// need it if they want the fast path (the engines fall back to the
+/// group walk when spans are absent).
+void build_checkpoint_spans(CheckedCircuit& checked);
 
 /// Register a zero check after ORIGINAL op `source_op`: in a fault-free
 /// run every bit of `bits` is zero once that op has executed, so a

@@ -144,21 +144,26 @@ struct CorrectionKernel {
   const CompiledModule* module;
   const std::vector<std::vector<std::uint32_t>>* input_leaves;
   const std::array<unsigned, 8>* truth;
-  std::array<std::uint64_t, 3> lane_inputs{};
+  std::array<std::uint64_t, 3 * kMaxLaneWords> lane_inputs{};
 
   void prepare(PackedState& state, Xoshiro256& rng, std::uint64_t) {
-    for (int k = 0; k < 3; ++k) {
-      lane_inputs[static_cast<std::size_t>(k)] = rng.next();
-      for (const auto bit : (*input_leaves)[static_cast<std::size_t>(k)])
-        state.word(bit) = lane_inputs[static_cast<std::size_t>(k)];
+    const unsigned W = state.lane_words();
+    for (unsigned k = 0; k < 3; ++k) {
+      for (unsigned w = 0; w < W; ++w) lane_inputs[k * W + w] = rng.next();
+      for (const auto bit : (*input_leaves)[k]) {
+        std::uint64_t* dst = state.words(bit);
+        for (unsigned w = 0; w < W; ++w) dst[w] = lane_inputs[k * W + w];
+      }
     }
   }
 
   bool classify(const PackedState& state, int lane, std::uint64_t) const {
+    const unsigned W = state.lane_words();
+    const unsigned wi = static_cast<unsigned>(lane) >> 6;
+    const unsigned sh = static_cast<unsigned>(lane) & 63u;
     unsigned input = 0;
-    for (int k = 0; k < 3; ++k)
-      input |= static_cast<unsigned>(
-                   (lane_inputs[static_cast<std::size_t>(k)] >> lane) & 1u)
+    for (unsigned k = 0; k < 3; ++k)
+      input |= static_cast<unsigned>((lane_inputs[k * W + wi] >> sh) & 1u)
                << k;
     const unsigned expected = (*truth)[input];
     auto reader = [&](std::uint32_t bit) {
@@ -175,22 +180,28 @@ struct CorrectionKernel {
 
 struct DetectionKernel {
   const std::array<unsigned, 8>* truth;
-  std::array<std::uint64_t, 3> lane_inputs{};
+  std::array<std::uint64_t, 3 * kMaxLaneWords> lane_inputs{};
 
   void prepare(PackedState& state, Xoshiro256& rng, std::uint64_t) {
     // Data rails 0..2 get the random logical inputs; the rail and any
     // check bits stay zero (the state arrives cleared).
+    const unsigned W = state.lane_words();
     for (std::uint32_t k = 0; k < 3; ++k) {
-      lane_inputs[k] = rng.next();
-      state.word(k) = lane_inputs[k];
+      std::uint64_t* dst = state.words(k);
+      for (unsigned w = 0; w < W; ++w) {
+        lane_inputs[k * W + w] = rng.next();
+        dst[w] = lane_inputs[k * W + w];
+      }
     }
   }
 
   bool classify(const PackedState& state, int lane, std::uint64_t) const {
+    const unsigned W = state.lane_words();
+    const unsigned wi = static_cast<unsigned>(lane) >> 6;
+    const unsigned sh = static_cast<unsigned>(lane) & 63u;
     unsigned input = 0;
-    for (int k = 0; k < 3; ++k)
-      input |= static_cast<unsigned>(
-                   (lane_inputs[static_cast<std::size_t>(k)] >> lane) & 1u)
+    for (unsigned k = 0; k < 3; ++k)
+      input |= static_cast<unsigned>((lane_inputs[k * W + wi] >> sh) & 1u)
                << k;
     const unsigned expected = (*truth)[input];
     for (std::uint32_t k = 0; k < 3; ++k)

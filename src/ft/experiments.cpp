@@ -31,9 +31,9 @@ LogicalGateExperiment::LogicalGateExperiment(
 namespace {
 
 // Per-shard kernel: lane_inputs is the mutable prepare→classify
-// hand-off (word k holds logical input bit k of all 64 lanes), so each
-// shard owns a private copy; everything reached through pointers is
-// immutable during the run.
+// hand-off (bit-major, lane_inputs[k * W + w] holds lane word w of
+// logical input bit k), so each shard owns a private copy; everything
+// reached through pointers is immutable during the run.
 struct LogicalGateKernel {
   const CompiledModule* module;
   const std::vector<std::vector<std::uint32_t>>* input_leaves;
@@ -42,20 +42,30 @@ struct LogicalGateKernel {
   std::vector<std::uint64_t> lane_inputs;
 
   void prepare(PackedState& state, Xoshiro256& rng, std::uint64_t) {
+    const unsigned W = state.lane_words();
+    lane_inputs.resize(static_cast<std::size_t>(arity) * W);
     for (int k = 0; k < arity; ++k) {
-      lane_inputs[static_cast<std::size_t>(k)] = rng.next();
+      for (unsigned w = 0; w < W; ++w)
+        lane_inputs[static_cast<std::size_t>(k) * W + w] = rng.next();
       // Broadcast: every data leaf of logical bit k carries that
       // lane-pattern; all other bits stay zero (state was cleared).
-      for (const auto bit : (*input_leaves)[static_cast<std::size_t>(k)])
-        state.word(bit) = lane_inputs[static_cast<std::size_t>(k)];
+      for (const auto bit : (*input_leaves)[static_cast<std::size_t>(k)]) {
+        std::uint64_t* dst = state.words(bit);
+        for (unsigned w = 0; w < W; ++w)
+          dst[w] = lane_inputs[static_cast<std::size_t>(k) * W + w];
+      }
     }
   }
 
   bool classify(const PackedState& state, int lane, std::uint64_t) const {
+    const unsigned W = state.lane_words();
+    const unsigned wi = static_cast<unsigned>(lane) >> 6;
+    const unsigned sh = static_cast<unsigned>(lane) & 63u;
     unsigned input = 0;
     for (int k = 0; k < arity; ++k)
       input |= static_cast<unsigned>(
-                   (lane_inputs[static_cast<std::size_t>(k)] >> lane) & 1u)
+                   (lane_inputs[static_cast<std::size_t>(k) * W + wi] >> sh) &
+                   1u)
                << k;
     const unsigned expected = gate_apply_local(gate, input);
     auto reader = [&](std::uint32_t bit) {
@@ -120,15 +130,20 @@ namespace {
 struct MemoryKernel {
   std::array<std::uint32_t, 3> input;
   std::array<std::uint32_t, 3> output;
-  std::uint64_t lane_values = 0;
+  std::array<std::uint64_t, kMaxLaneWords> lane_values{};
 
   void prepare(PackedState& state, Xoshiro256& rng, std::uint64_t) {
-    lane_values = rng.next();
-    for (auto bit : input) state.word(bit) = lane_values;
+    const unsigned W = state.lane_words();
+    for (unsigned w = 0; w < W; ++w) lane_values[w] = rng.next();
+    for (auto bit : input) {
+      std::uint64_t* dst = state.words(bit);
+      for (unsigned w = 0; w < W; ++w) dst[w] = lane_values[w];
+    }
   }
 
   bool classify(const PackedState& state, int lane, std::uint64_t) const {
-    const int expected = static_cast<int>((lane_values >> lane) & 1u);
+    const int expected = static_cast<int>(
+        (lane_values[static_cast<unsigned>(lane) >> 6] >> (lane & 63)) & 1u);
     const int decoded = (static_cast<int>(state.bit_lane(output[0], lane)) +
                          static_cast<int>(state.bit_lane(output[1], lane)) +
                          static_cast<int>(state.bit_lane(output[2], lane))) >= 2
@@ -183,21 +198,26 @@ struct CodewordCycleKernel {
   const std::array<std::array<std::uint32_t, 3>, 3>* before;
   const std::array<std::array<std::uint32_t, 3>, 3>* after;
   GateKind gate;
-  std::array<std::uint64_t, 3> lane_inputs{};
+  std::array<std::uint64_t, 3 * kMaxLaneWords> lane_inputs{};
 
   void prepare(PackedState& state, Xoshiro256& rng, std::uint64_t) {
-    for (int k = 0; k < 3; ++k) {
-      lane_inputs[static_cast<std::size_t>(k)] = rng.next();
-      for (auto bit : (*before)[static_cast<std::size_t>(k)])
-        state.word(bit) = lane_inputs[static_cast<std::size_t>(k)];
+    const unsigned W = state.lane_words();
+    for (unsigned k = 0; k < 3; ++k) {
+      for (unsigned w = 0; w < W; ++w) lane_inputs[k * W + w] = rng.next();
+      for (auto bit : (*before)[k]) {
+        std::uint64_t* dst = state.words(bit);
+        for (unsigned w = 0; w < W; ++w) dst[w] = lane_inputs[k * W + w];
+      }
     }
   }
 
   bool classify(const PackedState& state, int lane, std::uint64_t) const {
+    const unsigned W = state.lane_words();
+    const unsigned wi = static_cast<unsigned>(lane) >> 6;
+    const unsigned sh = static_cast<unsigned>(lane) & 63u;
     unsigned input = 0;
-    for (int k = 0; k < 3; ++k)
-      input |= static_cast<unsigned>(
-                   (lane_inputs[static_cast<std::size_t>(k)] >> lane) & 1u)
+    for (unsigned k = 0; k < 3; ++k)
+      input |= static_cast<unsigned>((lane_inputs[k * W + wi] >> sh) & 1u)
                << k;
     const unsigned expected = gate_apply_local(gate, input);
     for (int k = 0; k < 3; ++k) {
@@ -266,6 +286,7 @@ detect::DetectionEstimate CheckedMachineExperiment::run(
   opts.trials = config_.trials;
   opts.seed = config_.seed;
   opts.threads = threads < 0 ? config_.threads : threads;
+  opts.lane_words = config_.lane_words;
 
   // The shared machine kernel (ft/machine_kernel.h): the recovering
   // engine instantiates the same type, which is what keeps the

@@ -167,6 +167,10 @@ class CheckedMachineExperiment {
     std::uint64_t trials = 100000;
     std::uint64_t seed = 0xc8ec2edULL;
     int threads = 0;  ///< see LogicalGateExperimentConfig::threads
+    /// Lane words per circuit bit (64 * lane_words trials per batch).
+    /// Part of the determinism key: changing it changes the stream,
+    /// like batches_per_shard — unlike threads, which never does.
+    unsigned lane_words = 1;
   };
 
   /// `logical` must be the circuit `program` was compiled from (its

@@ -37,25 +37,36 @@ inline std::vector<unsigned> machine_truth_table(const Circuit& logical) {
 }
 
 /// Per-shard kernel (the parallel engines' factory contract): one
-/// rng.next() per logical bit per batch, broadcast to that bit's entry
-/// cells; classify majority-decodes one lane's final slots.
+/// rng.next() per logical bit per lane word per batch, broadcast to
+/// that bit's entry cells; classify majority-decodes one lane's final
+/// slots. Works at any lane width (lane_inputs is laid out bit-major,
+/// lane_inputs[k * lane_words + w]); at lane_words = 1 the draw order
+/// is the legacy one-next()-per-logical-bit stream.
 struct MachineWorkloadKernel {
   const CheckedMachineProgram* program;
   const std::vector<unsigned>* truth;
   std::vector<std::uint64_t> lane_inputs;
 
   void prepare(PackedState& state, Xoshiro256& rng, std::uint64_t) {
+    const unsigned W = state.lane_words();
+    lane_inputs.resize(static_cast<std::size_t>(program->logical_bits) * W);
     for (std::uint32_t k = 0; k < program->logical_bits; ++k) {
-      lane_inputs[k] = rng.next();
-      for (const auto bit : program->input_cells[k])
-        state.word(bit) = lane_inputs[k];
+      for (unsigned w = 0; w < W; ++w) lane_inputs[k * W + w] = rng.next();
+      for (const auto bit : program->input_cells[k]) {
+        std::uint64_t* dst = state.words(bit);
+        for (unsigned w = 0; w < W; ++w) dst[w] = lane_inputs[k * W + w];
+      }
     }
   }
 
   bool classify(const PackedState& state, int lane, std::uint64_t) const {
+    const unsigned W = state.lane_words();
+    const unsigned wi = static_cast<unsigned>(lane) >> 6;
+    const unsigned sh = static_cast<unsigned>(lane) & 63u;
     unsigned input = 0;
     for (std::uint32_t k = 0; k < program->logical_bits; ++k)
-      input |= static_cast<unsigned>((lane_inputs[k] >> lane) & 1u) << k;
+      input |= static_cast<unsigned>((lane_inputs[k * W + wi] >> sh) & 1u)
+               << k;
     const unsigned expected = (*truth)[input];
     for (std::uint32_t k = 0; k < program->logical_bits; ++k) {
       const auto& cw = program->output_cells[k];

@@ -31,6 +31,7 @@ recover::RecoveryEstimate RecoveryExperiment::run(
   opts.trials = config_.trials;
   opts.seed = config_.seed;
   opts.threads = threads < 0 ? config_.threads : threads;
+  opts.lane_words = config_.lane_words;
 
   return recover::run_parallel_recovering_mc(
       program_.checked, plan_, policy, model, opts,

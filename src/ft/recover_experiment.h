@@ -43,6 +43,9 @@ class RecoveryExperiment {
     std::uint64_t trials = 100000;
     std::uint64_t seed = 0x2ec04e2ULL;
     int threads = 0;  ///< see LogicalGateExperimentConfig::threads
+    /// Lane words per circuit bit (64 * lane_words trials per batch).
+    /// Part of the determinism key, like batches_per_shard.
+    unsigned lane_words = 1;
   };
 
   /// `logical` must be the circuit `program` was compiled from (width

@@ -22,23 +22,31 @@ namespace revft {
 struct McOptions {
   std::uint64_t trials = 100000;
   std::uint64_t seed = 0x5eedf00dULL;
+  /// Lane words per circuit bit: each batch simulates 64 * lane_words
+  /// trials (noise/lanes.h). Part of the determinism key — like
+  /// batches_per_shard, changing it changes the RNG stream; 1 is the
+  /// legacy 64-lane engine bit for bit.
+  unsigned lane_words = 1;
 };
 
 namespace detail {
 
-/// Runs ceil(trials/64) batches starting at global batch index
-/// `first_batch` on an existing simulator/state pair. For each batch:
-///   prepare(state, rng, batch)           — set up all 64 lanes;
+/// Runs ceil(trials/lanes_per_batch) batches starting at global batch
+/// index `first_batch` on an existing simulator/state pair, where
+/// lanes_per_batch = 64 * state.lane_words(). For each batch:
+///   prepare(state, rng, batch)           — set up all lanes;
 ///   ... circuit applied noisily ...
 ///   classify(state, lane, batch) -> bool — true means "error".
-/// Only the first (trials % 64) lanes of the last batch are counted,
-/// so the estimate covers exactly `trials` trials.
+/// Only the first (trials % lanes_per_batch) lanes of the last batch
+/// are counted, so the estimate covers exactly `trials` trials.
 ///
 /// `trace` (nullable) receives per-batch telemetry: mc.batches /
 /// mc.trials / mc.failures counters plus one kBatchAccept event per
-/// batch whose lane mask names the non-failing counted lanes. Every
-/// hook is gated on the pointer, so an untraced run executes the same
-/// per-lane work as before telemetry existed.
+/// batch *lane word* whose lane mask names the non-failing counted
+/// lanes of that word (exactly one event per batch at lane_words=1 —
+/// the legacy stream). Every hook is gated on the pointer, so an
+/// untraced run executes the same per-lane work as before telemetry
+/// existed.
 template <typename PrepareFn, typename ClassifyFn>
 BernoulliEstimate run_mc_span(PackedSimulator& sim, PackedState& state,
                               const Circuit& circuit, std::uint64_t first_batch,
@@ -60,37 +68,43 @@ BernoulliEstimate run_mc_span(PackedSimulator& sim, PackedState& state,
     m_trials = &trace->metrics().counter("mc.trials");
     m_failures = &trace->metrics().counter("mc.failures");
   }
-  const std::uint64_t batches = (trials + 63) / 64;
+  const unsigned lane_words = state.lane_words();
+  const std::uint64_t lanes_per_batch = 64ULL * lane_words;
+  const std::uint64_t batches =
+      (trials + lanes_per_batch - 1) / lanes_per_batch;
   for (std::uint64_t b = 0; b < batches; ++b) {
     const std::uint64_t batch = first_batch + b;
     const int lanes_this_batch =
-        (b + 1 == batches && trials % 64 != 0) ? static_cast<int>(trials % 64)
-                                               : 64;
+        (b + 1 == batches && trials % lanes_per_batch != 0)
+            ? static_cast<int>(trials % lanes_per_batch)
+            : static_cast<int>(lanes_per_batch);
     state.clear();
     prepare(state, sim.rng(), batch);
     sim.apply_noisy(state, circuit);
-    std::uint64_t wrong = 0;
+    LaneMask wrong(lane_words);
     for (int lane = 0; lane < lanes_this_batch; ++lane) {
       ++est.trials;
       if (classify(state, lane, batch)) {
         ++est.failures;
-        if (tracing) wrong |= 1ULL << lane;
+        if (tracing) wrong.set(static_cast<unsigned>(lane));
       }
     }
     if (tracing) {
-      const std::uint64_t live = lanes_this_batch == 64
-                                     ? ~0ULL
-                                     : (1ULL << lanes_this_batch) - 1;
+      const LaneMask live = LaneMask::first_n(
+          lane_words, static_cast<std::uint64_t>(lanes_this_batch));
       ++*m_batches;
       *m_trials += static_cast<std::uint64_t>(lanes_this_batch);
-      *m_failures += static_cast<std::uint64_t>(std::popcount(wrong));
-      telemetry::Event ev;
-      ev.kind = telemetry::EventKind::kBatchAccept;
-      ev.shard = trace->shard_index();
-      ev.batch = batch;
-      ev.lanes = live & ~wrong;
-      ev.value = static_cast<std::uint64_t>(std::popcount(live & ~wrong));
-      trace->emit(ev);
+      *m_failures += wrong.popcount();
+      for (unsigned w = 0; w < lane_words; ++w) {
+        const std::uint64_t ok = live.word(w) & ~wrong.word(w);
+        telemetry::Event ev;
+        ev.kind = telemetry::EventKind::kBatchAccept;
+        ev.shard = trace->shard_index();
+        ev.batch = batch;
+        ev.lanes = ok;
+        ev.value = static_cast<std::uint64_t>(std::popcount(ok));
+        trace->emit(ev);
+      }
     }
   }
   return est;
@@ -106,7 +120,7 @@ BernoulliEstimate run_packed_mc(const Circuit& circuit, const NoiseModel& model,
                                 const McOptions& opts, PrepareFn&& prepare,
                                 ClassifyFn&& classify) {
   PackedSimulator sim(model, opts.seed);
-  PackedState state(circuit.width());
+  PackedState state(circuit.width(), opts.lane_words);
   return detail::run_mc_span(sim, state, circuit, /*first_batch=*/0,
                              opts.trials, std::forward<PrepareFn>(prepare),
                              std::forward<ClassifyFn>(classify));

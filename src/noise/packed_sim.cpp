@@ -7,17 +7,19 @@
 namespace revft {
 
 void PackedState::set_bit_lane(std::uint32_t bit, int lane, bool v) {
-  REVFT_DASSERT(lane >= 0 && lane < 64);
-  REVFT_DASSERT(bit < words_.size());
-  const std::uint64_t m = 1ULL << static_cast<unsigned>(lane);
+  REVFT_DASSERT(lane >= 0 && static_cast<unsigned>(lane) < lanes());
+  const unsigned l = static_cast<unsigned>(lane);
+  const std::uint64_t m = 1ULL << (l & 63u);
+  std::uint64_t& w = words(bit)[l >> 6];
   if (v)
-    words_[bit] |= m;
+    w |= m;
   else
-    words_[bit] &= ~m;
+    w &= ~m;
 }
 
 std::uint64_t PackedState::parity_word(std::uint32_t count) const {
-  REVFT_DASSERT(count <= words_.size());
+  REVFT_DASSERT(lane_words_ == 1);
+  REVFT_DASSERT(count <= width_);
   std::uint64_t acc = 0;
   for (std::uint32_t b = 0; b < count; ++b) acc ^= words_[b];
   return acc;
@@ -25,12 +27,32 @@ std::uint64_t PackedState::parity_word(std::uint32_t count) const {
 
 std::uint64_t PackedState::parity_word_over(
     const std::vector<std::uint32_t>& bits) const {
+  REVFT_DASSERT(lane_words_ == 1);
   std::uint64_t acc = 0;
   for (const std::uint32_t b : bits) {
-    REVFT_DASSERT(b < words_.size());
+    REVFT_DASSERT(b < width_);
     acc ^= words_[b];
   }
   return acc;
+}
+
+void PackedState::parity_words(std::uint32_t count, std::uint64_t* out) const {
+  REVFT_DASSERT(count <= width_);
+  for (unsigned w = 0; w < lane_words_; ++w) out[w] = 0;
+  for (std::uint32_t b = 0; b < count; ++b) {
+    const std::uint64_t* src = words(b);
+    for (unsigned w = 0; w < lane_words_; ++w) out[w] ^= src[w];
+  }
+}
+
+void PackedState::parity_words_over(const std::vector<std::uint32_t>& bits,
+                                    std::uint64_t* out) const {
+  for (unsigned w = 0; w < lane_words_; ++w) out[w] = 0;
+  for (const std::uint32_t b : bits) {
+    REVFT_DASSERT(b < width_);
+    const std::uint64_t* src = words(b);
+    for (unsigned w = 0; w < lane_words_; ++w) out[w] ^= src[w];
+  }
 }
 
 BernoulliMaskStream::BernoulliMaskStream(double p, Xoshiro256* rng)
@@ -75,6 +97,36 @@ std::uint64_t BernoulliMaskStream::next_mask() {
   return rng_->next_bernoulli_mask(p_);
 }
 
+// The inline fast path (no failure anywhere in the batch) already
+// handled the common case; here at least one lane fails, p is
+// degenerate, or the threshold path is active.
+void BernoulliMaskStream::next_masks_slow(std::uint64_t* out, unsigned words) {
+  if (p_ <= 0.0) {
+    for (unsigned w = 0; w < words; ++w) out[w] = 0;
+    return;
+  }
+  if (p_ >= 1.0) {
+    for (unsigned w = 0; w < words; ++w) out[w] = ~0ULL;
+    return;
+  }
+  if (use_geometric_) {
+    // Walk the gap chain once across the whole batch. Equivalent to
+    // per-word next_mask() calls — those track the same global lane
+    // index, just rebased by 64 per word — with the same draws in the
+    // same order, so the RNG stream is bit-identical; the cost is
+    // O(failures in the batch) instead of O(words).
+    const std::uint64_t batch_lanes = 64ULL * words;
+    for (unsigned w = 0; w < words; ++w) out[w] = 0;
+    while (next_index_ < batch_lanes) {
+      out[next_index_ >> 6] |= 1ULL << (next_index_ & 63);
+      next_index_ += 1 + draw_gap();
+    }
+    next_index_ -= batch_lanes;
+    return;
+  }
+  for (unsigned w = 0; w < words; ++w) out[w] = rng_->next_bernoulli_mask(p_);
+}
+
 PackedSimulator::PackedSimulator(const NoiseModel& model, std::uint64_t seed)
     : model_(model), rng_(seed) {
   streams_.reserve(kNumGateKinds);
@@ -82,98 +134,237 @@ PackedSimulator::PackedSimulator(const NoiseModel& model, std::uint64_t seed)
     streams_.emplace_back(model_.error_for(static_cast<GateKind>(k)), &rng_);
 }
 
-void PackedSimulator::apply_ideal(PackedState& state, const Gate& g) {
-  const auto& b = g.bits;
-  switch (g.kind) {
-    case GateKind::kNot:
-      state.word(b[0]) = ~state.word(b[0]);
-      return;
-    case GateKind::kCnot:
-      state.word(b[1]) ^= state.word(b[0]);
-      return;
-    case GateKind::kSwap: {
-      std::uint64_t t = state.word(b[0]);
-      state.word(b[0]) = state.word(b[1]);
-      state.word(b[1]) = t;
-      return;
-    }
-    case GateKind::kToffoli:
-      state.word(b[2]) ^= state.word(b[0]) & state.word(b[1]);
-      return;
-    case GateKind::kFredkin: {
-      const std::uint64_t d =
-          state.word(b[0]) & (state.word(b[1]) ^ state.word(b[2]));
-      state.word(b[1]) ^= d;
-      state.word(b[2]) ^= d;
-      return;
-    }
-    case GateKind::kSwap3: {
-      // Left rotation: new(a,b,c) = (old b, old c, old a).
-      const std::uint64_t t = state.word(b[0]);
-      state.word(b[0]) = state.word(b[1]);
-      state.word(b[1]) = state.word(b[2]);
-      state.word(b[2]) = t;
-      return;
-    }
-    case GateKind::kMaj: {
-      state.word(b[1]) ^= state.word(b[0]);
-      state.word(b[2]) ^= state.word(b[0]);
-      state.word(b[0]) ^= state.word(b[1]) & state.word(b[2]);
-      return;
-    }
-    case GateKind::kMajInv: {
-      state.word(b[0]) ^= state.word(b[1]) & state.word(b[2]);
-      state.word(b[1]) ^= state.word(b[0]);
-      state.word(b[2]) ^= state.word(b[0]);
-      return;
-    }
-    case GateKind::kInit3:
-      state.word(b[0]) = 0;
-      state.word(b[1]) = 0;
-      state.word(b[2]) = 0;
-      return;
-    case GateKind::kF2g:
-      state.word(b[1]) ^= state.word(b[0]);
-      state.word(b[2]) ^= state.word(b[0]);
-      return;
-    case GateKind::kNft: {
-      // Lanes with the control set map (b,c) -> (~c, ~b); XORing both
-      // words with ~(b^c) under the control mask does exactly that.
-      const std::uint64_t d =
-          state.word(b[0]) & ~(state.word(b[1]) ^ state.word(b[2]));
-      state.word(b[1]) ^= d;
-      state.word(b[2]) ^= d;
-      return;
+// Gate kernels instantiated per lane width. W is a compile-time
+// constant, so every loop below is a fixed-trip-count word-array op
+// the compiler unrolls and vectorizes (one AVX2 op at W=4, one
+// AVX-512 op at W=8). Gate operands are validated distinct at
+// construction (rev/gate.h make_* helpers), so the per-operand
+// pointers never alias and __restrict__ is sound.
+template <unsigned W>
+struct PackedKernels {
+  static void ideal_gate(PackedState& state, const Gate& g) {
+    const auto& b = g.bits;
+    switch (g.kind) {
+      case GateKind::kNot: {
+        std::uint64_t* __restrict__ a = state.words(b[0]);
+        for (unsigned w = 0; w < W; ++w) a[w] = ~a[w];
+        return;
+      }
+      case GateKind::kCnot: {
+        const std::uint64_t* __restrict__ c = state.words(b[0]);
+        std::uint64_t* __restrict__ t = state.words(b[1]);
+        for (unsigned w = 0; w < W; ++w) t[w] ^= c[w];
+        return;
+      }
+      case GateKind::kSwap: {
+        std::uint64_t* __restrict__ x = state.words(b[0]);
+        std::uint64_t* __restrict__ y = state.words(b[1]);
+        for (unsigned w = 0; w < W; ++w) {
+          const std::uint64_t t = x[w];
+          x[w] = y[w];
+          y[w] = t;
+        }
+        return;
+      }
+      case GateKind::kToffoli: {
+        const std::uint64_t* __restrict__ c1 = state.words(b[0]);
+        const std::uint64_t* __restrict__ c2 = state.words(b[1]);
+        std::uint64_t* __restrict__ t = state.words(b[2]);
+        for (unsigned w = 0; w < W; ++w) t[w] ^= c1[w] & c2[w];
+        return;
+      }
+      case GateKind::kFredkin: {
+        const std::uint64_t* __restrict__ c = state.words(b[0]);
+        std::uint64_t* __restrict__ x = state.words(b[1]);
+        std::uint64_t* __restrict__ y = state.words(b[2]);
+        for (unsigned w = 0; w < W; ++w) {
+          const std::uint64_t d = c[w] & (x[w] ^ y[w]);
+          x[w] ^= d;
+          y[w] ^= d;
+        }
+        return;
+      }
+      case GateKind::kSwap3: {
+        // Left rotation: new(a,b,c) = (old b, old c, old a).
+        std::uint64_t* __restrict__ x = state.words(b[0]);
+        std::uint64_t* __restrict__ y = state.words(b[1]);
+        std::uint64_t* __restrict__ z = state.words(b[2]);
+        for (unsigned w = 0; w < W; ++w) {
+          const std::uint64_t t = x[w];
+          x[w] = y[w];
+          y[w] = z[w];
+          z[w] = t;
+        }
+        return;
+      }
+      case GateKind::kMaj: {
+        std::uint64_t* __restrict__ x = state.words(b[0]);
+        std::uint64_t* __restrict__ y = state.words(b[1]);
+        std::uint64_t* __restrict__ z = state.words(b[2]);
+        for (unsigned w = 0; w < W; ++w) {
+          y[w] ^= x[w];
+          z[w] ^= x[w];
+          x[w] ^= y[w] & z[w];
+        }
+        return;
+      }
+      case GateKind::kMajInv: {
+        std::uint64_t* __restrict__ x = state.words(b[0]);
+        std::uint64_t* __restrict__ y = state.words(b[1]);
+        std::uint64_t* __restrict__ z = state.words(b[2]);
+        for (unsigned w = 0; w < W; ++w) {
+          x[w] ^= y[w] & z[w];
+          y[w] ^= x[w];
+          z[w] ^= x[w];
+        }
+        return;
+      }
+      case GateKind::kInit3: {
+        std::uint64_t* __restrict__ x = state.words(b[0]);
+        std::uint64_t* __restrict__ y = state.words(b[1]);
+        std::uint64_t* __restrict__ z = state.words(b[2]);
+        for (unsigned w = 0; w < W; ++w) {
+          x[w] = 0;
+          y[w] = 0;
+          z[w] = 0;
+        }
+        return;
+      }
+      case GateKind::kF2g: {
+        const std::uint64_t* __restrict__ x = state.words(b[0]);
+        std::uint64_t* __restrict__ y = state.words(b[1]);
+        std::uint64_t* __restrict__ z = state.words(b[2]);
+        for (unsigned w = 0; w < W; ++w) {
+          y[w] ^= x[w];
+          z[w] ^= x[w];
+        }
+        return;
+      }
+      case GateKind::kNft: {
+        // Lanes with the control set map (b,c) -> (~c, ~b); XORing both
+        // words with ~(b^c) under the control mask does exactly that.
+        const std::uint64_t* __restrict__ x = state.words(b[0]);
+        std::uint64_t* __restrict__ y = state.words(b[1]);
+        std::uint64_t* __restrict__ z = state.words(b[2]);
+        for (unsigned w = 0; w < W; ++w) {
+          const std::uint64_t d = x[w] & ~(y[w] ^ z[w]);
+          y[w] ^= d;
+          z[w] ^= d;
+        }
+        return;
+      }
     }
   }
+
+  static void ideal_circuit(PackedState& state, const Circuit& c) {
+    for (const Gate& g : c.ops()) ideal_gate(state, g);
+  }
+
+  static void noisy_gate(PackedSimulator& sim, PackedState& state,
+                         const Gate& g) {
+    ideal_gate(state, g);
+    std::uint64_t fail[W];
+    sim.streams_[static_cast<std::size_t>(g.kind)].next_masks(fail, W);
+    std::uint64_t any = 0;
+    for (unsigned w = 0; w < W; ++w) any |= fail[w];
+    if (any == 0) return;
+    std::uint64_t pop = 0;
+    // Failing words are sparse (usually exactly one); record them once
+    // so the injection below walks O(failing words) per bit instead of
+    // scanning all W words per bit.
+    unsigned failing = 0;
+    unsigned failing_w[W];
+    for (unsigned w = 0; w < W; ++w) {
+      pop += static_cast<std::uint64_t>(__builtin_popcountll(fail[w]));
+      if (fail[w] != 0) failing_w[failing++] = w;
+    }
+    sim.faults_drawn_ += pop;
+    // In failed lanes, every touched bit becomes uniformly random —
+    // independent of the correct output, per the paper's model. One
+    // fresh word per (bit, fail word) pair, drawn in bit-major order
+    // over ascending failing words — at W=1 this is exactly the legacy
+    // one-draw-per-touched-bit stream.
+    const int n = g.arity();
+    for (int i = 0; i < n; ++i) {
+      std::uint64_t* wp = state.words(g.bits[static_cast<std::size_t>(i)]);
+      for (unsigned f = 0; f < failing; ++f) {
+        const unsigned w = failing_w[f];
+        wp[w] = (wp[w] & ~fail[w]) | (sim.rng_.next() & fail[w]);
+      }
+    }
+  }
+
+  static void noisy_span(PackedSimulator& sim, PackedState& state,
+                         const Circuit& c, std::size_t first,
+                         std::size_t last) {
+    const std::vector<Gate>& ops = c.ops();
+    for (std::size_t i = first; i < last; ++i) noisy_gate(sim, state, ops[i]);
+  }
+};
+
+template struct PackedKernels<1>;
+template struct PackedKernels<2>;
+template struct PackedKernels<4>;
+template struct PackedKernels<8>;
+
+void PackedSimulator::apply_ideal(PackedState& state, const Gate& g) {
+  switch (state.lane_words()) {
+    case 1:
+      PackedKernels<1>::ideal_gate(state, g);
+      return;
+    case 2:
+      PackedKernels<2>::ideal_gate(state, g);
+      return;
+    case 4:
+      PackedKernels<4>::ideal_gate(state, g);
+      return;
+    case 8:
+      PackedKernels<8>::ideal_gate(state, g);
+      return;
+  }
+  REVFT_CHECK_MSG(false, "apply_ideal: bad lane_words");
 }
 
 void PackedSimulator::apply_ideal(PackedState& state, const Circuit& c) {
   REVFT_CHECK_MSG(c.width() == state.width(), "apply_ideal: width mismatch");
-  for (const Gate& g : c.ops()) apply_ideal(state, g);
-}
-
-std::uint64_t PackedSimulator::failure_mask(GateKind kind) {
-  return streams_[static_cast<std::size_t>(kind)].next_mask();
+  switch (state.lane_words()) {
+    case 1:
+      PackedKernels<1>::ideal_circuit(state, c);
+      return;
+    case 2:
+      PackedKernels<2>::ideal_circuit(state, c);
+      return;
+    case 4:
+      PackedKernels<4>::ideal_circuit(state, c);
+      return;
+    case 8:
+      PackedKernels<8>::ideal_circuit(state, c);
+      return;
+  }
+  REVFT_CHECK_MSG(false, "apply_ideal: bad lane_words");
 }
 
 void PackedSimulator::apply_noisy(PackedState& state, const Gate& g) {
-  apply_ideal(state, g);
-  const std::uint64_t fail = failure_mask(g.kind);
-  if (fail == 0) return;
-  faults_drawn_ += static_cast<std::uint64_t>(__builtin_popcountll(fail));
-  // In failed lanes, every touched bit becomes uniformly random —
-  // independent of the correct output, per the paper's model.
-  const int n = g.arity();
-  for (int i = 0; i < n; ++i) {
-    std::uint64_t& w = state.word(g.bits[static_cast<std::size_t>(i)]);
-    w = (w & ~fail) | (rng_.next() & fail);
+  switch (state.lane_words()) {
+    case 1:
+      PackedKernels<1>::noisy_gate(*this, state, g);
+      return;
+    case 2:
+      PackedKernels<2>::noisy_gate(*this, state, g);
+      return;
+    case 4:
+      PackedKernels<4>::noisy_gate(*this, state, g);
+      return;
+    case 8:
+      PackedKernels<8>::noisy_gate(*this, state, g);
+      return;
   }
+  REVFT_CHECK_MSG(false, "apply_noisy: bad lane_words");
 }
 
 void PackedSimulator::apply_noisy(PackedState& state, const Circuit& c) {
   REVFT_CHECK_MSG(c.width() == state.width(), "apply_noisy: width mismatch");
-  for (const Gate& g : c.ops()) apply_noisy(state, g);
+  apply_noisy_span(state, c, 0, c.size());
 }
 
 void PackedSimulator::apply_noisy_span(PackedState& state, const Circuit& c,
@@ -183,8 +374,21 @@ void PackedSimulator::apply_noisy_span(PackedState& state, const Circuit& c,
   REVFT_CHECK_MSG(first <= last && last <= c.size(),
                   "apply_noisy_span: bad range [" << first << ", " << last
                                                   << ")");
-  const std::vector<Gate>& ops = c.ops();
-  for (std::size_t i = first; i < last; ++i) apply_noisy(state, ops[i]);
+  switch (state.lane_words()) {
+    case 1:
+      PackedKernels<1>::noisy_span(*this, state, c, first, last);
+      return;
+    case 2:
+      PackedKernels<2>::noisy_span(*this, state, c, first, last);
+      return;
+    case 4:
+      PackedKernels<4>::noisy_span(*this, state, c, first, last);
+      return;
+    case 8:
+      PackedKernels<8>::noisy_span(*this, state, c, first, last);
+      return;
+  }
+  REVFT_CHECK_MSG(false, "apply_noisy_span: bad lane_words");
 }
 
 }  // namespace revft

@@ -1,22 +1,33 @@
 // revft/noise/packed_sim.h
 //
-// Bit-parallel Monte-Carlo engine: 64 independent trials ("lanes") are
+// Bit-parallel Monte-Carlo engine: independent trials ("lanes") are
 // simulated at once by storing trial t's value of circuit bit i in bit
-// t of word(i). Every primitive gate is then a handful of bitwise ops
-// across all 64 trials, and a gate failure is a per-lane Bernoulli
-// mask under which the touched words are overwritten with fresh random
-// bits — exactly the paper's "randomize all the bits it is applied to
-// with probability g" semantics (§2).
+// t%64 of lane word t/64 of cell i. Every primitive gate is then a
+// handful of bitwise ops across all lanes, and a gate failure is a
+// per-lane Bernoulli mask under which the touched words are
+// overwritten with fresh random bits — exactly the paper's "randomize
+// all the bits it is applied to with probability g" semantics (§2).
+//
+// A state carries lane_words (W ∈ {1,2,4,8}, see noise/lanes.h) words
+// per circuit bit, i.e. 64*W lanes per batch. All gate kernels loop
+// contiguously over the W words of each touched cell with W fixed at
+// compile time, which the compiler auto-vectorizes to AVX2 (W=4) or
+// AVX-512 (W=8) — no intrinsics anywhere. W=1 is the legacy 64-lane
+// engine, bit for bit: same RNG draw order, same masks, same
+// estimates (pinned by tests/test_simd_lanes.cpp).
 //
 // Exactness note: lane failure masks are drawn from an *exact*
 // Bernoulli(g) stream (geometric gap sampling at small g, per-lane
 // threshold comparison otherwise), so small-g tails — the regime the
-// threshold theorem lives in — carry no approximation bias.
+// threshold theorem lives in — carry no approximation bias. The
+// geometric gap counter spans word and batch boundaries, so widening
+// the batch never perturbs the failure statistics.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "noise/lanes.h"
 #include "noise/model.h"
 #include "rev/circuit.h"
 #include "support/error.h"
@@ -24,36 +35,62 @@
 
 namespace revft {
 
-/// 64 trial lanes of classical bit state.
+/// 64 * lane_words trial lanes of classical bit state, stored
+/// bit-major: the lane words of circuit bit i are the contiguous run
+/// words()[i*W .. i*W+W) — the layout every gate kernel streams over.
 class PackedState {
  public:
-  explicit PackedState(std::uint32_t width) : words_(width, 0) {}
-
-  std::uint32_t width() const noexcept {
-    return static_cast<std::uint32_t>(words_.size());
+  explicit PackedState(std::uint32_t width, unsigned lane_words = 1)
+      : words_(static_cast<std::size_t>(width) * lane_words, 0),
+        width_(width),
+        lane_words_(lane_words) {
+    REVFT_CHECK_MSG(valid_lane_words(lane_words),
+                    "PackedState: lane_words=" << lane_words
+                                               << " not in {1,2,4,8}");
   }
 
-  // Hot path: word() runs inside the innermost gate loop, so bounds
-  // checking is debug-only (REVFT_DASSERT) rather than vector::at().
+  std::uint32_t width() const noexcept { return width_; }
+  unsigned lane_words() const noexcept { return lane_words_; }
+  /// Trials simulated per batch: 64 * lane_words().
+  unsigned lanes() const noexcept { return 64 * lane_words_; }
+
+  // Hot path: the accessors below run inside the innermost gate loop,
+  // so bounds checking is debug-only (REVFT_DASSERT), not vector::at().
+
+  /// Lane words of circuit bit `bit` (contiguous, lane_words() long).
+  const std::uint64_t* words(std::uint32_t bit) const {
+    REVFT_DASSERT(bit < width_);
+    return words_.data() + static_cast<std::size_t>(bit) * lane_words_;
+  }
+  std::uint64_t* words(std::uint32_t bit) {
+    REVFT_DASSERT(bit < width_);
+    return words_.data() + static_cast<std::size_t>(bit) * lane_words_;
+  }
+
+  /// Legacy single-word accessors of the 64-lane engine. Only valid at
+  /// lane_words() == 1 (multi-word callers use words(bit)).
   std::uint64_t word(std::uint32_t bit) const {
-    REVFT_DASSERT(bit < words_.size());
+    REVFT_DASSERT(lane_words_ == 1);
+    REVFT_DASSERT(bit < width_);
     return words_[bit];
   }
   std::uint64_t& word(std::uint32_t bit) {
-    REVFT_DASSERT(bit < words_.size());
+    REVFT_DASSERT(lane_words_ == 1);
+    REVFT_DASSERT(bit < width_);
     return words_[bit];
   }
 
   /// Set circuit bit `bit` to `v` in every lane.
   void fill_bit(std::uint32_t bit, bool v) {
-    REVFT_DASSERT(bit < words_.size());
-    words_[bit] = v ? ~0ULL : 0;
+    std::uint64_t* w = words(bit);
+    for (unsigned k = 0; k < lane_words_; ++k) w[k] = v ? ~0ULL : 0;
   }
 
-  /// Value of `bit` in one lane.
+  /// Value of `bit` in one lane (lane < lanes()).
   std::uint8_t bit_lane(std::uint32_t bit, int lane) const {
-    REVFT_DASSERT(bit < words_.size());
-    return static_cast<std::uint8_t>((words_[bit] >> lane) & 1u);
+    REVFT_DASSERT(lane >= 0 && static_cast<unsigned>(lane) < lanes());
+    const unsigned l = static_cast<unsigned>(lane);
+    return static_cast<std::uint8_t>((words(bit)[l >> 6] >> (l & 63u)) & 1u);
   }
 
   /// Set `bit` in one lane.
@@ -63,32 +100,65 @@ class PackedState {
   /// is the total parity of trial t's first `count` circuit bits. This
   /// is the word-level primitive behind online error detection
   /// (src/detect/): one XOR per data rail evaluates the parity-rail
-  /// invariant for all 64 lanes at once.
+  /// invariant for all 64 lanes at once. Legacy single-word form,
+  /// lane_words() == 1 only; multi-word engines use parity_words().
   std::uint64_t parity_word(std::uint32_t count) const;
 
   /// Masked variant for a rail partition: per-lane XOR of the words of
   /// the listed bits (a rail group). Evaluating every group of a
   /// disjoint partition costs the same word work as one parity_word
   /// over their union — the per-rail refinement is free at the
-  /// checkpoint.
+  /// checkpoint. Legacy single-word form, lane_words() == 1 only.
   std::uint64_t parity_word_over(const std::vector<std::uint32_t>& bits) const;
+
+  /// Multi-word parity of bits [0, count): out[w] accumulates lane
+  /// word w across the bits (out must hold lane_words() words).
+  void parity_words(std::uint32_t count, std::uint64_t* out) const;
+
+  /// Multi-word group parity (the widened parity_word_over); out must
+  /// hold lane_words() words and is overwritten.
+  void parity_words_over(const std::vector<std::uint32_t>& bits,
+                         std::uint64_t* out) const;
 
   /// All bits of all lanes to zero.
   void clear() { std::fill(words_.begin(), words_.end(), 0); }
 
  private:
   std::vector<std::uint64_t> words_;
+  std::uint32_t width_;
+  unsigned lane_words_;
 };
 
-/// Exact Bernoulli(p) bit stream producing 64-lane masks. Uses
-/// geometric gap sampling when p is small (about one RNG draw per mask
-/// instead of 64) and per-lane threshold comparison otherwise. Both
-/// paths are exact.
+/// Exact Bernoulli(p) bit stream producing 64-lane mask words. Uses
+/// geometric gap sampling when p is small (about one RNG draw per
+/// failure instead of 64 per word) and per-lane threshold comparison
+/// otherwise. Both paths are exact. Drawing a W-word batch via
+/// next_masks() consumes the identical RNG stream as W successive
+/// next_mask() calls — the gap counter carries across word boundaries
+/// — so lane_words enters the determinism key only through how many
+/// words each gate draws, never through the sampling math.
 class BernoulliMaskStream {
  public:
   BernoulliMaskStream(double p, Xoshiro256* rng);
 
   std::uint64_t next_mask();
+
+  /// Draw `words` consecutive 64-lane masks into out[0..words).
+  /// Bit-identical to calling next_mask() `words` times. The draw-free
+  /// branch — the pending geometric gap spans the whole batch, so no
+  /// lane fails and no RNG state moves — is inline because it is THE
+  /// hot path of every noisy gate at small g; keeping it out of line
+  /// made per-gate mask work scale with the batch width instead of the
+  /// failure count.
+  void next_masks(std::uint64_t* out, unsigned words) {
+    const std::uint64_t batch_lanes = 64ULL * words;
+    if (use_geometric_ && next_index_ >= batch_lanes) {
+      next_index_ -= batch_lanes;
+      for (unsigned w = 0; w < words; ++w) out[w] = 0;
+      return;
+    }
+    next_masks_slow(out, words);
+  }
 
   double p() const noexcept { return p_; }
 
@@ -100,9 +170,14 @@ class BernoulliMaskStream {
   std::uint64_t next_index_ = 0;  // lanes until next failure (geometric path)
 
   std::uint64_t draw_gap();
+  void next_masks_slow(std::uint64_t* out, unsigned words);
 };
 
 /// Applies circuits to PackedState, ideally or under a NoiseModel.
+/// The per-gate word loops are instantiated for each valid lane_words
+/// at compile time (the state's width selects the instantiation), so
+/// the W=4/W=8 bodies present the compiler straight-line 4- and
+/// 8-word array ops it turns into AVX2/AVX-512 vector code.
 class PackedSimulator {
  public:
   /// Noisy simulator with explicit seed (reproducible).
@@ -131,13 +206,14 @@ class PackedSimulator {
   Xoshiro256& rng() noexcept { return rng_; }
 
  private:
+  template <unsigned W>
+  friend struct PackedKernels;
+
   NoiseModel model_;
   Xoshiro256 rng_;
   std::uint64_t faults_drawn_ = 0;
   // One exact Bernoulli stream per gate kind (probabilities differ).
   std::vector<BernoulliMaskStream> streams_;
-
-  std::uint64_t failure_mask(GateKind kind);
 };
 
 }  // namespace revft

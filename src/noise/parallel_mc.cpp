@@ -9,12 +9,15 @@
 namespace revft {
 
 std::vector<McShard> plan_shards(std::uint64_t trials, std::uint64_t master_seed,
-                                 std::uint64_t batches_per_shard) {
+                                 std::uint64_t batches_per_shard,
+                                 unsigned lane_words) {
   REVFT_CHECK_MSG(batches_per_shard >= 1,
                   "plan_shards: batches_per_shard=" << batches_per_shard);
+  REVFT_CHECK_MSG(valid_lane_words(lane_words),
+                  "plan_shards: lane_words=" << lane_words);
   std::vector<McShard> shards;
   if (trials == 0) return shards;
-  const std::uint64_t trials_per_shard = batches_per_shard * 64;
+  const std::uint64_t trials_per_shard = batches_per_shard * 64 * lane_words;
   const std::uint64_t count = (trials + trials_per_shard - 1) / trials_per_shard;
   shards.reserve(count);
   Xoshiro256 master(master_seed);

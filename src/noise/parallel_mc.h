@@ -4,9 +4,9 @@
 // run_packed_mc (noise/monte_carlo.h) that splits the trial budget
 // into fixed-size shards and runs them on a pool of worker threads.
 //
-// Determinism contract: for a fixed (trials, seed, batches_per_shard)
-// the result is bit-identical regardless of thread count. This holds
-// because
+// Determinism contract: for a fixed (trials, seed, batches_per_shard,
+// lane_words) the result is bit-identical regardless of thread count.
+// This holds because
 //   * the shard plan is a pure function of trials and batches_per_shard
 //     (never of the thread count),
 //   * each shard owns a private PackedSimulator seeded with a child
@@ -47,26 +47,35 @@ struct ParallelMcOptions {
   /// std::thread::hardware_concurrency(). The value never affects the
   /// estimate, only wall-clock time.
   int threads = 0;
-  /// Shard granularity in 64-trial batches (16384 trials per full
-  /// shard by default). Part of the determinism key: changing it
-  /// changes the RNG stream, changing the thread count does not.
+  /// Shard granularity in batches of 64 * lane_words trials (16384
+  /// trials per full shard at lane_words=1 by default). Part of the
+  /// determinism key: changing it changes the RNG stream, changing the
+  /// thread count does not.
   std::uint64_t batches_per_shard = 256;
+  /// Lane words per circuit bit (noise/lanes.h): each batch simulates
+  /// 64 * lane_words trials. Joins batches_per_shard in the
+  /// determinism key — changing it changes the stream; 1 reproduces
+  /// the legacy 64-lane engine bit for bit.
+  unsigned lane_words = 1;
 };
 
 /// One unit of work: a contiguous batch range with its own child seed.
 struct McShard {
   std::uint64_t index = 0;        ///< position in the plan (merge order)
-  std::uint64_t first_batch = 0;  ///< global index of the first 64-lane batch
+  std::uint64_t first_batch = 0;  ///< global index of the first batch
   std::uint64_t trials = 0;       ///< trials covered by this shard
   std::uint64_t seed = 0;         ///< child seed for the shard's simulator
 };
 
 /// Deterministic shard decomposition of `trials`: every shard spans
-/// `batches_per_shard` batches (the last may be short, including a
-/// partial final batch), and shard seeds are drawn in order from a
-/// master Xoshiro256 seeded with `master_seed`.
+/// `batches_per_shard` batches of 64 * lane_words trials (the last may
+/// be short, including a partial final batch), and shard seeds are
+/// drawn in order from a master Xoshiro256 seeded with `master_seed`.
+/// The plan is a pure function of (trials, master_seed,
+/// batches_per_shard, lane_words) — never of the thread count.
 std::vector<McShard> plan_shards(std::uint64_t trials, std::uint64_t master_seed,
-                                 std::uint64_t batches_per_shard);
+                                 std::uint64_t batches_per_shard,
+                                 unsigned lane_words = 1);
 
 /// `requested` if > 0; else the REVFT_THREADS env var if set and > 0;
 /// else std::thread::hardware_concurrency() (at least 1).
@@ -172,15 +181,15 @@ BernoulliEstimate run_parallel_mc(const Circuit& circuit,
                                   const ParallelMcOptions& opts,
                                   KernelFactory&& factory,
                                   telemetry::Trace* trace = nullptr) {
-  const std::vector<McShard> shards =
-      plan_shards(opts.trials, opts.seed, opts.batches_per_shard);
+  const std::vector<McShard> shards = plan_shards(
+      opts.trials, opts.seed, opts.batches_per_shard, opts.lane_words);
   detail::TraceShards traces(trace, shards.size());
   BernoulliEstimate est = detail::run_sharded(
       shards, resolve_thread_count(opts.threads),
       [&](const McShard& shard) -> BernoulliEstimate {
         auto kernel = factory(shard.index);
         PackedSimulator sim(model, shard.seed);
-        PackedState state(circuit.width());
+        PackedState state(circuit.width(), opts.lane_words);
         return detail::run_mc_span(
             sim, state, circuit, shard.first_batch, shard.trials,
             [&kernel](PackedState& s, Xoshiro256& rng, std::uint64_t batch) {

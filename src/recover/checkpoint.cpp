@@ -1,5 +1,7 @@
 #include "recover/checkpoint.h"
 
+#include <algorithm>
+
 #include "support/error.h"
 
 namespace revft::recover {
@@ -12,20 +14,24 @@ void restore_cells(StateVector& state, const StateVector& snapshot,
 }
 
 void PackedCheckpoint::capture(const PackedState& state) {
-  words_.resize(state.width());
-  for (std::uint32_t cell = 0; cell < state.width(); ++cell)
-    words_[cell] = state.word(cell);
+  width_ = state.width();
+  lane_words_ = state.lane_words();
+  words_.resize(static_cast<std::size_t>(width_) * lane_words_);
+  if (width_ != 0)
+    std::copy(state.words(0), state.words(0) + words_.size(), words_.begin());
 }
 
 void PackedCheckpoint::restore_all(PackedState& state) const {
-  REVFT_CHECK_MSG(state.width() == width(), "restore_all: width mismatch");
-  for (std::uint32_t cell = 0; cell < state.width(); ++cell)
-    state.word(cell) = words_[cell];
+  REVFT_CHECK_MSG(state.width() == width_ && state.lane_words() == lane_words_,
+                  "restore_all: geometry mismatch");
+  if (width_ != 0) std::copy(words_.begin(), words_.end(), state.words(0));
 }
 
 void blend_lanes(PackedState& dst, const PackedState& src,
                  std::uint64_t lane_mask) {
   REVFT_CHECK_MSG(dst.width() == src.width(), "blend_lanes: width mismatch");
+  REVFT_CHECK_MSG(dst.lane_words() == 1 && src.lane_words() == 1,
+                  "blend_lanes: single-word overload on a wide state");
   for (std::uint32_t cell = 0; cell < dst.width(); ++cell)
     dst.word(cell) =
         (dst.word(cell) & ~lane_mask) | (src.word(cell) & lane_mask);
@@ -36,9 +42,49 @@ void blend_cells_lanes(PackedState& dst, const PackedState& src,
                        std::uint64_t lane_mask) {
   REVFT_CHECK_MSG(dst.width() == src.width(),
                   "blend_cells_lanes: width mismatch");
+  REVFT_CHECK_MSG(dst.lane_words() == 1 && src.lane_words() == 1,
+                  "blend_cells_lanes: single-word overload on a wide state");
   for (const std::uint32_t cell : cells)
     dst.word(cell) =
         (dst.word(cell) & ~lane_mask) | (src.word(cell) & lane_mask);
+}
+
+void blend_lanes(PackedState& dst, const PackedState& src,
+                 const LaneMask& lane_mask) {
+  REVFT_CHECK_MSG(dst.width() == src.width(), "blend_lanes: width mismatch");
+  REVFT_CHECK_MSG(
+      dst.lane_words() == src.lane_words() &&
+          lane_mask.words() == dst.lane_words(),
+      "blend_lanes: lane_words mismatch");
+  const unsigned W = dst.lane_words();
+  for (std::uint32_t cell = 0; cell < dst.width(); ++cell) {
+    std::uint64_t* d = dst.words(cell);
+    const std::uint64_t* s = src.words(cell);
+    for (unsigned w = 0; w < W; ++w) {
+      const std::uint64_t m = lane_mask.word(w);
+      d[w] = (d[w] & ~m) | (s[w] & m);
+    }
+  }
+}
+
+void blend_cells_lanes(PackedState& dst, const PackedState& src,
+                       const std::vector<std::uint32_t>& cells,
+                       const LaneMask& lane_mask) {
+  REVFT_CHECK_MSG(dst.width() == src.width(),
+                  "blend_cells_lanes: width mismatch");
+  REVFT_CHECK_MSG(
+      dst.lane_words() == src.lane_words() &&
+          lane_mask.words() == dst.lane_words(),
+      "blend_cells_lanes: lane_words mismatch");
+  const unsigned W = dst.lane_words();
+  for (const std::uint32_t cell : cells) {
+    std::uint64_t* d = dst.words(cell);
+    const std::uint64_t* s = src.words(cell);
+    for (unsigned w = 0; w < W; ++w) {
+      const std::uint64_t m = lane_mask.word(w);
+      d[w] = (d[w] & ~m) | (s[w] & m);
+    }
+  }
 }
 
 }  // namespace revft::recover

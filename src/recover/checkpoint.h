@@ -17,16 +17,19 @@
 //     other cell is still vouched for by its own passed checks.
 //
 // The packed engine restores PER LANE on top of per cell: trial t
-// lives in bit t of every word, so "roll lane t back" is a one-mask
-// blend per word — the 64-lane analogue of copying a scalar state.
-// All operations are exact bit moves; nothing here draws randomness,
-// so the sharded determinism contract of the Monte-Carlo engines is
-// untouched.
+// lives in bit t%64 of lane word t/64 of every cell, so "roll lane t
+// back" is a one-mask blend per word — the lane-parallel analogue of
+// copying a scalar state. Multi-word states (lane_words > 1,
+// noise/lanes.h) blend under a LaneMask; the uint64_t overloads are
+// the legacy single-word forms. All operations are exact bit moves;
+// nothing here draws randomness, so the sharded determinism contract
+// of the Monte-Carlo engines is untouched.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "noise/lanes.h"
 #include "noise/packed_sim.h"
 #include "rev/simulator.h"
 
@@ -38,19 +41,28 @@ namespace revft::recover {
 void restore_cells(StateVector& state, const StateVector& snapshot,
                    const std::vector<std::uint32_t>& cells);
 
-/// Full-width snapshot of a PackedState (all 64 lanes of every cell).
+/// Full-width snapshot of a PackedState (every lane of every cell).
 class PackedCheckpoint {
  public:
   PackedCheckpoint() = default;
 
   /// Overwrite the snapshot with the current state (resizes on first
-  /// use; later captures at the same width reuse the buffer).
+  /// use; later captures at the same geometry reuse the buffer).
   void capture(const PackedState& state);
 
-  std::uint32_t width() const noexcept {
-    return static_cast<std::uint32_t>(words_.size());
+  std::uint32_t width() const noexcept { return width_; }
+  unsigned lane_words() const noexcept { return lane_words_; }
+
+  /// Legacy single-word accessor (lane_words() == 1 captures only).
+  std::uint64_t word(std::uint32_t cell) const {
+    REVFT_DASSERT(lane_words_ == 1);
+    return words_[cell];
   }
-  std::uint64_t word(std::uint32_t cell) const { return words_[cell]; }
+  /// Lane words of `cell` (contiguous, lane_words() long).
+  const std::uint64_t* words(std::uint32_t cell) const {
+    REVFT_DASSERT(cell < width_);
+    return words_.data() + static_cast<std::size_t>(cell) * lane_words_;
+  }
 
   /// Copy the snapshot back into `state` wholesale (every cell, every
   /// lane) — the start of a packed replay or program restart.
@@ -58,20 +70,31 @@ class PackedCheckpoint {
 
  private:
   std::vector<std::uint64_t> words_;
+  std::uint32_t width_ = 0;
+  unsigned lane_words_ = 1;
 };
 
 /// Blend lanes of `src` into `dst` for every cell: lanes set in
 /// `lane_mask` take src's bits, the rest keep dst's. The whole-program
 /// merge: an accepted restart's final state is folded back into the
-/// main state for exactly the lanes that consumed it.
+/// main state for exactly the lanes that consumed it. Legacy
+/// single-word form (lane_words() == 1).
 void blend_lanes(PackedState& dst, const PackedState& src,
                  std::uint64_t lane_mask);
 
 /// Same blend restricted to `cells` — the block-local merge: only the
 /// replayed component's footprint moves, every other cell keeps the
-/// already-accepted values.
+/// already-accepted values. Legacy single-word form.
 void blend_cells_lanes(PackedState& dst, const PackedState& src,
                        const std::vector<std::uint32_t>& cells,
                        std::uint64_t lane_mask);
+
+/// Multi-word blends: lane_mask.words() must equal the states'
+/// lane_words(). Identical semantics per lane word.
+void blend_lanes(PackedState& dst, const PackedState& src,
+                 const LaneMask& lane_mask);
+void blend_cells_lanes(PackedState& dst, const PackedState& src,
+                       const std::vector<std::uint32_t>& cells,
+                       const LaneMask& lane_mask);
 
 }  // namespace revft::recover

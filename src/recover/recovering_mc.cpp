@@ -1,8 +1,9 @@
 #include "recover/recovering_mc.h"
 
-#include <array>
+#include <algorithm>
 #include <bit>
 #include <map>
+#include <vector>
 
 #include "recover/checkpoint.h"
 #include "support/error.h"
@@ -70,58 +71,100 @@ struct TraceHooks {
     ev.value = value;
     trace->emit(ev);
   }
+
+  /// Emit one event per nonzero lane word of `lanes` — the multi-word
+  /// generalization of a single masked emit (identical stream at
+  /// lane_words = 1, where the caller only invokes this on a nonzero
+  /// mask).
+  void emit_mask(telemetry::EventKind kind, std::uint64_t batch,
+                 std::uint32_t segment, std::uint16_t rail,
+                 const LaneMask& lanes, std::uint64_t value) const {
+    for (unsigned w = 0; w < lanes.words(); ++w)
+      if (lanes.word(w) != 0)
+        emit(kind, batch, segment, rail, lanes.word(w), value);
+  }
 };
 
 /// Evaluate the checks of `seg` on `s` for every component in `watch`
 /// (a component bitmask), ORing per-lane fired masks into comp_fired
-/// (pre-zeroed, one word per component). When `est` is non-null the
-/// per-rail / zero-check event counters are bumped for lanes in
-/// `count_mask` — and, when `hooks` traces, the matching kRailFired /
-/// kZeroCheckFired events fire (counting pass only: replay and
-/// restart re-evaluations pass a null est and stay silent, so the
-/// event stream matches the estimate's attribution exactly).
+/// (pre-zeroed, lane_words words per component, component-major). When
+/// `est` is non-null the per-rail / zero-check event counters are
+/// bumped for lanes in `count_mask` — and, when `hooks` traces, the
+/// matching kRailFired / kZeroCheckFired events fire (counting pass
+/// only: replay and restart re-evaluations pass a null est and stay
+/// silent, so the event stream matches the estimate's attribution
+/// exactly). Checkpoint membership is read off the flattened
+/// checkpoint_spans when present, else the checkpoint_groups walk.
 void eval_boundary(const detect::CheckedCircuit& checked, const Segment& seg,
                    const PackedState& s, std::uint64_t watch,
                    std::vector<std::uint64_t>& comp_fired,
-                   RecoveryEstimate* est, std::uint64_t count_mask,
+                   RecoveryEstimate* est, const LaneMask& count_mask,
                    const TraceHooks* hooks = nullptr,
                    std::uint32_t seg_index = 0, std::uint64_t batch = 0) {
   const bool tracing = est != nullptr && hooks != nullptr &&
                        hooks->trace != nullptr;
+  const unsigned W = s.lane_words();
+  std::uint64_t violated[kMaxLaneWords];
   if (seg.checkpoint >= 0) {
-    const auto& groups =
-        checked.checkpoint_groups[static_cast<std::size_t>(seg.checkpoint)];
+    const std::size_t cp = static_cast<std::size_t>(seg.checkpoint);
+    const bool use_spans =
+        checked.checkpoint_spans.size() == checked.checkpoints.size();
+    const auto& groups = checked.checkpoint_groups[cp];
     for (std::size_t r = 0; r < checked.rails.size(); ++r) {
       const std::uint32_t c = seg.component_of_rail[r];
       if (!((watch >> c) & 1ULL)) continue;
-      const std::uint64_t violated =
-          s.parity_word_over(groups[r]) ^ s.word(checked.rails[r].rail_bit);
-      comp_fired[c] |= violated;
-      if (est != nullptr) {
-        const std::uint64_t counted = violated & count_mask;
-        est->rail_events[r] += static_cast<std::uint64_t>(popcount(counted));
-        if (tracing && counted != 0) {
-          (*hooks->rail_events)[r] +=
-              static_cast<std::uint64_t>(popcount(counted));
-          hooks->emit(telemetry::EventKind::kRailFired, batch, seg_index,
-                      static_cast<std::uint16_t>(r), counted, 0);
+      const std::uint64_t* rail = s.words(checked.rails[r].rail_bit);
+      for (unsigned w = 0; w < W; ++w) violated[w] = rail[w];
+      if (use_spans) {
+        const detect::CheckpointSpan& span = checked.checkpoint_spans[cp];
+        const std::uint32_t first = span.rail_first[r];
+        const std::uint32_t last = span.rail_first[r + 1];
+        for (std::uint32_t i = first; i < last; ++i) {
+          const std::uint64_t* src = s.words(span.bits[i]);
+          for (unsigned w = 0; w < W; ++w) violated[w] ^= src[w];
         }
+      } else {
+        for (const std::uint32_t bit : groups[r]) {
+          const std::uint64_t* src = s.words(bit);
+          for (unsigned w = 0; w < W; ++w) violated[w] ^= src[w];
+        }
+      }
+      for (unsigned w = 0; w < W; ++w) comp_fired[c * W + w] |= violated[w];
+      if (est != nullptr) {
+        std::uint64_t counted_total = 0;
+        for (unsigned w = 0; w < W; ++w) {
+          const std::uint64_t counted = violated[w] & count_mask.word(w);
+          counted_total += static_cast<std::uint64_t>(popcount(counted));
+          if (tracing && counted != 0) {
+            (*hooks->rail_events)[r] +=
+                static_cast<std::uint64_t>(popcount(counted));
+            hooks->emit(telemetry::EventKind::kRailFired, batch, seg_index,
+                        static_cast<std::uint16_t>(r), counted, 0);
+          }
+        }
+        est->rail_events[r] += counted_total;
       }
     }
   }
   for (std::size_t k = 0; k < seg.zero_checks.size(); ++k) {
     const std::uint32_t c = seg.component_of_zero_check[k];
     if (!((watch >> c) & 1ULL)) continue;
-    std::uint64_t mask = 0;
-    for (const std::uint32_t bit : checked.zero_checks[seg.zero_checks[k]].bits)
-      mask |= s.word(bit);
-    comp_fired[c] |= mask;
+    std::uint64_t mask[kMaxLaneWords] = {};
+    for (const std::uint32_t bit :
+         checked.zero_checks[seg.zero_checks[k]].bits) {
+      const std::uint64_t* src = s.words(bit);
+      for (unsigned w = 0; w < W; ++w) mask[w] |= src[w];
+    }
+    for (unsigned w = 0; w < W; ++w) comp_fired[c * W + w] |= mask[w];
     if (est != nullptr) {
-      const std::uint64_t counted = mask & count_mask;
-      est->zero_check_events += static_cast<std::uint64_t>(popcount(counted));
-      if (tracing && counted != 0)
-        hooks->emit(telemetry::EventKind::kZeroCheckFired, batch, seg_index,
-                    static_cast<std::uint16_t>(seg.zero_checks[k]), counted, 0);
+      for (unsigned w = 0; w < W; ++w) {
+        const std::uint64_t counted = mask[w] & count_mask.word(w);
+        est->zero_check_events += static_cast<std::uint64_t>(popcount(counted));
+        if (tracing && counted != 0)
+          hooks->emit(telemetry::EventKind::kZeroCheckFired, batch, seg_index,
+                      static_cast<std::uint16_t>(seg.zero_checks[k]), counted,
+                      0);
+      }
     }
   }
 }
@@ -143,21 +186,27 @@ RecoveryEstimate run_recovering_mc_span(
                                                plan.segments.size());
   const TraceHooks* hp = hooks.trace != nullptr ? &hooks : nullptr;
 
-  PackedState scratch(circuit.width());
+  const unsigned W = state.lane_words();
+  const std::uint64_t lanes_per_batch = 64ULL * W;
+  const LaneMask no_lanes(W);
+  PackedState scratch(circuit.width(), W);
   PackedCheckpoint entry_cp, boundary_cp;
+  // Per-component fired masks, component-major: comp_fired[c*W + w].
   std::vector<std::uint64_t> comp_fired;
-  std::array<std::uint64_t, 64> lane_set{};
-  std::array<int, 64> local_left{};
-  std::array<int, 64> program_left{};
+  std::vector<std::uint64_t> lane_set(lanes_per_batch, 0);
+  std::vector<int> local_left(lanes_per_batch, 0);
+  std::vector<int> program_left(lanes_per_batch, 0);
 
-  const std::uint64_t batches = (trials + 63) / 64;
+  const std::uint64_t batches =
+      (trials + lanes_per_batch - 1) / lanes_per_batch;
   for (std::uint64_t b = 0; b < batches; ++b) {
     const std::uint64_t batch = first_batch + b;
     const int lanes_this_batch =
-        (b + 1 == batches && trials % 64 != 0) ? static_cast<int>(trials % 64)
-                                               : 64;
-    const std::uint64_t live =
-        lanes_this_batch == 64 ? ~0ULL : (1ULL << lanes_this_batch) - 1;
+        (b + 1 == batches && trials % lanes_per_batch != 0)
+            ? static_cast<int>(trials % lanes_per_batch)
+            : static_cast<int>(lanes_per_batch);
+    const LaneMask live = LaneMask::first_n(
+        W, static_cast<std::uint64_t>(lanes_this_batch));
     state.clear();
     prepare(state, sim.rng(), batch);
     entry_cp.capture(state);
@@ -167,12 +216,13 @@ RecoveryEstimate run_recovering_mc_span(
     // so this cannot shift any estimate).
     const bool keep_boundaries = policy.kind == RetryPolicyKind::kBlockLocal;
     if (keep_boundaries) boundary_cp.capture(state);
-    program_left.fill(policy.max_program_attempts);
+    std::fill(program_left.begin(), program_left.end(),
+              policy.max_program_attempts);
 
-    std::uint64_t active = live;
-    std::uint64_t restart_pending = 0;
-    std::uint64_t rejected = 0;
-    std::uint64_t detected_lanes = 0;
+    LaneMask active = live;
+    LaneMask restart_pending(W);
+    LaneMask rejected(W);
+    LaneMask detected_lanes(W);
     std::uint64_t batch_replays = 0;
 
     // --- first pass: segment walk with per-boundary reaction --------
@@ -180,51 +230,53 @@ RecoveryEstimate run_recovering_mc_span(
       const Segment& seg = plan.segments[si];
       const std::uint32_t seg_id = static_cast<std::uint32_t>(si);
       sim.apply_noisy_span(state, circuit, seg.begin, seg.end + 1);
-      est.ops_main += seg.op_count() * static_cast<std::uint64_t>(
-                                           popcount(active));
-      comp_fired.assign(seg.components.size(), 0);
+      est.ops_main += seg.op_count() * active.popcount();
+      comp_fired.assign(seg.components.size() * W, 0);
       eval_boundary(checked, seg, state, ~0ULL, comp_fired, &est, active, hp,
                     seg_id, batch);
-      std::uint64_t fired_any = 0;
-      for (const std::uint64_t mask : comp_fired) fired_any |= mask;
+      LaneMask fired_any(W);
+      for (std::size_t c = 0; c < seg.components.size(); ++c)
+        for (unsigned w = 0; w < W; ++w)
+          fired_any.word(w) |= comp_fired[c * W + w];
       fired_any &= active;
-      if (fired_any != 0) {
+      if (fired_any.any()) {
         detected_lanes |= fired_any;
         switch (policy.kind) {
           case RetryPolicyKind::kNoRetry:
             rejected |= fired_any;
-            active &= ~fired_any;
+            active.remove(fired_any);
             break;
           case RetryPolicyKind::kWholeProgram:
             restart_pending |= fired_any;
-            active &= ~fired_any;
+            active.remove(fired_any);
             break;
           case RetryPolicyKind::kBlockLocal: {
-            std::uint64_t outstanding = fired_any;
-            for (int lane = 0; lane < 64; ++lane) {
-              if (!((outstanding >> lane) & 1ULL)) continue;
+            LaneMask outstanding = fired_any;
+            for (unsigned lane = 0; lane < lanes_per_batch; ++lane) {
+              if (!outstanding.test(lane)) continue;
               std::uint64_t set = 0;
-              for (std::size_t c = 0; c < comp_fired.size(); ++c)
-                set |= ((comp_fired[c] >> lane) & 1ULL) << c;
-              lane_set[static_cast<std::size_t>(lane)] = set;
-              local_left[static_cast<std::size_t>(lane)] =
-                  policy.max_local_attempts;
+              for (std::size_t c = 0; c < comp_fired.size() / W; ++c)
+                set |= ((comp_fired[c * W + (lane >> 6)] >> (lane & 63u)) &
+                        1ULL)
+                       << c;
+              lane_set[lane] = set;
+              local_left[lane] = policy.max_local_attempts;
             }
-            std::uint64_t failed = 0;
+            LaneMask failed(W);
             if (policy.max_local_attempts <= 0) {
               failed = outstanding;
-              outstanding = 0;
+              outstanding.clear();
             }
-            while (outstanding != 0) {
+            while (outstanding.any()) {
               // Group lanes by identical fired-component sets; process
               // in ascending set order so the RNG consumption — and
               // with it the whole estimate — is a pure function of the
               // shard.
-              std::map<std::uint64_t, std::uint64_t> groups;
-              for (int lane = 0; lane < 64; ++lane)
-                if ((outstanding >> lane) & 1ULL)
-                  groups[lane_set[static_cast<std::size_t>(lane)]] |= 1ULL
-                                                                      << lane;
+              std::map<std::uint64_t, LaneMask> groups;
+              for (unsigned lane = 0; lane < lanes_per_batch; ++lane)
+                if (outstanding.test(lane))
+                  groups.try_emplace(lane_set[lane], LaneMask(W))
+                      .first->second.set(lane);
               for (const auto& [set, consumers] : groups) {
                 boundary_cp.restore_all(scratch);
                 std::uint64_t replay_ops = 0;
@@ -233,8 +285,7 @@ RecoveryEstimate run_recovering_mc_span(
                   sim.apply_noisy(scratch, circuit.op(seg.begin + k));
                   ++replay_ops;
                 }
-                const std::uint64_t consumer_count =
-                    static_cast<std::uint64_t>(popcount(consumers));
+                const std::uint64_t consumer_count = consumers.popcount();
                 est.ops_local += replay_ops * consumer_count;
                 est.local_retries += consumer_count;
                 batch_replays += consumer_count;
@@ -242,26 +293,28 @@ RecoveryEstimate run_recovering_mc_span(
                   *hooks.local_retries += consumer_count;
                   (*hooks.seg_replays)[si] += consumer_count;
                   (*hooks.seg_replay_ops)[si] += replay_ops * consumer_count;
-                  hooks.emit(telemetry::EventKind::kCheckpointRestore, batch,
-                             seg_id, 0, consumers, 0);
-                  hooks.emit(telemetry::EventKind::kSegmentReplay, batch,
-                             seg_id, 0, consumers, replay_ops);
+                  hooks.emit_mask(telemetry::EventKind::kCheckpointRestore,
+                                  batch, seg_id, 0, consumers, 0);
+                  hooks.emit_mask(telemetry::EventKind::kSegmentReplay, batch,
+                                  seg_id, 0, consumers, replay_ops);
                 }
-                comp_fired.assign(seg.components.size(), 0);
+                comp_fired.assign(seg.components.size() * W, 0);
                 eval_boundary(checked, seg, scratch, set, comp_fired, nullptr,
-                              0);
-                std::uint64_t accept_mask = 0;
-                for (int lane = 0; lane < 64; ++lane) {
-                  if (!((consumers >> lane) & 1ULL)) continue;
+                              no_lanes);
+                LaneMask accept_mask(W);
+                for (unsigned lane = 0; lane < lanes_per_batch; ++lane) {
+                  if (!consumers.test(lane)) continue;
                   std::uint64_t next_set = 0;
-                  for (std::size_t c = 0; c < comp_fired.size(); ++c)
-                    next_set |= ((comp_fired[c] >> lane) & 1ULL) << c;
+                  for (std::size_t c = 0; c < comp_fired.size() / W; ++c)
+                    next_set |=
+                        ((comp_fired[c * W + (lane >> 6)] >> (lane & 63u)) &
+                         1ULL)
+                        << c;
                   if (next_set == 0) {
-                    accept_mask |= 1ULL << lane;
-                  } else if (--local_left[static_cast<std::size_t>(lane)] <=
-                             0) {
-                    failed |= 1ULL << lane;
-                    outstanding &= ~(1ULL << lane);
+                    accept_mask.set(lane);
+                  } else if (--local_left[lane] <= 0) {
+                    failed.set(lane);
+                    outstanding.reset(lane);
                   }
                   // On a partial success (some components clean, some
                   // re-fired) the lane keeps its FULL fired set: each
@@ -271,25 +324,24 @@ RecoveryEstimate run_recovering_mc_span(
                   // to the re-fired subset would accept the lane with
                   // the original corruption still in place.
                 }
-                if (accept_mask != 0) {
+                if (accept_mask.any()) {
                   for (std::size_t c = 0; c < seg.components.size(); ++c)
                     if ((set >> c) & 1ULL)
                       blend_cells_lanes(state, scratch,
                                         seg.components[c].cells, accept_mask);
-                  outstanding &= ~accept_mask;
+                  outstanding.remove(accept_mask);
                 }
               }
             }
-            if (failed != 0) {
-              est.fallbacks += static_cast<std::uint64_t>(popcount(failed));
+            if (failed.any()) {
+              est.fallbacks += failed.popcount();
               if (hp != nullptr) {
-                *hooks.fallbacks +=
-                    static_cast<std::uint64_t>(popcount(failed));
-                hooks.emit(telemetry::EventKind::kEscalationRestart, batch,
-                           seg_id, 0, failed, 0);
+                *hooks.fallbacks += failed.popcount();
+                hooks.emit_mask(telemetry::EventKind::kEscalationRestart,
+                                batch, seg_id, 0, failed, 0);
               }
               restart_pending |= failed;
-              active &= ~failed;
+              active.remove(failed);
             }
             break;
           }
@@ -299,10 +351,10 @@ RecoveryEstimate run_recovering_mc_span(
     }
 
     est.trials += static_cast<std::uint64_t>(lanes_this_batch);
-    est.detected_trials += static_cast<std::uint64_t>(popcount(detected_lanes));
-    std::uint64_t accepted_lanes = active & live;
+    est.detected_trials += detected_lanes.popcount();
+    LaneMask accepted_lanes = active & live;
     for (int lane = 0; lane < lanes_this_batch; ++lane) {
-      if (!((active >> lane) & 1ULL)) continue;
+      if (!active.test(static_cast<unsigned>(lane))) continue;
       ++est.accepted;
       if (classify(state, lane, batch)) ++est.silent_failures;
     }
@@ -310,58 +362,60 @@ RecoveryEstimate run_recovering_mc_span(
     // --- whole-program restarts (kWholeProgram, and kBlockLocal
     // fallbacks): full re-runs from the entry checkpoint, one attempt
     // per pending lane per pass ----------------------------------------
-    std::uint64_t pending = restart_pending;
-    if (pending != 0 && policy.max_program_attempts <= 0) {
+    LaneMask pending = restart_pending;
+    if (pending.any() && policy.max_program_attempts <= 0) {
       rejected |= pending;
-      pending = 0;
+      pending.clear();
     }
-    while (pending != 0) {
-      est.program_restarts += static_cast<std::uint64_t>(popcount(pending));
-      if (hp != nullptr)
-        *hooks.restarts += static_cast<std::uint64_t>(popcount(pending));
+    while (pending.any()) {
+      est.program_restarts += pending.popcount();
+      if (hp != nullptr) *hooks.restarts += pending.popcount();
       entry_cp.restore_all(scratch);
-      std::uint64_t still_clean = ~0ULL;
+      LaneMask still_clean = LaneMask::ones(W);
       for (const Segment& seg : plan.segments) {
         sim.apply_noisy_span(scratch, circuit, seg.begin, seg.end + 1);
         // A lane pays each segment until its first fired boundary —
         // the point a physical whole-program retry would abort at.
-        est.ops_restart += seg.op_count() * static_cast<std::uint64_t>(
-                                                popcount(pending & still_clean));
-        comp_fired.assign(seg.components.size(), 0);
-        eval_boundary(checked, seg, scratch, ~0ULL, comp_fired, nullptr, 0);
-        std::uint64_t fired = 0;
-        for (const std::uint64_t mask : comp_fired) fired |= mask;
-        still_clean &= ~fired;
-        if ((pending & still_clean) == 0) break;  // every pending lane failed
+        est.ops_restart += seg.op_count() * (pending & still_clean).popcount();
+        comp_fired.assign(seg.components.size() * W, 0);
+        eval_boundary(checked, seg, scratch, ~0ULL, comp_fired, nullptr,
+                      no_lanes);
+        LaneMask fired(W);
+        for (std::size_t c = 0; c < seg.components.size(); ++c)
+          for (unsigned w = 0; w < W; ++w)
+            fired.word(w) |= comp_fired[c * W + w];
+        still_clean.remove(fired);
+        if ((pending & still_clean).none()) break;  // every pending lane failed
       }
-      const std::uint64_t accepted_now = pending & still_clean;
-      if (accepted_now != 0) {
+      const LaneMask accepted_now = pending & still_clean;
+      if (accepted_now.any()) {
         blend_lanes(state, scratch, accepted_now);
         accepted_lanes |= accepted_now & live;
         for (int lane = 0; lane < lanes_this_batch; ++lane) {
-          if (!((accepted_now >> lane) & 1ULL)) continue;
+          if (!accepted_now.test(static_cast<unsigned>(lane))) continue;
           ++est.accepted;
           if (classify(state, lane, batch)) ++est.silent_failures;
         }
-        pending &= ~accepted_now;
+        pending.remove(accepted_now);
       }
-      std::uint64_t exhausted = 0;
-      for (int lane = 0; lane < 64; ++lane) {
-        if (!((pending >> lane) & 1ULL)) continue;
-        if (--program_left[static_cast<std::size_t>(lane)] <= 0)
-          exhausted |= 1ULL << lane;
+      LaneMask exhausted(W);
+      for (unsigned lane = 0; lane < lanes_per_batch; ++lane) {
+        if (!pending.test(lane)) continue;
+        if (--program_left[lane] <= 0) exhausted.set(lane);
       }
       rejected |= exhausted;
-      pending &= ~exhausted;
+      pending.remove(exhausted);
     }
-    est.rejected += static_cast<std::uint64_t>(popcount(rejected));
+    est.rejected += rejected.popcount();
     if (hp != nullptr) {
       ++*hooks.batches;
       *hooks.trials += static_cast<std::uint64_t>(lanes_this_batch);
       hooks.replays_per_batch->record(batch_replays);
-      hooks.emit(telemetry::EventKind::kBatchAccept, batch, 0, 0,
-                 accepted_lanes,
-                 static_cast<std::uint64_t>(popcount(accepted_lanes)));
+      for (unsigned w = 0; w < W; ++w)
+        hooks.emit(telemetry::EventKind::kBatchAccept, batch, 0, 0,
+                   accepted_lanes.word(w),
+                   static_cast<std::uint64_t>(
+                       std::popcount(accepted_lanes.word(w))));
     }
   }
   return est;

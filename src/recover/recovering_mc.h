@@ -1,13 +1,14 @@
 // revft/recover/recovering_mc.h
 //
-// The measurement harness of the retry protocol: a 64-lane packed
-// Monte-Carlo engine in which detection FEEDS BACK into execution.
-// Where detect/checked_mc.h only classifies trials (detected vs
-// silent), this engine reacts per lane at every boundary:
+// The measurement harness of the retry protocol: a lane-parallel
+// packed Monte-Carlo engine (64 * lane_words trials per batch, see
+// noise/lanes.h) in which detection FEEDS BACK into execution. Where
+// detect/checked_mc.h only classifies trials (detected vs silent),
+// this engine reacts per lane at every boundary:
 //
 //   * every trial lane runs the segment walk of recover/plan.h; at
 //     each boundary the rail invariants and zero checks are evaluated
-//     for all 64 lanes at once (same word work as the checked engine);
+//     for all lanes at once (same word work as the checked engine);
 //   * lanes whose checks fired are handled by the RetryPolicy: under
 //     kBlockLocal the fired components are replayed in a scratch state
 //     restored from the boundary checkpoint — grouped by identical
@@ -47,7 +48,7 @@
 namespace revft::recover {
 
 /// Batch-level callbacks, same contract as the other engines: prepare
-/// fills the 64 lanes of a cleared state (rails left zero); classify
+/// fills every lane of a cleared state (rails left zero); classify
 /// judges one lane's final output.
 using PrepareFn =
     std::function<void(PackedState&, Xoshiro256&, std::uint64_t)>;
@@ -85,7 +86,7 @@ RecoveryEstimate run_recovering_mc(const detect::CheckedCircuit& checked,
                                    Classify&& classify,
                                    telemetry::Trace* trace = nullptr) {
   PackedSimulator sim(model, opts.seed);
-  PackedState state(checked.circuit.width());
+  PackedState state(checked.circuit.width(), opts.lane_words);
   revft::detail::TraceShards traces(trace, 1);
   RecoveryEstimate est = run_recovering_mc_span(
       sim, state, checked, plan, policy,
@@ -108,15 +109,15 @@ RecoveryEstimate run_parallel_recovering_mc(
     const RetryPolicy& policy, const NoiseModel& model,
     const ParallelMcOptions& opts, KernelFactory&& factory,
     telemetry::Trace* trace = nullptr) {
-  const std::vector<McShard> shards =
-      plan_shards(opts.trials, opts.seed, opts.batches_per_shard);
+  const std::vector<McShard> shards = plan_shards(
+      opts.trials, opts.seed, opts.batches_per_shard, opts.lane_words);
   revft::detail::TraceShards traces(trace, shards.size());
   RecoveryEstimate est = revft::detail::run_sharded_as<RecoveryEstimate>(
       shards, resolve_thread_count(opts.threads),
       [&](const McShard& shard) -> RecoveryEstimate {
         auto kernel = factory(shard.index);
         PackedSimulator sim(model, shard.seed);
-        PackedState state(checked.circuit.width());
+        PackedState state(checked.circuit.width(), opts.lane_words);
         return run_recovering_mc_span(
             sim, state, checked, plan, policy, shard.first_batch, shard.trials,
             [&kernel](PackedState& s, Xoshiro256& rng, std::uint64_t batch) {

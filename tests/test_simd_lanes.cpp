@@ -1,0 +1,521 @@
+// Multi-word packed engine tests: the lane_words ∈ {1,2,4,8} widening
+// of the 64-lane Monte-Carlo core.
+//
+// The two pinned contracts of the widening:
+//   1. lane_words = 1 IS the legacy engine — same RNG stream, same
+//      masks, same estimates bit for bit. The pinned constants below
+//      were recorded on the pre-widening tree (the legacy code is
+//      gone, so these numbers are the only ground truth).
+//   2. Any fixed lane_words is bit-identical across REVFT_THREADS:
+//      the width is part of the determinism key (like
+//      batches_per_shard), the thread count never is.
+//
+// Plus: batched mask draws consume the identical RNG stream as
+// sequential draws (the geometric gap spans word boundaries), ideal
+// gate kernels agree with the scalar reference simulator at every
+// width, different widths agree statistically (they run DIFFERENT
+// trials — same distribution, different stream), checkpoint spans
+// evaluate identically to the group walk, multi-word checkpoint
+// blends move exactly the masked lanes, and the compiled-program
+// cache serves hits without recompiling.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "detect/checked_mc.h"
+#include "detect/rail.h"
+#include "ft/experiments.h"
+#include "ft/machine_kernel.h"
+#include "ft/recover_experiment.h"
+#include "local/checked_machine.h"
+#include "local/machine1d.h"
+#include "local/program_cache.h"
+#include "noise/lanes.h"
+#include "noise/packed_sim.h"
+#include "noise/parallel_mc.h"
+#include "recover/checkpoint.h"
+#include "rev/simulator.h"
+#include "support/rng.h"
+#include "telemetry/metrics.h"
+
+namespace revft {
+namespace {
+
+/// The scattered 10-bit workload of bench_local_checked/bench_recover
+/// — also the workload the legacy baselines below were recorded on.
+Circuit scattered10() {
+  Circuit logical(10);
+  logical.maj(9, 4, 0)
+      .toffoli(0, 7, 9)
+      .majinv(4, 1, 8)
+      .fredkin(2, 6, 9)
+      .swap3(0, 5, 9);
+  return logical;
+}
+
+// --- LaneMask ---------------------------------------------------------
+
+TEST(LaneMask, FirstNBuildsPartialLiveMasks) {
+  for (unsigned W : {1u, 2u, 4u, 8u}) {
+    EXPECT_EQ(LaneMask::first_n(W, 0).popcount(), 0u);
+    EXPECT_TRUE(LaneMask::first_n(W, 0).none());
+    EXPECT_EQ(LaneMask::first_n(W, 64 * W).popcount(), 64 * W);
+    const LaneMask partial = LaneMask::first_n(W, 64 * W - 3);
+    EXPECT_EQ(partial.popcount(), 64 * W - 3);
+    EXPECT_TRUE(partial.test(0));
+    EXPECT_FALSE(partial.test(static_cast<int>(64 * W - 1)));
+  }
+  // A partial word in the middle of the run.
+  const LaneMask m = LaneMask::first_n(4, 70);
+  EXPECT_EQ(m.word(0), ~0ULL);
+  EXPECT_EQ(m.word(1), 0x3FULL);
+  EXPECT_EQ(m.word(2), 0ULL);
+}
+
+TEST(LaneMask, SetResetRemoveAndOperators) {
+  LaneMask a(4);
+  a.set(1);
+  a.set(64);
+  a.set(255);
+  EXPECT_EQ(a.popcount(), 3u);
+  EXPECT_TRUE(a.test(64));
+  a.reset(64);
+  EXPECT_FALSE(a.test(64));
+
+  LaneMask b(4);
+  b.set(1);
+  b.set(200);
+  const LaneMask both = a | b;
+  EXPECT_EQ(both.popcount(), 3u);  // {1, 200, 255}
+  LaneMask c = both;
+  c.remove(b);  // strip {1, 200}
+  EXPECT_EQ(c.popcount(), 1u);
+  EXPECT_TRUE(c.test(255));
+  EXPECT_EQ((a & b).popcount(), 1u);
+  EXPECT_TRUE((a & b).test(1));
+}
+
+// --- mask-stream pinning (legacy values, recorded pre-widening) -------
+
+TEST(MaskStream, ThresholdPathPinnedToLegacyStream) {
+  Xoshiro256 rng(42);
+  BernoulliMaskStream s(0.2, &rng);
+  const std::uint64_t expected[4] = {0x50202000300001ULL, 0x6824359801006027ULL,
+                                     0x2914984444204210ULL,
+                                     0x805108082420802ULL};
+  for (const std::uint64_t e : expected) EXPECT_EQ(s.next_mask(), e);
+}
+
+TEST(MaskStream, GeometricPathPinnedToLegacyStream) {
+  Xoshiro256 rng(42);
+  BernoulliMaskStream s(0.01, &rng);
+  const std::uint64_t expected[16] = {
+      0x0ULL,          0x0ULL,  0x0ULL,     0x40000000000000ULL,
+      0x0ULL,          0x4000000000800000ULL,
+      0x4000000c0ULL,  0x1000000100008ULL,
+      0x4000000000ULL, 0x2000ULL,
+      0x0ULL,          0x80000100ULL,
+      0x0ULL,          0x8004000000010000ULL,
+      0x1000000000000ULL, 0x1000000002ULL};
+  for (const std::uint64_t e : expected) EXPECT_EQ(s.next_mask(), e);
+}
+
+TEST(MaskStream, BatchedDrawMatchesSequentialDraws) {
+  for (const unsigned W : {2u, 4u, 8u}) {
+    for (const double p : {0.0005, 0.01, 0.2}) {
+      Xoshiro256 ra(123), rb(123);
+      BernoulliMaskStream batched(p, &ra), sequential(p, &rb);
+      std::uint64_t batch[kMaxLaneWords];
+      for (int round = 0; round < 200; ++round) {
+        batched.next_masks(batch, W);
+        for (unsigned w = 0; w < W; ++w)
+          ASSERT_EQ(batch[w], sequential.next_mask())
+              << "W=" << W << " p=" << p << " round=" << round << " w=" << w;
+      }
+      // The streams must also be in the same STATE afterwards — the
+      // draw-free fast path (gap spans the whole batch) has to leave
+      // the pending gap counter where sequential consumption would.
+      for (int i = 0; i < 16; ++i)
+        ASSERT_EQ(batched.next_mask(), sequential.next_mask());
+    }
+  }
+}
+
+TEST(MaskStream, GeometricGapStatisticsSpanWordBoundaries) {
+  // Batched draws at W=8 with a gap that regularly spans several
+  // words: the realized failure rate must match p (exact sampler, no
+  // per-word truncation). 5-sigma tolerance on ~2M lanes.
+  const double p = 0.003;
+  Xoshiro256 rng(99);
+  BernoulliMaskStream s(p, &rng);
+  std::uint64_t batch[kMaxLaneWords];
+  std::uint64_t set_bits = 0;
+  const int rounds = 4000;
+  for (int i = 0; i < rounds; ++i) {
+    s.next_masks(batch, 8);
+    for (int w = 0; w < 8; ++w) set_bits += std::popcount(batch[w]);
+  }
+  const double lanes = static_cast<double>(rounds) * 512.0;
+  const double sigma = std::sqrt(p * (1.0 - p) * lanes);
+  EXPECT_NEAR(static_cast<double>(set_bits), p * lanes, 5.0 * sigma);
+}
+
+// --- ideal kernels vs the scalar reference, every width ---------------
+
+TEST(PackedWide, IdealKernelsMatchScalarSimulatorAtEveryWidth) {
+  // A circuit touching every gate kind the kernels dispatch.
+  Circuit c(6);
+  c.not_(0)
+      .cnot(0, 1)
+      .swap(1, 2)
+      .toffoli(0, 1, 3)
+      .fredkin(3, 2, 4)
+      .swap3(0, 4, 5)
+      .maj(1, 3, 5)
+      .majinv(1, 3, 5)
+      .f2g(2, 0, 4)
+      .nft(5, 1, 2)
+      .init3(0, 2, 4);
+
+  Xoshiro256 rng(0xABCDEFULL);
+  for (const unsigned W : {1u, 2u, 4u, 8u}) {
+    PackedState state(c.width(), W);
+    // Random per-lane inputs, recorded so each lane can be replayed
+    // through the scalar simulator.
+    std::vector<std::uint64_t> inputs(c.width() * W);
+    for (std::uint32_t bit = 0; bit < c.width(); ++bit)
+      for (unsigned w = 0; w < W; ++w) {
+        inputs[bit * W + w] = rng.next();
+        state.words(bit)[w] = inputs[bit * W + w];
+      }
+    PackedSimulator::apply_ideal(state, c);
+
+    for (const int lane : {0, 1, 63, 64, static_cast<int>(64 * W - 1)}) {
+      if (lane >= static_cast<int>(64 * W)) continue;
+      StateVector sv(c.width());
+      for (std::uint32_t bit = 0; bit < c.width(); ++bit)
+        sv.set_bit(bit, static_cast<std::uint8_t>(
+                            (inputs[bit * W + (lane >> 6)] >> (lane & 63)) & 1u));
+      for (const Gate& g : c.ops()) sv.apply(g);
+      for (std::uint32_t bit = 0; bit < c.width(); ++bit)
+        ASSERT_EQ(state.bit_lane(bit, lane), sv.bit(bit))
+            << "W=" << W << " lane=" << lane << " bit=" << bit;
+    }
+  }
+}
+
+TEST(PackedWide, ParityWordsMatchesPerLaneParity) {
+  const unsigned W = 4;
+  PackedState state(5, W);
+  Xoshiro256 rng(7);
+  for (std::uint32_t bit = 0; bit < 5; ++bit)
+    for (unsigned w = 0; w < W; ++w) state.words(bit)[w] = rng.next();
+
+  std::uint64_t total[kMaxLaneWords];
+  state.parity_words(5, total);
+  std::uint64_t group[kMaxLaneWords];
+  state.parity_words_over({0, 1, 2, 3, 4}, group);
+  for (unsigned w = 0; w < W; ++w) EXPECT_EQ(total[w], group[w]);
+
+  for (const int lane : {0, 17, 100, 255}) {
+    unsigned parity = 0;
+    for (std::uint32_t bit = 0; bit < 5; ++bit) parity ^= state.bit_lane(bit, lane);
+    EXPECT_EQ((total[lane >> 6] >> (lane & 63)) & 1u, parity) << lane;
+  }
+}
+
+// --- W=1 end-to-end pinning (legacy estimates, recorded pre-widening) -
+
+TEST(WideEngine, LaneWords1ReproducesLegacyPlainEstimate) {
+  const Circuit logical = scattered10();
+  const CheckedMachineProgram prog = CheckedMachine1d(10).compile(logical);
+  const auto truth = machine_truth_table(logical);
+  ParallelMcOptions opts;
+  opts.trials = 20000;
+  opts.seed = 0xD5A2005ULL;
+  opts.threads = 1;
+  const auto est = run_parallel_mc(
+      prog.checked.circuit, NoiseModel::uniform(1e-3), opts,
+      [&](std::uint64_t) { return make_machine_kernel(prog, truth); });
+  EXPECT_EQ(est.trials, 20000u);
+  EXPECT_EQ(est.failures, 931u);  // recorded on the pre-widening tree
+}
+
+TEST(WideEngine, LaneWords1ReproducesLegacyCheckedEstimate) {
+  const Circuit logical = scattered10();
+  CheckedMachineExperiment::Config config;
+  config.trials = 20000;
+  config.seed = 0xD5A2005ULL;
+  const CheckedMachineExperiment exp(CheckedMachine1d(10).compile(logical),
+                                     logical, config);
+  const auto e = exp.run(1e-3, 1);
+  EXPECT_EQ(e.detected, 17368u);
+  EXPECT_EQ(e.detected_failures, 931u);
+  EXPECT_EQ(e.silent_failures, 0u);
+  EXPECT_EQ(e.zero_check_detected, 17176u);
+  const std::vector<std::uint64_t> rails = {3248, 2030, 2015, 1312, 3089,
+                                            1665, 2210, 2789, 2762, 4063};
+  EXPECT_EQ(e.rail_detected, rails);
+}
+
+TEST(WideEngine, LaneWords1ReproducesLegacyRecoveringEstimate) {
+  const Circuit logical = scattered10();
+  RecoveryExperiment::Config config;
+  config.trials = 20000;
+  config.seed = 0xD5A2005ULL;
+  const RecoveryExperiment exp(
+      CheckedMachine1d(10, true, recovering_machine_options()).compile(logical),
+      logical, config);
+  const auto e = exp.run(1e-3, recover::RetryPolicy::block_local(), 1);
+  EXPECT_EQ(e.accepted, 19934u);
+  EXPECT_EQ(e.silent_failures, 0u);
+  EXPECT_EQ(e.detected_trials, 17393u);
+  EXPECT_EQ(e.local_retries, 41600u);
+  EXPECT_EQ(e.program_restarts, 1044u);
+  EXPECT_EQ(e.fallbacks, 204u);
+  EXPECT_EQ(e.rejected, 66u);
+  EXPECT_EQ(e.ops_main, 47960778u);
+  EXPECT_EQ(e.ops_local, 2425117u);
+  EXPECT_EQ(e.ops_restart, 1130171u);
+  EXPECT_EQ(e.zero_check_events, 38997u);
+  const std::vector<std::uint64_t> rails = {7332, 3638, 3695, 1368, 4215,
+                                            3762, 4067, 4035, 4138, 8227};
+  EXPECT_EQ(e.rail_events, rails);
+}
+
+// --- cross-width agreement and determinism ----------------------------
+
+TEST(WideEngine, WidthsAgreeStatistically) {
+  // Different widths consume the mask stream in different batch
+  // shapes, so they run DIFFERENT trials — the contract is equal
+  // distribution, not equal streams. Compare detected rates pairwise
+  // against W=1 at 5 combined sigmas.
+  const Circuit logical = scattered10();
+  const double g = 1e-3;
+  const std::uint64_t trials = 20000;
+
+  double rates[4] = {};
+  const unsigned widths[] = {1, 2, 4, 8};
+  for (int i = 0; i < 4; ++i) {
+    CheckedMachineExperiment::Config config;
+    config.trials = trials;
+    config.seed = 0xD5A2005ULL;
+    config.lane_words = widths[i];
+    const CheckedMachineExperiment exp(CheckedMachine1d(10).compile(logical),
+                                       logical, config);
+    const auto e = exp.run(g, 1);
+    EXPECT_EQ(e.trials, trials);
+    // Silent failures need several faults to cancel every rail; at
+    // g=1e-3 that's vanishingly rare but not impossible (the stream
+    // differs per width), so bound it instead of demanding zero.
+    EXPECT_LE(e.silent_failures, 5u) << "W=" << widths[i];
+    rates[i] = e.detected_rate();
+  }
+  const double n = static_cast<double>(trials);
+  for (int i = 1; i < 4; ++i) {
+    const double pbar = (rates[0] + rates[i]) / 2.0;
+    const double sigma = std::sqrt(pbar * (1.0 - pbar) * 2.0 / n);
+    EXPECT_NEAR(rates[i], rates[0], 5.0 * sigma) << "W=" << widths[i];
+  }
+}
+
+TEST(WideEngine, CheckedThreadCountInvariantAtEveryWidth) {
+  const Circuit logical = scattered10();
+  const CheckedMachineProgram program = CheckedMachine1d(10).compile(logical);
+  for (const unsigned W : {1u, 2u, 4u, 8u}) {
+    CheckedMachineExperiment::Config config;
+    config.trials = 20000;
+    config.seed = 0xD5A2005ULL;
+    config.lane_words = W;
+    const CheckedMachineExperiment exp(program, logical, config);
+    const auto e1 = exp.run(1e-3, 1);
+    const auto e3 = exp.run(1e-3, 3);
+    const auto e8 = exp.run(1e-3, 8);
+    EXPECT_EQ(e1, e3) << "W=" << W;
+    EXPECT_EQ(e1, e8) << "W=" << W;
+  }
+}
+
+TEST(WideEngine, RecoveringThreadCountInvariantWide) {
+  const Circuit logical = scattered10();
+  const auto program =
+      CheckedMachine1d(10, true, recovering_machine_options()).compile(logical);
+  for (const unsigned W : {2u, 8u}) {
+    RecoveryExperiment::Config config;
+    config.trials = 10000;
+    config.seed = 0xD5A2005ULL;
+    config.lane_words = W;
+    const RecoveryExperiment exp(program, logical, config);
+    const auto e1 = exp.run(1e-3, recover::RetryPolicy::block_local(), 1);
+    const auto e3 = exp.run(1e-3, recover::RetryPolicy::block_local(), 3);
+    const auto e8 = exp.run(1e-3, recover::RetryPolicy::block_local(), 8);
+    EXPECT_EQ(e1, e3) << "W=" << W;
+    EXPECT_EQ(e1, e8) << "W=" << W;
+    EXPECT_EQ(e1.trials, 10000u);
+    // The protocol actually engaged at this width (not a vacuous run).
+    EXPECT_GT(e1.detected_trials, 0u);
+    EXPECT_GT(e1.local_retries, 0u);
+  }
+}
+
+// --- checkpoint spans vs the group walk -------------------------------
+
+TEST(CheckpointSpans, BuiltForEveryCheckpointAndConsistent) {
+  Circuit logical(4);
+  logical.toffoli(0, 1, 2).maj(1, 2, 3);
+  const auto checked = CheckedMachine1d(4).compile(logical).checked;
+  ASSERT_EQ(checked.checkpoint_spans.size(), checked.checkpoints.size());
+  for (std::size_t c = 0; c < checked.checkpoints.size(); ++c) {
+    const detect::CheckpointSpan& span = checked.checkpoint_spans[c];
+    const auto& groups = checked.checkpoint_groups[c];
+    ASSERT_EQ(span.rail_first.size(), groups.size() + 1);
+    for (std::size_t r = 0; r < groups.size(); ++r) {
+      const std::size_t first = span.rail_first[r];
+      const std::size_t last = span.rail_first[r + 1];
+      ASSERT_EQ(last - first, groups[r].size());
+      for (std::size_t i = first; i < last; ++i)
+        EXPECT_EQ(span.bits[i], groups[r][i - first]);
+    }
+  }
+}
+
+TEST(CheckpointSpans, SpanEvaluationMatchesGroupWalk) {
+  Circuit logical(4);
+  logical.toffoli(0, 1, 2).maj(1, 2, 3);
+  const auto with_spans = CheckedMachine1d(4).compile(logical).checked;
+  detect::CheckedCircuit without_spans = with_spans;
+  without_spans.checkpoint_spans.clear();  // forces the group-walk path
+
+  for (const unsigned W : {1u, 4u}) {
+    PackedSimulator sim_a(NoiseModel::uniform(3e-3), 2024);
+    PackedSimulator sim_b(NoiseModel::uniform(3e-3), 2024);
+    PackedState state_a(with_spans.circuit.width(), W);
+    PackedState state_b(without_spans.circuit.width(), W);
+    std::uint64_t det_a[kMaxLaneWords], det_b[kMaxLaneWords];
+    for (int round = 0; round < 32; ++round) {
+      detect::apply_noisy_checked_words(sim_a, state_a, with_spans, det_a);
+      detect::apply_noisy_checked_words(sim_b, state_b, without_spans, det_b);
+      for (unsigned w = 0; w < W; ++w)
+        ASSERT_EQ(det_a[w], det_b[w]) << "W=" << W << " round=" << round;
+      for (std::uint32_t bit = 0; bit < state_a.width(); ++bit)
+        for (unsigned w = 0; w < W; ++w)
+          ASSERT_EQ(state_a.words(bit)[w], state_b.words(bit)[w]);
+      state_a.clear();
+      state_b.clear();
+    }
+  }
+}
+
+// --- multi-word checkpoint and blends ---------------------------------
+
+TEST(WideCheckpoint, CaptureRestoreRoundTrip) {
+  const unsigned W = 4;
+  PackedState state(6, W);
+  Xoshiro256 rng(11);
+  for (std::uint32_t bit = 0; bit < 6; ++bit)
+    for (unsigned w = 0; w < W; ++w) state.words(bit)[w] = rng.next();
+
+  recover::PackedCheckpoint ckpt;
+  ckpt.capture(state);
+  EXPECT_EQ(ckpt.width(), 6u);
+  EXPECT_EQ(ckpt.lane_words(), W);
+
+  PackedState scratch(6, W);
+  ckpt.restore_all(scratch);
+  for (std::uint32_t bit = 0; bit < 6; ++bit)
+    for (unsigned w = 0; w < W; ++w)
+      EXPECT_EQ(scratch.words(bit)[w], state.words(bit)[w]);
+}
+
+TEST(WideCheckpoint, LaneMaskBlendMovesExactlyTheMaskedLanes) {
+  const unsigned W = 4;
+  PackedState dst(3, W), src(3, W);
+  for (std::uint32_t bit = 0; bit < 3; ++bit) src.fill_bit(bit, true);
+
+  LaneMask mask(W);
+  mask.set(0);
+  mask.set(63);
+  mask.set(64);   // crosses the word boundary
+  mask.set(200);
+
+  recover::blend_lanes(dst, src, mask);
+  for (std::uint32_t bit = 0; bit < 3; ++bit)
+    for (int lane = 0; lane < static_cast<int>(64 * W); ++lane)
+      EXPECT_EQ(dst.bit_lane(bit, lane), mask.test(lane) ? 1 : 0)
+          << "bit=" << bit << " lane=" << lane;
+
+  // Cell-restricted blend: only the listed cells move.
+  PackedState dst2(3, W);
+  recover::blend_cells_lanes(dst2, src, {1}, mask);
+  for (int lane = 0; lane < static_cast<int>(64 * W); ++lane) {
+    EXPECT_EQ(dst2.bit_lane(0, lane), 0);
+    EXPECT_EQ(dst2.bit_lane(1, lane), mask.test(lane) ? 1 : 0);
+    EXPECT_EQ(dst2.bit_lane(2, lane), 0);
+  }
+}
+
+// --- the compiled-program cache ---------------------------------------
+
+TEST(ProgramCacheTest, HitsServeTheSameBundleWithoutRecompiling) {
+  auto& cache = ProgramCache::instance();
+  const std::uint64_t h0 = cache.hits();
+  const std::uint64_t m0 = cache.misses();
+
+  Circuit logical(3);
+  logical.toffoli(0, 1, 2);
+  const auto a = cache.get(MachineKind::k1d, logical);
+  const auto b = cache.get(MachineKind::k1d, logical);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(cache.misses(), m0 + 1);
+  EXPECT_EQ(cache.hits(), h0 + 1);
+
+  // The bundle matches a direct compile and carries the segment plan.
+  const auto direct = CheckedMachine1d(3).compile(logical);
+  EXPECT_EQ(a->program.checked.circuit, direct.checked.circuit);
+  EXPECT_FALSE(a->plan.segments.empty());
+}
+
+TEST(ProgramCacheTest, KeyDiscriminatesOptionsMachineAndWorkload) {
+  auto& cache = ProgramCache::instance();
+  Circuit logical(3);
+  logical.toffoli(0, 1, 2);
+  const auto base = cache.get(MachineKind::k1d, logical);
+
+  CheckedMachineOptions global;
+  global.rails = RailGranularity::kGlobal;
+  EXPECT_NE(base.get(), cache.get(MachineKind::k1d, logical, true, global).get());
+  EXPECT_NE(base.get(), cache.get(MachineKind::k2d, logical).get());
+  EXPECT_NE(base.get(),
+            cache.get(MachineKind::k1d, logical, true,
+                      recovering_machine_options())
+                .get());
+
+  Circuit other(3);
+  other.toffoli(2, 1, 0);  // same width and kind, different operands
+  EXPECT_NE(base.get(), cache.get(MachineKind::k1d, other).get());
+}
+
+TEST(ProgramCacheTest, ExportsTelemetryCounters) {
+  auto& cache = ProgramCache::instance();
+  Circuit logical(3);
+  logical.maj(0, 1, 2);
+  (void)cache.get(MachineKind::k1d, logical);
+
+  telemetry::MetricsRegistry metrics;
+  cache.export_metrics(metrics);
+  const telemetry::Metric* hits = metrics.find("program_cache.hits");
+  const telemetry::Metric* misses = metrics.find("program_cache.misses");
+  const telemetry::Metric* entries = metrics.find("program_cache.entries");
+  ASSERT_NE(hits, nullptr);
+  ASSERT_NE(misses, nullptr);
+  ASSERT_NE(entries, nullptr);
+  EXPECT_EQ(hits->value, cache.hits());
+  EXPECT_EQ(misses->value, cache.misses());
+  EXPECT_GE(entries->value, 1u);
+}
+
+}  // namespace
+}  // namespace revft
