@@ -52,15 +52,16 @@ void run_regime(bool noisy_init, std::uint64_t trials, std::uint64_t seed,
 
   const std::vector<double> gs{1e-3, 2e-3, 4e-3, 8e-3, 1.6e-2,
                                3.2e-2, 6.4e-2, 1e-1, 1.5e-1, 2e-1};
-  AsciiTable table({"g", "p_logical [measured]", "95% CI", "p/g",
+  AsciiTable table({"g", "p_logical [measured]", "95% CI", "+/-hw", "p/g",
                     "paper bound 3C(G,2)g^2"});
   std::vector<SweepSample> samples;
   for (const auto& point : sweep_gate_error(exp, gs)) {
     const double p = point.logical_error.rate();
-    const auto ci = point.logical_error.wilson();
+    const auto ci = point.logical_error.wilson_interval();
     samples.push_back({point.g, p});
     table.add_row({AsciiTable::sci(point.g, 1), AsciiTable::sci(p, 3),
                    AsciiTable::interval(ci.lo, ci.hi),
+                   AsciiTable::sci(point.logical_error.half_width(), 1),
                    AsciiTable::fixed(p / point.g, 3),
                    AsciiTable::sci(logical_error_one_level(point.g, G), 2)});
   }

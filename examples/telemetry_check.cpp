@@ -14,7 +14,16 @@
 //     event accounting, metrics snapshot;
 //   * TRACE_*.json   — Chrome trace: "traceEvents" array opening with
 //     the ph:"M" process_name metadata record, every later record a
-//     ph:"i" instant with the deterministic args payload.
+//     ph:"i" instant or a ph:"C" counter sample (the convergence
+//     series) with the deterministic args payload;
+//   * CONV_*.json    — telemetry::ConvergenceTrajectory::to_json(): a
+//     streaming run's snapshot series. Beyond the schema, the series
+//     itself is validated: trials strictly increase round over round,
+//     and the Wilson half-width must not grow between consecutive
+//     post-burn-in snapshots that saw no new failure at rate <= 1/2 —
+//     the one regime where the half-width is provably monotone (new
+//     failures legitimately widen it, so a raw monotonicity demand
+//     would flake).
 //
 // With --enforce-bars, every key matching *_within_* (the acceptance
 // bars the benches embed, e.g. disabled_within_1_03x or
@@ -180,13 +189,119 @@ void check_trace(const std::string& file, const Value& doc) {
     const Value& ev = events->elements()[i];
     need(file, ev, "name", Kind::kString);
     const Value* evph = ev.is_object() ? ev.find("ph") : nullptr;
+    // Two record shapes are deterministic enough to ship: ph:"i"
+    // instants (the event stream) and ph:"C" counter samples (the
+    // convergence series). Anything else smells of wall-clock.
     if (evph == nullptr || evph->kind() != Kind::kString ||
-        evph->as_string() != "i") {
-      fail(file, "traceEvent is not a ph:\"i\" instant");
+        (evph->as_string() != "i" && evph->as_string() != "C")) {
+      fail(file, "traceEvent is not a ph:\"i\" instant or ph:\"C\" counter");
       break;  // one diagnostic per file, not one per event
     }
     need_uint(file, ev, "ts");
     need(file, ev, "args", Kind::kObject);
+  }
+}
+
+// ----------------------------------------------------------------- CONV_
+
+const Value* need_number(const std::string& file, const Value& obj,
+                         const std::string& key) {
+  const Value* v = obj.is_object() ? obj.find(key) : nullptr;
+  if (v == nullptr || !v->is_number()) {
+    fail(file, "missing numeric key \"" + key + "\"");
+    return nullptr;
+  }
+  return v;
+}
+
+void check_conv(const std::string& file, const Value& doc) {
+  need(file, doc, "name", Kind::kString);
+  check_provenance(file, doc);
+  need(file, doc, "engine", Kind::kString);
+
+  if (const Value* key = need(file, doc, "determinism_key", Kind::kObject)) {
+    need_uint(file, *key, "trials");
+    need_uint(file, *key, "seed");
+    need_uint(file, *key, "batches_per_shard");
+    need_uint(file, *key, "lane_words");
+  }
+
+  // Burn-in threshold for the half-width monotonicity check below.
+  std::uint64_t min_trials = 0;
+  if (const Value* policy = need(file, doc, "policy", Kind::kObject)) {
+    need_number(file, *policy, "z");
+    need_number(file, *policy, "target_half_width");
+    need_number(file, *policy, "target_rel_half_width");
+    need_number(file, *policy, "target_upper_bound");
+    if (const Value* mt = need_uint(file, *policy, "min_trials"))
+      min_trials = mt->as_uint();
+    need_uint(file, *policy, "min_failures");
+  }
+
+  const Value* snaps = need(file, doc, "snapshots", Kind::kArray);
+  std::uint64_t last_trials = 0;
+  if (snaps != nullptr) {
+    if (snaps->elements().empty())
+      fail(file, "\"snapshots\" is empty — the run observed nothing");
+    bool have_prev = false;
+    std::uint64_t prev_trials = 0, prev_failures = 0;
+    double prev_rate = 0.0, prev_hw = 0.0;
+    bool prev_burned = false;
+    for (const Value& row : snaps->elements()) {
+      need_uint(file, row, "round");
+      const Value* trials = need_uint(file, row, "trials");
+      need_uint(file, row, "denominator");
+      const Value* failures = need_uint(file, row, "failures");
+      const Value* rate = need_number(file, row, "rate");
+      const Value* hw = need_number(file, row, "half_width");
+      if (trials == nullptr || failures == nullptr || rate == nullptr ||
+          hw == nullptr)
+        return;  // schema already failed; the series checks would lie
+
+      if (have_prev && trials->as_uint() <= prev_trials) {
+        fail(file, "snapshot trials are not strictly increasing");
+        return;
+      }
+      // Sound half-width monotonicity: between consecutive post-burn-in
+      // snapshots with EQUAL failure counts and rate <= 1/2 the Wilson
+      // half-width provably shrinks as the denominator grows. Outside
+      // that regime (a new failure landed, or rate > 1/2) no direction
+      // is guaranteed, so nothing is demanded.
+      const bool burned = trials->as_uint() >= min_trials;
+      if (have_prev && prev_burned && burned &&
+          failures->as_uint() == prev_failures && prev_rate <= 0.5 &&
+          rate->as_double() <= 0.5 &&
+          hw->as_double() > prev_hw + 1e-12) {
+        fail(file, "half-width grew between failure-free snapshots");
+        return;
+      }
+      have_prev = true;
+      prev_trials = trials->as_uint();
+      prev_failures = failures->as_uint();
+      prev_rate = rate->as_double();
+      prev_hw = hw->as_double();
+      prev_burned = burned;
+      last_trials = prev_trials;
+    }
+  }
+
+  if (const Value* stop = need(file, doc, "stop", Kind::kObject)) {
+    static const std::set<std::string> kReasons{
+        "none", "exhausted", "half_width", "rel_half_width", "upper_bound"};
+    if (const Value* reason = need(file, *stop, "reason", Kind::kString))
+      if (kReasons.count(reason->as_string()) == 0)
+        fail(file, "unknown stop reason \"" + reason->as_string() + "\"");
+    need(file, *stop, "stopped_early", Kind::kBool);
+    need_uint(file, *stop, "rounds");
+    need_uint(file, *stop, "trials_budget");
+    if (const Value* consumed = need_uint(file, *stop, "trials_consumed"))
+      if (snaps != nullptr && consumed->as_uint() != last_trials)
+        fail(file, "stop.trials_consumed disagrees with the last snapshot");
+  }
+
+  if (const Value* wall = need(file, doc, "wall", Kind::kObject)) {
+    need_uint(file, *wall, "rounds");
+    need_number(file, *wall, "total_seconds");
   }
 }
 
@@ -234,8 +349,10 @@ void check_file(const std::string& path, bool bars) {
     check_report(path, parsed.value, bars);
   } else if (base.rfind("TRACE_", 0) == 0) {
     check_trace(path, parsed.value);
+  } else if (base.rfind("CONV_", 0) == 0) {
+    check_conv(path, parsed.value);
   } else {
-    fail(path, "unknown artifact prefix (expected BENCH_/REPORT_/TRACE_)");
+    fail(path, "unknown artifact prefix (expected BENCH_/REPORT_/TRACE_/CONV_)");
     return;
   }
   if (bars) enforce_bars(path, "", parsed.value);
@@ -259,7 +376,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: telemetry_check [--enforce-bars "
                  "[--bars-matching SUBSTR]] FILE...\n"
-                 "validates BENCH_/REPORT_/TRACE_ JSON artifacts\n");
+                 "validates BENCH_/REPORT_/TRACE_/CONV_ JSON artifacts\n");
     return 2;
   }
   for (const std::string& f : files) check_file(f, bars);

@@ -100,6 +100,25 @@ BernoulliEstimate LogicalGateExperiment::run(double g) const {
       });
 }
 
+telemetry::StreamResult<BernoulliEstimate> LogicalGateExperiment::run_streaming(
+    double g, const telemetry::StreamOptions& stream) const {
+  NoiseModel model = NoiseModel::uniform(g);
+  if (!config_.noisy_init) model.with_perfect_init();
+
+  const int arity = gate_arity(config_.gate);
+  telemetry::StreamOptions opts = stream;
+  opts.mc.trials = config_.trials;
+  opts.mc.seed = config_.seed;
+  opts.mc.threads = config_.threads;
+
+  return telemetry::run_streaming_mc(
+      module_.physical, model, opts, [&](std::uint64_t) {
+        return LogicalGateKernel{
+            &module_, &input_leaves_, config_.gate, arity,
+            std::vector<std::uint64_t>(static_cast<std::size_t>(arity), 0)};
+      });
+}
+
 std::vector<ThresholdPoint> sweep_gate_error(const LogicalGateExperiment& exp,
                                              const std::vector<double>& gs) {
   std::vector<ThresholdPoint> points;
@@ -292,6 +311,25 @@ detect::DetectionEstimate CheckedMachineExperiment::run(
   // engine instantiates the same type, which is what keeps the
   // cross-engine bit-for-bit contract honest.
   return detect::run_parallel_checked_mc(
+      program_.checked, model, opts,
+      [&](std::uint64_t) { return make_machine_kernel(program_, truth_); },
+      trace);
+}
+
+telemetry::StreamResult<detect::DetectionEstimate>
+CheckedMachineExperiment::run_streaming(double g,
+                                        const telemetry::StreamOptions& stream,
+                                        telemetry::Trace* trace) const {
+  NoiseModel model = NoiseModel::uniform(g);
+  if (!config_.noisy_init) model.with_perfect_init();
+
+  telemetry::StreamOptions opts = stream;
+  opts.mc.trials = config_.trials;
+  opts.mc.seed = config_.seed;
+  opts.mc.threads = config_.threads;
+  opts.mc.lane_words = config_.lane_words;
+
+  return telemetry::run_streaming_checked_mc(
       program_.checked, model, opts,
       [&](std::uint64_t) { return make_machine_kernel(program_, truth_); },
       trace);

@@ -23,6 +23,7 @@
 #include "local/recovery_meta.h"
 #include "noise/parallel_mc.h"
 #include "support/stats.h"
+#include "telemetry/stream.h"
 
 namespace revft {
 
@@ -50,6 +51,15 @@ class LogicalGateExperiment {
 
   /// P[compiled gate outputs a wrong logical value] at error rate g.
   BernoulliEstimate run(double g) const;
+
+  /// Streaming variant of run(): identical per-batch semantics (a
+  /// never-firing stop policy reproduces run() bit for bit), observed
+  /// at merged round boundaries. `stream` contributes the stop policy,
+  /// round granularity (mc.batches_per_shard), name and callbacks; the
+  /// experiment's config overrides mc.trials/seed/threads, keeping the
+  /// determinism key in one place.
+  telemetry::StreamResult<BernoulliEstimate> run_streaming(
+      double g, const telemetry::StreamOptions& stream) const;
 
   const CompiledModule& module() const noexcept { return module_; }
   const LogicalGateExperimentConfig& config() const noexcept { return config_; }
@@ -184,6 +194,15 @@ class CheckedMachineExperiment {
   /// thread counts for a fixed seed.
   detect::DetectionEstimate run(double g, int threads = -1,
                                 telemetry::Trace* trace = nullptr) const;
+
+  /// Streaming variant of run(): the stop policy watches the
+  /// POST-SELECTED silent rate (silent_failures / accepted). `stream`
+  /// contributes policy/granularity/callbacks; the experiment's config
+  /// overrides mc.trials/seed/threads/lane_words. A never-firing
+  /// policy reproduces run() bit for bit.
+  telemetry::StreamResult<detect::DetectionEstimate> run_streaming(
+      double g, const telemetry::StreamOptions& stream,
+      telemetry::Trace* trace = nullptr) const;
 
   const CheckedMachineProgram& program() const noexcept { return program_; }
 

@@ -39,4 +39,23 @@ recover::RecoveryEstimate RecoveryExperiment::run(
       trace);
 }
 
+telemetry::StreamResult<recover::RecoveryEstimate>
+RecoveryExperiment::run_streaming(double g, const recover::RetryPolicy& policy,
+                                  const telemetry::StreamOptions& stream,
+                                  telemetry::Trace* trace) const {
+  NoiseModel model = NoiseModel::uniform(g);
+  if (!config_.noisy_init) model.with_perfect_init();
+
+  telemetry::StreamOptions opts = stream;
+  opts.mc.trials = config_.trials;
+  opts.mc.seed = config_.seed;
+  opts.mc.threads = config_.threads;
+  opts.mc.lane_words = config_.lane_words;
+
+  return telemetry::run_streaming_recovering_mc(
+      program_.checked, plan_, policy, model, opts,
+      [&](std::uint64_t) { return make_machine_kernel(program_, truth_); },
+      trace);
+}
+
 }  // namespace revft

@@ -25,6 +25,7 @@
 #include "recover/plan.h"
 #include "recover/recovering_mc.h"
 #include "recover/retry.h"
+#include "telemetry/stream.h"
 
 namespace revft {
 
@@ -63,6 +64,16 @@ class RecoveryExperiment {
   recover::RecoveryEstimate run(double g, const recover::RetryPolicy& policy,
                                 int threads = -1,
                                 telemetry::Trace* trace = nullptr) const;
+
+  /// Streaming variant of run(): the stop policy watches the
+  /// delivered-output quality (silent_failures / accepted). `stream`
+  /// contributes policy/granularity/callbacks; the experiment's config
+  /// overrides mc.trials/seed/threads/lane_words. A never-firing
+  /// policy reproduces run() bit for bit, retries included.
+  telemetry::StreamResult<recover::RecoveryEstimate> run_streaming(
+      double g, const recover::RetryPolicy& policy,
+      const telemetry::StreamOptions& stream,
+      telemetry::Trace* trace = nullptr) const;
 
   const CheckedMachineProgram& program() const noexcept { return program_; }
   const recover::SegmentPlan& plan() const noexcept { return plan_; }

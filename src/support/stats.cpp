@@ -46,6 +46,11 @@ BernoulliEstimate::Interval BernoulliEstimate::wilson(double z) const noexcept {
   return {lo, hi};
 }
 
+double BernoulliEstimate::half_width(double z) const noexcept {
+  const Interval iv = wilson(z);
+  return (iv.hi - iv.lo) / 2.0;
+}
+
 LineFit fit_line(const std::vector<double>& xs, const std::vector<double>& ys) {
   REVFT_CHECK_MSG(xs.size() == ys.size() && xs.size() >= 2,
                   "fit_line needs >= 2 matched points, got " << xs.size()

@@ -55,6 +55,15 @@ struct BernoulliEstimate {
     double hi;
   };
   Interval wilson(double z = 1.96) const noexcept;
+  /// Explicit alias of wilson() for call sites where "which interval?"
+  /// should be unmistakable (mirrors error_rate() vs rate()).
+  Interval wilson_interval(double z = 1.96) const noexcept {
+    return wilson(z);
+  }
+  /// Half the Wilson interval width at z — THE convergence number a
+  /// streaming consumer watches ("the estimate is rate() +/- this").
+  /// 0.5 with no trials (the [0,1] prior interval).
+  double half_width(double z = 1.96) const noexcept;
 
   /// Exact integer merge (used by the thread-sharded engine).
   BernoulliEstimate& operator+=(const BernoulliEstimate& other) noexcept {

@@ -62,6 +62,31 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   return m.histogram;
 }
 
+double Histogram::quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(count);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double next = cum + static_cast<double>(counts[i]);
+    const bool last = i + 1 == counts.size();
+    if ((rank <= next && counts[i] > 0) || last) {
+      if (i >= bounds.size()) {
+        // Overflow bucket: no finite upper edge to interpolate toward.
+        return bounds.empty() ? static_cast<double>(max)
+                              : static_cast<double>(bounds.back());
+      }
+      const double lo = i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
+      const double hi = static_cast<double>(bounds[i]);
+      const double frac = (rank - cum) / static_cast<double>(counts[i]);
+      return lo + (hi - lo) * frac;
+    }
+    cum = next;
+  }
+  return static_cast<double>(max);  // unreachable: count > 0
+}
+
 const Metric* MetricsRegistry::find(const std::string& name) const noexcept {
   for (const Metric& m : entries_) {
     if (m.name == name) return &m;

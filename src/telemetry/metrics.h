@@ -52,6 +52,18 @@ struct Histogram {
     if (value > max) max = value;
   }
 
+  /// Interpolated quantile over the inclusive-upper-bound buckets:
+  /// rank q*count is located in its bucket and the value interpolated
+  /// linearly between the bucket's lower edge (exclusive previous
+  /// bound, 0 for the first bucket) and its inclusive upper bound.
+  /// The overflow bucket has no finite upper edge, so ranks landing
+  /// there return the last finite edge (bounds.back(); the exact max
+  /// when there are no finite edges at all). q is clamped to [0,1];
+  /// an empty histogram returns 0. Like count/sum/min/max this is
+  /// exact under shard merging — buckets add, so the merged quantile
+  /// is the quantile of the merged data at bucket resolution.
+  double quantile(double q) const noexcept;
+
   bool operator==(const Histogram&) const = default;
 };
 

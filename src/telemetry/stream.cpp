@@ -1,0 +1,82 @@
+#include "telemetry/stream.h"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <exception>
+#include <thread>
+
+namespace revft::telemetry::detail {
+
+struct RoundScheduler::Impl {
+  std::size_t jobs;
+  /// Two-phase handshake, workers + coordinator on both barriers:
+  /// `start` releases a round, `done` joins it. Workers never skip a
+  /// phase — exceptions are captured per job, so arrive counts stay
+  /// consistent no matter what fn throws.
+  std::barrier<> start;
+  std::barrier<> done;
+  std::atomic<std::size_t> next{0};
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::vector<std::exception_ptr> errors;
+  bool quit = false;  ///< read after `start` — the barrier orders it
+  std::vector<std::thread> pool;
+
+  Impl(std::size_t jobs_in, std::size_t workers)
+      : jobs(jobs_in),
+        start(static_cast<std::ptrdiff_t>(workers + 1)),
+        done(static_cast<std::ptrdiff_t>(workers + 1)),
+        errors(jobs_in) {
+    pool.reserve(workers);
+    for (std::size_t t = 0; t < workers; ++t)
+      pool.emplace_back([this] { worker(); });
+  }
+
+  void worker() {
+    for (;;) {
+      start.arrive_and_wait();
+      if (quit) return;
+      for (std::size_t i = next.fetch_add(1); i < jobs;
+           i = next.fetch_add(1)) {
+        try {
+          (*fn)(i);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      }
+      done.arrive_and_wait();
+    }
+  }
+};
+
+RoundScheduler::RoundScheduler(std::size_t jobs, int threads) : jobs_(jobs) {
+  const std::size_t workers = std::min<std::size_t>(
+      threads < 1 ? 1 : static_cast<std::size_t>(threads), jobs);
+  // A single worker gains nothing over the coordinator doing the work
+  // itself; only build the pool when there is real parallelism.
+  if (workers >= 2) impl_ = std::make_unique<Impl>(jobs, workers);
+}
+
+RoundScheduler::~RoundScheduler() {
+  if (impl_ == nullptr) return;
+  impl_->quit = true;
+  impl_->start.arrive_and_wait();  // release workers into the quit check
+  for (std::thread& t : impl_->pool) t.join();
+}
+
+void RoundScheduler::run_round(const std::function<void(std::size_t)>& fn) {
+  if (impl_ == nullptr) {
+    for (std::size_t i = 0; i < jobs_; ++i) fn(i);
+    return;
+  }
+  impl_->fn = &fn;
+  impl_->next.store(0);
+  std::fill(impl_->errors.begin(), impl_->errors.end(), std::exception_ptr{});
+  impl_->start.arrive_and_wait();
+  impl_->done.arrive_and_wait();
+  // Lowest job index wins, mirroring run_sharded_as.
+  for (const std::exception_ptr& e : impl_->errors)
+    if (e) std::rethrow_exception(e);
+}
+
+}  // namespace revft::telemetry::detail

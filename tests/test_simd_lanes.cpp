@@ -39,6 +39,7 @@
 #include "recover/checkpoint.h"
 #include "rev/simulator.h"
 #include "support/rng.h"
+#include "support/stats.h"
 #include "telemetry/metrics.h"
 
 namespace revft {
@@ -297,7 +298,7 @@ TEST(WideEngine, WidthsAgreeStatistically) {
   const double g = 1e-3;
   const std::uint64_t trials = 20000;
 
-  double rates[4] = {};
+  BernoulliEstimate detected[4] = {};
   const unsigned widths[] = {1, 2, 4, 8};
   for (int i = 0; i < 4; ++i) {
     CheckedMachineExperiment::Config config;
@@ -312,13 +313,15 @@ TEST(WideEngine, WidthsAgreeStatistically) {
     // g=1e-3 that's vanishingly rare but not impossible (the stream
     // differs per width), so bound it instead of demanding zero.
     EXPECT_LE(e.silent_failures, 5u) << "W=" << widths[i];
-    rates[i] = e.detected_rate();
+    detected[i] = BernoulliEstimate{e.detected, e.trials};
   }
-  const double n = static_cast<double>(trials);
+  // Two independent estimates agree when their rates sit within the
+  // combined 5-sigma Wilson half-widths (added in quadrature).
   for (int i = 1; i < 4; ++i) {
-    const double pbar = (rates[0] + rates[i]) / 2.0;
-    const double sigma = std::sqrt(pbar * (1.0 - pbar) * 2.0 / n);
-    EXPECT_NEAR(rates[i], rates[0], 5.0 * sigma) << "W=" << widths[i];
+    const double tol =
+        std::hypot(detected[0].half_width(5.0), detected[i].half_width(5.0));
+    EXPECT_NEAR(detected[i].rate(), detected[0].rate(), tol)
+        << "W=" << widths[i];
   }
 }
 

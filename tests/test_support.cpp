@@ -128,6 +128,27 @@ TEST(Stats, WilsonIntervalSaneAtZeroSuccesses) {
   EXPECT_LT(iv.hi, 0.01);  // ~3.84/1003
 }
 
+TEST(Stats, WilsonIntervalAccessorMatchesFreeFunction) {
+  const BernoulliEstimate e{30, 200};
+  const auto via_alias = e.wilson_interval(2.5);
+  const auto via_legacy = e.wilson(2.5);
+  EXPECT_DOUBLE_EQ(via_alias.lo, via_legacy.lo);
+  EXPECT_DOUBLE_EQ(via_alias.hi, via_legacy.hi);
+  // Default z matches the legacy wilson() spelling.
+  EXPECT_DOUBLE_EQ(e.wilson_interval().lo, e.wilson().lo);
+  EXPECT_DOUBLE_EQ(e.wilson_interval().hi, e.wilson().hi);
+}
+
+TEST(Stats, HalfWidthIsHalfTheWilsonWidth) {
+  const BernoulliEstimate e{12, 500};
+  const auto iv = e.wilson_interval(1.96);
+  EXPECT_DOUBLE_EQ(e.half_width(1.96), (iv.hi - iv.lo) / 2.0);
+  // Wider z -> wider interval.
+  EXPECT_GT(e.half_width(3.0), e.half_width(1.0));
+  // No data: maximally uncertain.
+  EXPECT_DOUBLE_EQ(BernoulliEstimate{}.half_width(), 0.5);
+}
+
 TEST(Stats, WilsonShrinksWithTrials) {
   const auto narrow = BernoulliEstimate{100, 10000}.wilson();
   const auto wide = BernoulliEstimate{1, 100}.wilson();

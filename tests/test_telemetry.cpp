@@ -83,6 +83,62 @@ TEST(TelemetryMetrics, HistogramBucketEdgesAreInclusiveUpperBounds) {
   EXPECT_EQ(h.max, 5u);
 }
 
+TEST(TelemetryMetrics, QuantileInterpolatesWithinBuckets) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("h", {10, 20, 40});
+  // 4 samples in (0,10], 4 in (10,20], 2 in (20,40].
+  for (const std::uint64_t v : {2, 4, 6, 8}) h.record(v);
+  for (const std::uint64_t v : {12, 14, 16, 18}) h.record(v);
+  for (const std::uint64_t v : {25, 35}) h.record(v);
+
+  // rank = q * 10; buckets hold cumulative 4 / 8 / 10.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);    // lower edge of first bucket
+  EXPECT_DOUBLE_EQ(h.quantile(0.2), 5.0);    // rank 2 of 4 in [0,10]
+  EXPECT_DOUBLE_EQ(h.quantile(0.4), 10.0);   // exactly the bucket edge
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 12.5);   // rank 1 of 4 in (10,20]
+  EXPECT_DOUBLE_EQ(h.quantile(0.9), 30.0);   // rank 1 of 2 in (20,40]
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 40.0);   // upper edge of last bucket
+}
+
+TEST(TelemetryMetrics, QuantileOverflowBucketReturnsLastFiniteEdge) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("h", {1, 2});
+  h.record(100);  // lands in the unbounded overflow bucket
+  h.record(200);
+  // The overflow bucket has no finite upper edge, so any quantile that
+  // lands there is clamped to the last finite bound.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 2.0);
+}
+
+TEST(TelemetryMetrics, QuantileClampsAndHandlesEmpty) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("h", {8});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty histogram
+  h.record(4);
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));  // clamped below
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));   // clamped above
+}
+
+TEST(TelemetryMetrics, QuantileIsExactUnderShardMerging) {
+  // Merged shard histograms must report the same quantiles as one
+  // histogram that saw every sample — the bucket counts are exact
+  // integers, so the interpolation sees identical state.
+  MetricsRegistry whole;
+  Histogram& w = whole.histogram("h", {1, 2, 5, 10});
+
+  MetricsRegistry a, b;
+  Histogram& ha = a.histogram("h", {1, 2, 5, 10});
+  Histogram& hb = b.histogram("h", {1, 2, 5, 10});
+  for (std::uint64_t v = 0; v < 40; ++v) {
+    w.record(v % 12);
+    (v % 2 == 0 ? ha : hb).record(v % 12);
+  }
+  a.merge(b);
+  for (const double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(a.find("h")->histogram.quantile(q), w.quantile(q)) << q;
+}
+
 TEST(TelemetryMetrics, EmptyHistogramHasSentinelMin) {
   MetricsRegistry reg;
   const Histogram& h = reg.histogram("h", {10});
